@@ -1,0 +1,61 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one paper artifact (figure or table) and
+prints the rows the paper reports, while pytest-benchmark records the
+runtime.  Artifact generation is run exactly once per benchmark
+(``rounds=1``): these are reproduction jobs, not micro-benchmarks, and
+their cost is dominated by the simulated sweeps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import calibrate, scenario_s1, scenario_s16
+
+
+def bench_scenario(name: str):
+    """CI-scaled scenario variants used by the benchmark sweeps: fewer
+    rate points than the test-suite defaults, same operating region."""
+    if name == "S1":
+        base = scenario_s1()
+        rates = (30.0, 70.0, 110.0, 150.0, 190.0)
+    elif name == "S16":
+        base = scenario_s16()
+        rates = (40.0, 94.0, 148.0, 202.0, 256.0)
+    else:  # pragma: no cover
+        raise ValueError(name)
+    return dataclasses.replace(base, rates=rates)
+
+
+@pytest.fixture(scope="session")
+def s1_scenario():
+    return bench_scenario("S1")
+
+
+@pytest.fixture(scope="session")
+def s16_scenario():
+    return bench_scenario("S16")
+
+
+@pytest.fixture(scope="session")
+def s1_calibration(s1_scenario):
+    return calibrate(s1_scenario, seed=0)
+
+
+@pytest.fixture(scope="session")
+def s16_calibration(s16_scenario):
+    return calibrate(s16_scenario, seed=0)
+
+
+@pytest.fixture(scope="session")
+def sweeps(s1_scenario, s16_scenario, s1_calibration, s16_calibration):
+    """Both scenario sweeps, shared by the figure and table benchmarks."""
+    from repro.experiments import run_sweep
+
+    return {
+        "S1": run_sweep(s1_scenario, calibration=s1_calibration, seed=0),
+        "S16": run_sweep(s16_scenario, calibration=s16_calibration, seed=0),
+    }

@@ -1,0 +1,61 @@
+"""Benchmarks: design-choice ablations called out in DESIGN.md.
+
+* accept()-wait model on S1 (paper vs renewal-equilibrium vs none);
+* disk-queue model on S16 (M/M/1/K vs M/G/1/K vs finite-source);
+* Laplace-inversion algorithm (numerical-only ablation).
+"""
+
+import dataclasses
+
+from repro.experiments import (
+    run_accept_wait_ablation,
+    run_disk_queue_ablation,
+    run_inversion_ablation,
+    scenario_s1,
+    scenario_s16,
+)
+
+
+def _shrunk(scenario, rates):
+    return dataclasses.replace(scenario, rates=rates)
+
+
+def test_bench_accept_wait_ablation(benchmark, capsys):
+    scenario = _shrunk(scenario_s1(), (50.0, 110.0, 170.0))
+    result = benchmark.pedantic(
+        lambda: run_accept_wait_ablation(scenario, seed=0), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+    assert set(result.variants) == {"paper (Wa=Wbe)", "equilibrium", "none (noWTA)"}
+    for variant in result.variants:
+        for sla in result.slas:
+            assert 0.0 <= result.mean_abs_errors[variant][sla] <= 1.0
+
+
+def test_bench_disk_queue_ablation(benchmark, capsys):
+    scenario = _shrunk(scenario_s16(), (64.0, 148.0, 232.0))
+    result = benchmark.pedantic(
+        lambda: run_disk_queue_ablation(scenario, seed=0), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+    assert set(result.variants) == {"mm1k (paper)", "mg1k", "finite-source"}
+    # All three finite-capacity approximations land in the same ballpark
+    # (the paper's claim that other approximations "would also be
+    # applicable").
+    for sla in result.slas:
+        errs = [result.mean_abs_errors[v][sla] for v in result.variants]
+        assert max(errs) < 0.35
+
+
+def test_bench_inversion_ablation(benchmark, capsys):
+    result = benchmark.pedantic(run_inversion_ablation, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(result.render())
+    for sla in result.slas:
+        assert result.mean_abs_errors["talbot"][sla] < 1e-3
+        assert result.mean_abs_errors["gaver"][sla] < 0.02

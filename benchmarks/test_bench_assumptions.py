@@ -1,0 +1,62 @@
+"""Benchmarks: quantify the Section III-A assumption boundaries.
+
+Not a paper artifact -- the paper *states* the read-heavy and
+normal-status assumptions; these benches measure what they cost on the
+simulated testbed, completing the evaluation the paper scoped out.
+"""
+
+import dataclasses
+
+from repro.experiments import (
+    run_timeout_study,
+    run_write_fraction_study,
+    scenario_s1,
+)
+
+
+def _small_scenario():
+    return dataclasses.replace(
+        scenario_s1(),
+        n_objects=20_000,
+        warm_accesses=60_000,
+        window_duration=20.0,
+        settle_duration=4.0,
+    )
+
+
+def test_bench_write_fraction(benchmark, capsys):
+    scenario = _small_scenario()
+    study = benchmark.pedantic(
+        lambda: run_write_fraction_study(
+            scenario, rate=60.0, fractions=(0.0, 0.15, 0.3), seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(study.render())
+    # The read-heavy assumption: accuracy degrades as writes grow.
+    err0 = study.errors["0% writes"][0.05]
+    err30 = study.errors["30% writes"][0.05]
+    assert err30 > err0
+    # At the paper's real write fractions (<5%) the model stays usable.
+    assert err0 < 0.1
+
+
+def test_bench_timeout_study(benchmark, capsys):
+    scenario = _small_scenario()
+    study = benchmark.pedantic(
+        lambda: run_timeout_study(
+            scenario, rate=140.0, timeouts=(None, 0.04), seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(study.render())
+        print("mean retries per read:", study.diagnostics)
+    # Tight timeouts actually produce retries on this testbed.
+    assert study.diagnostics["timeout 40ms"] > 0.05
+    assert study.diagnostics["no timeout"] == 0.0

@@ -1,0 +1,46 @@
+"""Benchmark: whole-distribution validation (beyond the paper's 3 SLAs).
+
+Runs one S1 and one S16 operating point, overlays predicted and observed
+response-latency CDFs, and scores the Kolmogorov--Smirnov distance and
+quantile errors.
+"""
+
+import dataclasses
+
+from repro.experiments import run_cdf_validation, scenario_s1, scenario_s16
+
+
+def _shrink(scenario):
+    return dataclasses.replace(
+        scenario,
+        n_objects=30_000,
+        warm_accesses=120_000,
+        window_duration=30.0,
+        settle_duration=6.0,
+    )
+
+
+def test_bench_cdf_validation_s1(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: run_cdf_validation(_shrink(scenario_s1()), rate=90.0, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+    assert result.ks_distance < 0.2
+    # Median latency predicted within ~10 ms on an HDD-bound system.
+    assert result.quantile_errors_ms[0.5] < 15.0
+
+
+def test_bench_cdf_validation_s16(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: run_cdf_validation(_shrink(scenario_s16()), rate=120.0, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+    assert result.ks_distance < 0.25

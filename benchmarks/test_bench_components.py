@@ -1,0 +1,140 @@
+"""Micro-benchmarks of the library's hot paths.
+
+These complement the artifact benchmarks with genuine repeated-timing
+measurements: model construction + percentile evaluation (what a
+capacity planner calls in a loop), Laplace inversion throughput, the
+simulator's event rate, and the disk calibration procedure.
+"""
+
+import numpy as np
+
+from repro.distributions import Degenerate, Gamma
+from repro.laplace import invert_cdf
+from repro.model import (
+    CacheMissRatios,
+    DeviceParameters,
+    DiskLatencyProfile,
+    FrontendParameters,
+    LatencyPercentileModel,
+    SystemParameters,
+)
+from repro.simulator import Cluster, ClusterConfig
+from repro.workload import ObjectCatalog, OpenLoopDriver, WikipediaTraceGenerator
+
+
+def _params(n_devices=4, n_be=1):
+    disk = DiskLatencyProfile(
+        index=Gamma(2.0, 140.0), meta=Gamma(1.8, 210.0), data=Gamma(2.0, 230.0)
+    )
+    devices = tuple(
+        DeviceParameters(
+            name=f"d{i}",
+            request_rate=30.0,
+            data_read_rate=33.0,
+            miss_ratios=CacheMissRatios(0.4, 0.45, 0.7),
+            disk=disk,
+            parse=Degenerate(0.0004),
+            n_processes=n_be,
+        )
+        for i in range(n_devices)
+    )
+    return SystemParameters(FrontendParameters(12, Degenerate(0.001)), devices)
+
+
+def test_bench_model_prediction(benchmark):
+    """Build the model and evaluate all three SLAs (the planner loop)."""
+    params = _params()
+
+    def predict():
+        model = LatencyPercentileModel(params)
+        return [model.sla_percentile(s) for s in (0.01, 0.05, 0.1)]
+
+    out = benchmark(predict)
+    assert all(0.0 <= p <= 1.0 for p in out)
+
+
+def test_bench_model_prediction_s16(benchmark):
+    params = _params(n_be=16)
+
+    def predict():
+        return LatencyPercentileModel(params).sla_percentile(0.05)
+
+    assert 0.0 <= benchmark(predict) <= 1.0
+
+
+def test_bench_laplace_inversion(benchmark):
+    """Vectorised Euler CDF inversion over 256 time points."""
+    g = Gamma(2.0, 100.0)
+    t = np.linspace(1e-4, 0.3, 256)
+
+    out = benchmark(lambda: invert_cdf(g, t))
+    assert np.all(np.diff(out) >= -1e-9)
+
+
+def test_bench_simulator_throughput(benchmark):
+    """Events/second of the cluster kernel on a 5-second window."""
+    catalog = ObjectCatalog.synthetic(
+        10_000, mean_size=16_384.0, size_sigma=1.0, rng=np.random.default_rng(3)
+    )
+
+    def run():
+        cluster = Cluster(
+            ClusterConfig(cache_bytes_per_server=8 << 20),
+            catalog.sizes,
+            seed=5,
+        )
+        gen = WikipediaTraceGenerator(catalog, rng=np.random.default_rng(6))
+        OpenLoopDriver(cluster).run(gen.constant_rate(150.0, 5.0))
+        cluster.drain()
+        return cluster.metrics.n_requests
+
+    assert benchmark(run) > 500
+
+
+def test_bench_disk_calibration(benchmark):
+    """The Section IV-A fill-and-random-read benchmark end to end."""
+    from repro.calibration import benchmark_disk
+    from repro.simulator import HddProfile
+
+    catalog = ObjectCatalog.synthetic(
+        5_000, mean_size=16_384.0, size_sigma=1.0, rng=np.random.default_rng(4)
+    )
+
+    def run():
+        return benchmark_disk(HddProfile(), catalog.sizes, n_objects=400, seed=1)
+
+    result = benchmark(run)
+    assert result.best("data").family == "gamma"
+
+
+def test_bench_model_scaling_64_devices(benchmark):
+    """Model build + predict at fleet scale (64 devices)."""
+    params = _params(n_devices=64)
+
+    def predict():
+        return LatencyPercentileModel(params).sla_percentile(0.05)
+
+    assert 0.0 <= benchmark(predict) <= 1.0
+
+
+def test_bench_quantile_inversion(benchmark):
+    """p99 search (bisection over Euler inversions)."""
+    params = _params()
+    model = LatencyPercentileModel(params)
+
+    out = benchmark(lambda: model.latency_quantile(0.99))
+    assert out > 0.0
+
+
+def test_bench_che_prediction(benchmark):
+    """Che's approximation over a 60k-object catalog (3 caches)."""
+    from repro.calibration import predict_cache_miss_ratios
+    from repro.simulator import ClusterConfig
+
+    catalog = ObjectCatalog.synthetic(
+        60_000, mean_size=16_384.0, size_sigma=1.0, rng=np.random.default_rng(5)
+    )
+    cfg = ClusterConfig(cache_bytes_per_server=32 << 20)
+
+    result = benchmark(lambda: predict_cache_miss_ratios(catalog, cfg, 30.0))
+    assert 0.0 < result.miss_ratios.data < 1.0

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Fig 6 (S1 prediction results, SLAs 10/50/100 ms).
+
+Prints, per SLA, the observed percentile series and the predictions of
+our model, ODOPR and noWTA over the rate sweep, plus our model's error
+strip -- the data behind Fig 6(a-c).  Asserts the shape findings:
+percentiles fall with load, our model tracks within the documented
+error band, and ODOPR sits far above the observation.
+"""
+
+import numpy as np
+
+from repro.experiments import figure_from_sweep
+
+
+def test_bench_fig6(benchmark, sweeps, capsys):
+    sweep = benchmark.pedantic(lambda: sweeps["S1"], rounds=1, iterations=1)
+    fig = figure_from_sweep("Fig 6 (S1)", sweep)
+    with capsys.disabled():
+        print()
+        print(fig.render_all())
+
+    for sla in sweep.slas:
+        obs = sweep.observed_series(sla)
+        # Percentile meeting the SLA decreases as the arrival rate grows.
+        assert obs[-1] <= obs[0]
+        # Our model predicts the trend within a generous absolute band.
+        errs = np.abs(sweep.errors("ours", sla))
+        assert np.nanmean(errs) < 0.25
+    # ODOPR systematically overestimates at the tight SLAs (Fig 6a/6b).
+    for sla in (0.01, 0.05):
+        assert np.nanmean(sweep.errors("odopr", sla)) > 0.0
+        assert np.nanmean(np.abs(sweep.errors("ours", sla))) < np.nanmean(
+            np.abs(sweep.errors("odopr", sla))
+        )

@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Fig 7 (S16 prediction results, SLAs 10/50/100 ms).
+
+Same layout as Fig 6 for the sixteen-process configuration.  Asserts the
+S16-specific findings: the disk-bound trend holds, ODOPR still
+overestimates, and the accept()-wait term is small (ours ~ noWTA, since
+sixteen acceptors drain the pool almost immediately -- the paper's own
+observation that "the WTA itself decreases in the scenario S16").
+"""
+
+import numpy as np
+
+from repro.experiments import figure_from_sweep
+
+
+def test_bench_fig7(benchmark, sweeps, capsys):
+    sweep = benchmark.pedantic(lambda: sweeps["S16"], rounds=1, iterations=1)
+    fig = figure_from_sweep("Fig 7 (S16)", sweep)
+    with capsys.disabled():
+        print()
+        print(fig.render_all())
+
+    for sla in sweep.slas:
+        obs = sweep.observed_series(sla)
+        assert obs[-1] <= obs[0]
+        assert np.nanmean(np.abs(sweep.errors("ours", sla))) < 0.25
+    # ours vs odopr: union operation still dominates the error budget.
+    for sla in (0.01, 0.05):
+        assert np.nanmean(np.abs(sweep.errors("ours", sla))) < np.nanmean(
+            np.abs(sweep.errors("odopr", sla))
+        )
+    # WTA shrinks with 16 acceptors: ours and noWTA nearly coincide.
+    gap = np.nanmean(
+        np.abs(
+            sweep.predicted_series("ours", 0.05)
+            - sweep.predicted_series("nowta", 0.05)
+        )
+    )
+    assert gap < 0.1

@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Table II (ours vs ODOPR vs noWTA mean errors).
+
+Prints the Table II grid.  The paper's union-operation claim (our model
+vs ODOPR: error reductions up to 73%) reproduces strongly; the WTA
+column reproduces in *direction* (accept waits are real and the full
+model upper-bounds latency) but our faithfully pipelined testbed favours
+noWTA on mean error -- the quantified divergence is analysed in
+EXPERIMENTS.md.
+"""
+
+from repro.experiments import build_table2
+
+
+def test_bench_table2(benchmark, sweeps, capsys):
+    table = benchmark.pedantic(
+        lambda: build_table2(sweeps), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(table.render())
+        for scen in ("S1", "S16"):
+            for sla in (0.010, 0.050, 0.100):
+                ours = table.error(scen, sla, "ours")
+                odopr = table.error(scen, sla, "odopr")
+                if odopr > 0:
+                    print(
+                        f"{scen} @ {sla * 1e3:.0f}ms: ours reduces ODOPR error by "
+                        f"{(1 - ours / odopr) * 100:.0f}%"
+                    )
+
+    # Contribution 1 (union operation): ours beats ODOPR everywhere.
+    for scen, sla, errs in table.rows:
+        assert errs["ours"] < errs["odopr"]
+    # The reduction reaches the paper's reported magnitude (up to 73%).
+    best_reduction = max(
+        1.0 - errs["ours"] / errs["odopr"] for _s, _l, errs in table.rows
+    )
+    assert best_reduction > 0.5

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Capacity planning with the latency-percentile model.
+
+The paper's motivating application: *determine the number of resources
+needed for the system with workload anticipation and an SLA* (Section I).
+Given an anticipated aggregate request rate and an SLA of the form "P%
+of requests within L ms", find the smallest number of storage devices
+that satisfies it -- without deploying anything.
+
+The per-device rate falls as devices are added (the ring spreads
+partitions evenly), and the miss ratios improve slightly because each
+server's cache covers a larger fraction of its shard; we model the
+first effect exactly and the second conservatively (fixed miss ratios),
+so the answer errs toward over-provisioning -- the safe direction.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.distributions import Degenerate, Gamma
+from repro.model import (
+    CacheMissRatios,
+    DeviceParameters,
+    DiskLatencyProfile,
+    FrontendParameters,
+    LatencyPercentileModel,
+    SystemParameters,
+)
+from repro.queueing import UnstableQueueError
+
+DISK = DiskLatencyProfile(
+    index=Gamma(2.4, 140.0),
+    meta=Gamma(1.8, 210.0),
+    data=Gamma(2.0, 230.0),
+)
+MISS = CacheMissRatios(index=0.45, meta=0.50, data=0.70)
+CHUNKS_PER_REQUEST = 1.08
+
+
+def build_system(total_rate: float, n_devices: int) -> SystemParameters:
+    """An evenly balanced deployment of ``n_devices`` devices."""
+    per_device = total_rate / n_devices
+    devices = tuple(
+        DeviceParameters(
+            name=f"disk{i}",
+            request_rate=per_device,
+            data_read_rate=per_device * CHUNKS_PER_REQUEST,
+            miss_ratios=MISS,
+            disk=DISK,
+            parse=Degenerate(0.0004),
+        )
+        for i in range(n_devices)
+    )
+    frontend = FrontendParameters(
+        n_processes=max(4, n_devices * 3), parse=Degenerate(0.0012)
+    )
+    return SystemParameters(frontend=frontend, devices=devices)
+
+
+def zero_load_ceiling(sla_seconds: float) -> float:
+    """The best percentile any device count can reach: the service-time
+    floor at vanishing load (queueing gone, disk latencies remain)."""
+    model = LatencyPercentileModel(build_system(0.25, 1))
+    return model.sla_percentile(sla_seconds)
+
+
+def devices_needed(
+    total_rate: float, sla_seconds: float, target_percentile: float
+) -> tuple[int | None, float]:
+    """Smallest device count meeting the SLA target, plus its margin.
+
+    Returns ``(None, ceiling)`` when the SLA is unattainable at *any*
+    scale: adding devices removes queueing but not the disk service
+    times themselves -- a real capacity-planning answer ("buy faster
+    disks or more cache, not more of these").
+    """
+    ceiling = zero_load_ceiling(sla_seconds)
+    if ceiling < target_percentile:
+        return None, ceiling
+    for n in range(1, 1025):
+        try:
+            model = LatencyPercentileModel(build_system(total_rate, n))
+        except UnstableQueueError:
+            continue  # saturated: need more devices
+        pct = model.sla_percentile(sla_seconds)
+        if pct >= target_percentile:
+            return n, pct
+    raise RuntimeError("no feasible deployment under 1024 devices")
+
+
+def main() -> None:
+    sla_ms, target = 100.0, 0.95
+    print(f"SLA: {target * 100:.0f}% of requests within {sla_ms:.0f} ms\n")
+    print(f"{'workload (req/s)':>18s} {'devices needed':>15s} {'achieved':>10s}")
+    for total_rate in (50, 100, 200, 400, 800, 1600):
+        n, pct = devices_needed(total_rate, sla_ms / 1e3, target)
+        print(f"{total_rate:18d} {n:15d} {pct * 100:9.2f}%")
+
+    print("\nTightening the SLA at a fixed 400 req/s workload:")
+    print(f"{'SLA':>10s} {'target':>8s} {'devices':>9s}")
+    for sla, tgt in ((0.2, 0.99), (0.1, 0.95), (0.05, 0.90), (0.05, 0.99)):
+        n, ceiling = devices_needed(400.0, sla, tgt)
+        if n is None:
+            print(
+                f"{sla * 1e3:8.0f}ms {tgt * 100:7.0f}% {'--':>9s}"
+                f"   unattainable: service-time floor caps at "
+                f"{ceiling * 100:.1f}%"
+            )
+        else:
+            print(f"{sla * 1e3:8.0f}ms {tgt * 100:7.0f}% {n:9d}")
+
+
+if __name__ == "__main__":
+    main()

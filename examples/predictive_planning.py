@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Fully predictive capacity planning: no measurements required.
+
+The paper feeds the model *measured* online metrics (rates, miss
+ratios).  This example goes one step further and predicts the miss
+ratios themselves with Che's LRU approximation from just the catalog
+shape and the cache budgets -- so an entire deployment can be sized on a
+whiteboard: catalog + hardware + workload forecast in, SLA percentile
+out.
+
+The punchline table sweeps the server memory size and shows the chain
+memory -> (predicted miss ratios) -> (predicted SLA percentile), i.e.
+the exact cost/latency trade the paper's Section II motivates (cloud
+providers under-provision RAM deliberately; here is what each gigabyte
+buys back).
+
+Run:  python examples/predictive_planning.py
+"""
+
+import numpy as np
+
+from repro.calibration import benchmark_disk, predict_cache_miss_ratios
+from repro.distributions import Degenerate
+from repro.model import (
+    DeviceParameters,
+    FrontendParameters,
+    LatencyPercentileModel,
+    SystemParameters,
+)
+from repro.queueing import UnstableQueueError
+from repro.simulator import ClusterConfig
+from repro.workload import ObjectCatalog
+
+TOTAL_RATE = 120.0  # anticipated GETs/s
+SLA = 0.050
+N_DEVICES = 4
+
+
+def main() -> None:
+    catalog = ObjectCatalog.synthetic(
+        60_000,
+        mean_size=16_384.0,
+        size_sigma=1.0,
+        zipf_s=0.9,
+        rng=np.random.default_rng(42),
+    )
+    print(
+        f"Catalog: {catalog.n_objects} objects, "
+        f"{catalog.total_bytes / 1e9:.2f} GB total, "
+        f"mean request {catalog.mean_request_size() / 1024:.1f} KiB"
+    )
+
+    # Device properties from the (one-off, workload-independent) benchmark.
+    base_config = ClusterConfig()
+    disk_bench = benchmark_disk(
+        base_config.hdd, catalog.sizes, n_objects=1500, seed=3
+    )
+    profile = disk_bench.latency_profile()
+    chunks_per_request = catalog.mean_chunks_per_request(base_config.chunk_bytes)
+    per_device_rate = TOTAL_RATE / N_DEVICES
+
+    print(
+        f"\nWorkload forecast: {TOTAL_RATE:.0f} req/s over {N_DEVICES} devices; "
+        f"SLA {SLA * 1e3:.0f} ms\n"
+    )
+    header = (
+        f"{'RAM/server':>11s} {'m_index':>8s} {'m_meta':>7s} {'m_data':>7s} "
+        f"{'pct<=SLA':>9s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for mem_mb in (8, 16, 32, 64, 128, 256):
+        config = ClusterConfig(
+            cache_bytes_per_server=mem_mb << 20,
+            cache_split=(0.12, 0.28, 0.60),
+        )
+        predicted = predict_cache_miss_ratios(catalog, config, per_device_rate)
+        m = predicted.miss_ratios
+        devices = tuple(
+            DeviceParameters(
+                name=f"disk{i}",
+                request_rate=per_device_rate,
+                data_read_rate=per_device_rate * chunks_per_request,
+                miss_ratios=m,
+                disk=profile,
+                parse=Degenerate(0.0004),
+            )
+            for i in range(N_DEVICES)
+        )
+        params = SystemParameters(
+            FrontendParameters(12, Degenerate(0.0012)), devices
+        )
+        try:
+            pct = LatencyPercentileModel(params).sla_percentile(SLA)
+            shown = f"{pct * 100:8.2f}%"
+        except UnstableQueueError:
+            shown = "saturated"
+        print(
+            f"{mem_mb:9d}MB {m.index:8.3f} {m.meta:7.3f} {m.data:7.3f} {shown:>9s}"
+        )
+
+    print(
+        "\nReading the table: every doubling of RAM buys a predictable jump "
+        "in the SLA percentile\n(through lower miss ratios), until the disks "
+        "rather than the caches set the floor."
+    )
+
+
+if __name__ == "__main__":
+    main()

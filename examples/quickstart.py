@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Quickstart: predict SLA percentiles for a cloud object store.
+
+Builds the paper's model from first principles -- benchmarked device
+properties plus online metrics -- and asks the headline question: *what
+fraction of requests will meet a latency SLA?*
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.distributions import Degenerate, Gamma
+from repro.model import (
+    CacheMissRatios,
+    DeviceParameters,
+    DiskLatencyProfile,
+    FrontendParameters,
+    LatencyPercentileModel,
+    SystemParameters,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Device performance properties (Section IV-A): benchmarked once.
+    #    On the paper's testbed these are Gamma fits of recorded disk
+    #    service times for index lookup / metadata read / data read.
+    # ------------------------------------------------------------------
+    disk = DiskLatencyProfile(
+        index=Gamma(shape=2.4, rate=140.0),  # ~17 ms mean (open the file)
+        meta=Gamma(shape=1.8, rate=210.0),   # ~8.6 ms mean (read xattrs)
+        data=Gamma(shape=2.0, rate=230.0),   # ~8.7 ms mean (read one chunk)
+    )
+    parse_backend = Degenerate(0.0004)   # parsing is ~constant (0.4 ms)
+    parse_frontend = Degenerate(0.0012)
+
+    # ------------------------------------------------------------------
+    # 2. System online metrics (Section IV-B): cheap live counters.
+    # ------------------------------------------------------------------
+    devices = tuple(
+        DeviceParameters(
+            name=f"disk{i}",
+            request_rate=35.0,       # r: GETs/s routed to this device
+            data_read_rate=38.0,     # r_data: chunk reads/s (>= r)
+            miss_ratios=CacheMissRatios(index=0.45, meta=0.50, data=0.70),
+            disk=disk,
+            parse=parse_backend,
+            n_processes=1,           # N_be (the paper's S1 configuration)
+        )
+        for i in range(4)
+    )
+    params = SystemParameters(
+        frontend=FrontendParameters(n_processes=12, parse=parse_frontend),
+        devices=devices,
+    )
+
+    # ------------------------------------------------------------------
+    # 3. Predict.
+    # ------------------------------------------------------------------
+    model = LatencyPercentileModel(params)
+
+    print("Percentile of requests meeting each SLA (Equation 3):")
+    for sla_ms in (10, 25, 50, 100, 200):
+        pct = model.sla_percentile(sla_ms / 1e3)
+        print(f"  {sla_ms:4d} ms SLA -> {pct * 100:6.2f}% of requests")
+
+    print("\nLatency quantiles (inverse prediction):")
+    for q in (0.50, 0.90, 0.95, 0.99):
+        print(f"  p{q * 100:.0f} = {model.latency_quantile(q) * 1e3:7.2f} ms")
+
+    print(f"\nMean response latency: {model.mean_latency * 1e3:.2f} ms")
+
+    print("\nPer-device breakdown (mean latency components, ms):")
+    print(f"  {'device':8s} {'util':>6s} {'Sq':>7s} {'Wa':>7s} {'Sbe':>8s}")
+    for row in model.breakdown():
+        print(
+            f"  {row.device:8s} {row.utilization:6.2f} "
+            f"{row.mean_frontend_queueing * 1e3:7.3f} "
+            f"{row.mean_accept_wait * 1e3:7.3f} "
+            f"{row.mean_backend_response * 1e3:8.3f}"
+        )
+
+    headroom = model.max_stable_scale()
+    print(
+        f"\nHeadroom: the workload can grow {headroom:.2f}x before some "
+        "queue saturates."
+    )
+
+
+if __name__ == "__main__":
+    main()

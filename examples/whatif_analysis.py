@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""What-if analysis: overload control and elastic storage.
+
+Two of the paper's Section I applications on one deployment:
+
+* **Overload control** -- how far can the arrival rate climb before the
+  SLA breaks, and what admission rate keeps it intact during a surge?
+* **Elastic storage** -- how many storage nodes can be powered off at
+  night (load redistributed over the survivors) while still meeting the
+  SLA, and what does that save?
+
+Run:  python examples/whatif_analysis.py
+"""
+
+from repro.distributions import Degenerate, Gamma
+from repro.model import (
+    CacheMissRatios,
+    DeviceParameters,
+    DiskLatencyProfile,
+    FrontendParameters,
+    LatencyPercentileModel,
+    SystemParameters,
+)
+from repro.queueing import UnstableQueueError
+
+SLA = 0.100  # seconds
+TARGET = 0.95
+
+DISK = DiskLatencyProfile(
+    index=Gamma(2.4, 140.0), meta=Gamma(1.8, 210.0), data=Gamma(2.0, 230.0)
+)
+
+
+def deployment(total_rate: float, n_devices: int = 8) -> SystemParameters:
+    per_dev = total_rate / n_devices
+    return SystemParameters(
+        frontend=FrontendParameters(24, Degenerate(0.0012)),
+        devices=tuple(
+            DeviceParameters(
+                name=f"disk{i}",
+                request_rate=per_dev,
+                data_read_rate=per_dev * 1.08,
+                miss_ratios=CacheMissRatios(0.45, 0.50, 0.70),
+                disk=DISK,
+                parse=Degenerate(0.0004),
+            )
+            for i in range(n_devices)
+        ),
+    )
+
+
+def sla_percentile(total_rate: float, n_devices: int = 8) -> float:
+    try:
+        return LatencyPercentileModel(deployment(total_rate, n_devices)).sla_percentile(SLA)
+    except UnstableQueueError:
+        return float("nan")
+
+
+def overload_control() -> None:
+    print("=== Overload control ===")
+    print("Daily peak is 250 req/s on 8 devices; a surge is coming.\n")
+    print(f"{'rate (req/s)':>13s} {'pct <= 100 ms':>14s} {'SLA ok?':>8s}")
+    for rate in (250, 300, 350, 400, 450, 500, 550):
+        pct = sla_percentile(float(rate))
+        status = "--" if pct != pct else ("yes" if pct >= TARGET else "NO")
+        shown = "saturated" if pct != pct else f"{pct * 100:.2f}%"
+        print(f"{rate:13d} {shown:>14s} {status:>8s}")
+
+    # Find the admission threshold by bisection on the rate.
+    lo, hi = 250.0, 600.0
+    for _ in range(40):
+        mid = 0.5 * (lo + hi)
+        pct = sla_percentile(mid)
+        if pct == pct and pct >= TARGET:
+            lo = mid
+        else:
+            hi = mid
+    print(
+        f"\n-> Admit at most {lo:.0f} req/s during the surge; shed the rest "
+        f"to keep {TARGET * 100:.0f}% within {SLA * 1e3:.0f} ms."
+    )
+
+
+def elastic_storage() -> None:
+    print("\n=== Elastic storage ===")
+    print("Night-time load is 120 req/s; can we power nodes down?\n")
+    print(f"{'devices on':>11s} {'pct <= 100 ms':>14s} {'SLA ok?':>8s}")
+    viable = None
+    for n in (8, 6, 5, 4, 3, 2):
+        pct = sla_percentile(120.0, n)
+        ok = pct == pct and pct >= TARGET
+        shown = "saturated" if pct != pct else f"{pct * 100:.2f}%"
+        print(f"{n:11d} {shown:>14s} {'yes' if ok else 'NO':>8s}")
+        if ok:
+            viable = n
+    if viable is not None:
+        print(
+            f"\n-> {8 - viable} of 8 storage nodes can sleep overnight "
+            f"({(8 - viable) / 8 * 100:.0f}% of the backend's energy)."
+        )
+
+
+def main() -> None:
+    overload_control()
+    elastic_storage()
+
+
+if __name__ == "__main__":
+    main()

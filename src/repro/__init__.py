@@ -1,0 +1,30 @@
+"""repro -- reproduction of *Predicting Response Latency Percentiles for
+Cloud Object Storage Systems* (Su, Feng, Hua, Shi; ICPP 2017).
+
+Subpackages
+-----------
+``repro.distributions``
+    Latency distributions with Laplace transforms, grids, and fitting.
+``repro.laplace``
+    Numerical Laplace inversion (Euler / Talbot / Gaver--Stehfest).
+``repro.queueing``
+    M/G/1, M/M/1, M/M/1/K, and M/G/1/K building blocks.
+``repro.model``
+    The paper's analytic model: union operations, backend/frontend tiers,
+    accept()-wait, system mixture, and the ODOPR / noWTA baselines.
+``repro.simulator``
+    Discrete-event simulator of a two-tier event-driven object store
+    (the stand-in for the paper's 7-node OpenStack Swift testbed).
+``repro.workload``
+    Synthetic Wikipedia-style traces, Poisson arrival schedules, and an
+    ssbench-like open-loop driver.
+``repro.calibration``
+    Section IV parameter estimation: disk and parse benchmarking, online
+    metrics, service-time decomposition.
+``repro.experiments``
+    Reproductions of Fig 5/6/7 and Tables I/II plus ablations.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

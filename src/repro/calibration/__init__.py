@@ -1,0 +1,39 @@
+"""Parameter estimation (Section IV): device benchmarks + online metrics."""
+
+from repro.calibration.disk_benchmark import DiskBenchmarkResult, benchmark_disk
+from repro.calibration.online_metrics import (
+    DEFAULT_LATENCY_THRESHOLD,
+    DeviceOnlineMetrics,
+    collect_device_metrics,
+    decompose_service_times,
+    device_parameters_from_metrics,
+    miss_ratio_by_threshold,
+    rescale_profile,
+)
+from repro.calibration.lru_model import (
+    PredictedMissRatios,
+    che_characteristic_time,
+    lru_hit_probabilities,
+    lru_miss_ratio,
+    predict_cache_miss_ratios,
+)
+from repro.calibration.parse_benchmark import ParseBenchmarkResult, benchmark_parse
+
+__all__ = [
+    "DiskBenchmarkResult",
+    "benchmark_disk",
+    "DEFAULT_LATENCY_THRESHOLD",
+    "DeviceOnlineMetrics",
+    "collect_device_metrics",
+    "decompose_service_times",
+    "device_parameters_from_metrics",
+    "miss_ratio_by_threshold",
+    "rescale_profile",
+    "ParseBenchmarkResult",
+    "benchmark_parse",
+    "PredictedMissRatios",
+    "che_characteristic_time",
+    "lru_hit_probabilities",
+    "lru_miss_ratio",
+    "predict_cache_miss_ratios",
+]

@@ -1,0 +1,201 @@
+"""System online metrics (Section IV-B).
+
+Three estimation tasks feed the model while the system runs:
+
+* **arrival rates** -- requests/second and data reads (chunk reads)/
+  second per device, from monitoring counters;
+* **cache-miss ratios** -- the paper classifies each operation as hit or
+  miss by a latency threshold (0.015 ms on their testbed: anything
+  faster than that cannot have touched the disk); we provide both that
+  threshold classifier (:func:`miss_ratio_by_threshold`, applied to
+  per-operation latency samples) and the direct counter readout the
+  simulator affords;
+* **per-operation mean service times** -- Linux only reports one
+  aggregate disk service time ``b``; the paper splits it into
+  ``b_index, b_meta, b_data`` by assuming the *proportions* measured at
+  benchmark time persist, solving
+
+      b_i/p_i = b_m/p_m = b_d/p_d
+      (m_i b_i r + m_m b_m r + m_d b_d r_d) = (m_i r + m_m r + m_d r_d) b
+
+  (:func:`decompose_service_times`).  :func:`rescale_profile` then
+  scales the benchmarked distributions to the decomposed means, which is
+  how the model tracks disks whose service times drift from benchmark
+  conditions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.distributions import Distribution, Scaled
+from repro.model.parameters import (
+    CacheMissRatios,
+    DeviceParameters,
+    DiskLatencyProfile,
+)
+from repro.simulator.backend import StorageDevice
+
+__all__ = [
+    "DeviceOnlineMetrics",
+    "collect_device_metrics",
+    "miss_ratio_by_threshold",
+    "decompose_service_times",
+    "rescale_profile",
+    "device_parameters_from_metrics",
+    "DEFAULT_LATENCY_THRESHOLD",
+]
+
+#: The paper's hit/miss latency threshold (15 microseconds).
+DEFAULT_LATENCY_THRESHOLD = 1.5e-5
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceOnlineMetrics:
+    """One device's windowed online metrics."""
+
+    name: str
+    request_rate: float
+    data_read_rate: float
+    miss_ratios: CacheMissRatios
+
+    def __post_init__(self) -> None:
+        if self.request_rate < 0.0 or self.data_read_rate < 0.0:
+            raise ValueError("rates must be >= 0")
+
+
+def collect_device_metrics(
+    devices: list[StorageDevice], window_duration: float
+) -> list[DeviceOnlineMetrics]:
+    """Read each device's window counters into online metrics.
+
+    ``data_read_rate`` is floored at ``request_rate`` (every request
+    reads at least one chunk; tiny windows can under-count in-flight
+    chunk reads).
+    """
+    if window_duration <= 0.0:
+        raise ValueError("window_duration must be positive")
+    out = []
+    for dev in devices:
+        c = dev.counters
+        r = c.requests / window_duration
+        r_data = max(c.chunk_reads / window_duration, r)
+        out.append(
+            DeviceOnlineMetrics(
+                name=dev.name,
+                request_rate=r,
+                data_read_rate=r_data,
+                miss_ratios=CacheMissRatios(
+                    index=c.miss_ratio("index"),
+                    meta=c.miss_ratio("meta"),
+                    data=c.miss_ratio("data"),
+                ),
+            )
+        )
+    return out
+
+
+def miss_ratio_by_threshold(
+    latencies: np.ndarray, threshold: float = DEFAULT_LATENCY_THRESHOLD
+) -> float:
+    """The paper's estimator: operations slower than ``threshold`` are
+    classified as cache misses (the memory/disk speed gap makes this
+    sharp)."""
+    latencies = np.asarray(latencies, dtype=float)
+    if latencies.size == 0:
+        raise ValueError("need at least one latency sample")
+    return float(np.count_nonzero(latencies > threshold)) / latencies.size
+
+
+def decompose_service_times(
+    aggregate_mean: float,
+    proportions: tuple[float, float, float],
+    miss_ratios: CacheMissRatios,
+    request_rate: float,
+    data_read_rate: float,
+) -> tuple[float, float, float]:
+    """Solve the Section IV-B equations for ``(b_index, b_meta, b_data)``.
+
+    With ``b_x = p_x C`` the mixing equation gives
+    ``C = (m_i r + m_m r + m_d r_d) b / (p_i m_i r + p_m m_m r + p_d m_d r_d)``.
+    """
+    if aggregate_mean <= 0.0:
+        raise ValueError("aggregate mean service time must be positive")
+    p_i, p_m, p_d = proportions
+    if min(p_i, p_m, p_d) < 0.0 or not np.isclose(p_i + p_m + p_d, 1.0, atol=1e-6):
+        raise ValueError("proportions must be non-negative and sum to 1")
+    m = miss_ratios
+    weight = (
+        p_i * m.index * request_rate
+        + p_m * m.meta * request_rate
+        + p_d * m.data * data_read_rate
+    )
+    total = m.index * request_rate + m.meta * request_rate + m.data * data_read_rate
+    if weight <= 0.0 or total <= 0.0:
+        raise ValueError("no disk operations in the window; cannot decompose")
+    c = total * aggregate_mean / weight
+    return p_i * c, p_m * c, p_d * c
+
+
+def rescale_profile(
+    profile: DiskLatencyProfile, target_means: tuple[float, float, float]
+) -> DiskLatencyProfile:
+    """Scale benchmarked distributions to the online decomposed means."""
+
+    def scale(dist: Distribution, target: float) -> Distribution:
+        if dist.mean <= 0.0 or target <= 0.0:
+            return dist
+        factor = target / dist.mean
+        if abs(factor - 1.0) < 1e-9:
+            return dist
+        return Scaled(dist, factor)
+
+    b_i, b_m, b_d = target_means
+    return DiskLatencyProfile(
+        index=scale(profile.index, b_i),
+        meta=scale(profile.meta, b_m),
+        data=scale(profile.data, b_d),
+    )
+
+
+def device_parameters_from_metrics(
+    metrics: DeviceOnlineMetrics,
+    profile: DiskLatencyProfile,
+    parse: Distribution,
+    n_processes: int,
+    *,
+    aggregate_disk_mean: float | None = None,
+    proportions: tuple[float, float, float] | None = None,
+) -> DeviceParameters:
+    """Assemble :class:`DeviceParameters` from online metrics plus the
+    benchmarked device properties.
+
+    When ``aggregate_disk_mean`` (the window's Linux-style mean disk
+    service time) and the benchmark ``proportions`` are both given, the
+    profile is rescaled through the IV-B decomposition; otherwise the
+    benchmark distributions are used as-is.
+    """
+    if aggregate_disk_mean is not None and proportions is not None:
+        try:
+            means = decompose_service_times(
+                aggregate_disk_mean,
+                proportions,
+                metrics.miss_ratios,
+                metrics.request_rate,
+                metrics.data_read_rate,
+            )
+        except ValueError:
+            means = None
+        if means is not None:
+            profile = rescale_profile(profile, means)
+    return DeviceParameters(
+        name=metrics.name,
+        request_rate=metrics.request_rate,
+        data_read_rate=metrics.data_read_rate,
+        miss_ratios=metrics.miss_ratios,
+        disk=profile,
+        parse=parse,
+        n_processes=n_processes,
+    )

@@ -1,0 +1,187 @@
+"""Command-line interface: ``cosmodel`` (also ``python -m repro.cli``).
+
+Subcommands:
+
+``predict <system.json>``
+    Evaluate the latency-percentile model on a JSON system description
+    (see :func:`load_system` for the schema) and print percentiles,
+    quantiles and the per-device breakdown.
+
+``fig5`` / ``fig6`` / ``fig7`` / ``tables`` / ``ablations``
+    Regenerate the paper's artifacts at the chosen scale.
+
+The JSON schema mirrors :class:`~repro.model.SystemParameters`::
+
+    {
+      "frontend": {"n_processes": 12, "parse_ms": 1.2},
+      "devices": [
+        {
+          "name": "disk0",
+          "request_rate": 35.0,
+          "data_read_rate": 38.0,
+          "miss_ratios": {"index": 0.45, "meta": 0.5, "data": 0.7},
+          "n_processes": 1,
+          "parse_ms": 0.4,
+          "disk": {
+            "index": {"family": "gamma", "shape": 2.4, "rate": 140.0},
+            "meta":  {"family": "gamma", "shape": 1.8, "rate": 210.0},
+            "data":  {"family": "gamma", "shape": 2.0, "rate": 230.0}
+          }
+        }
+      ],
+      "slas_ms": [10, 50, 100]
+    }
+
+Distribution specs accept families ``gamma`` (shape, rate),
+``exponential`` (rate or mean_ms), ``degenerate`` (value_ms),
+``weibull`` (shape, scale_ms), ``pareto`` (alpha, sigma_ms) and
+``shifted-exponential`` (floor_ms, rate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.model import build_model
+from repro.model.serialization import (
+    distribution_from_spec as parse_distribution,
+    system_from_doc as load_system,
+)
+
+__all__ = ["main", "load_system", "parse_distribution"]
+
+
+def _cmd_predict(args) -> int:
+    with open(args.system) as fh:
+        doc = json.load(fh)
+    params, slas = load_system(doc)
+    model = build_model(args.model, params, disk_queue=args.disk_queue)
+    print(f"model: {args.model}  disk queue: {args.disk_queue}")
+    print("\npercentile of requests meeting each SLA:")
+    for sla in slas:
+        print(f"  {sla * 1e3:7.1f} ms -> {model.sla_percentile(sla) * 100:6.2f}%")
+    print("\nlatency quantiles:")
+    for q in (0.5, 0.9, 0.95, 0.99):
+        print(f"  p{q * 100:<4.0f} = {model.latency_quantile(q) * 1e3:8.2f} ms")
+    print("\nper-device breakdown (ms):")
+    print(f"  {'device':10s} {'util':>6s} {'Sq':>8s} {'Wa':>8s} {'Sbe':>9s}")
+    for row in model.breakdown():
+        print(
+            f"  {row.device:10s} {row.utilization:6.2f}"
+            f" {row.mean_frontend_queueing * 1e3:8.3f}"
+            f" {row.mean_accept_wait * 1e3:8.3f}"
+            f" {row.mean_backend_response * 1e3:9.3f}"
+        )
+    return 0
+
+
+def _cmd_fig5(args) -> int:
+    from repro.experiments import run_fig5, scenario_s1
+
+    print(run_fig5(scenario_s1(args.scale), seed=args.seed).render())
+    return 0
+
+
+def _cmd_fig6(args) -> int:
+    from repro.experiments import run_fig6, scenario_s1
+
+    print(run_fig6(scenario_s1(args.scale), seed=args.seed).render_all())
+    return 0
+
+
+def _cmd_fig7(args) -> int:
+    from repro.experiments import run_fig7, scenario_s16
+
+    print(run_fig7(scenario_s16(args.scale), seed=args.seed).render_all())
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    from repro.experiments import run_tables
+
+    t1, t2 = run_tables(seed=args.seed, scale=args.scale)
+    print(t1.render())
+    print()
+    print(t2.render())
+    print(f"\nOverall mean error of our model: {t1.overall_mean * 100:.2f}%")
+    return 0
+
+
+def _cmd_ablations(args) -> int:
+    from repro.experiments import (
+        run_accept_wait_ablation,
+        run_disk_queue_ablation,
+        run_inversion_ablation,
+    )
+
+    print(run_accept_wait_ablation(seed=args.seed).render())
+    print()
+    print(run_disk_queue_ablation(seed=args.seed).render())
+    print()
+    print(run_inversion_ablation(seed=args.seed).render())
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    from repro.experiments.artifacts import generate_all
+
+    files = generate_all(args.out, scale=args.scale, seed=args.seed)
+    print(f"wrote {len(files)} artifacts to {args.out}/")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cosmodel",
+        description="Latency-percentile model for cloud object stores "
+        "(ICPP 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("predict", help="evaluate the model on a JSON system")
+    p.add_argument("system", help="path to the system description JSON")
+    p.add_argument(
+        "--model",
+        default="ours",
+        choices=["ours", "odopr", "nowta", "mm1"],
+        help="model family (default: ours)",
+    )
+    p.add_argument(
+        "--disk-queue",
+        default="mm1k",
+        choices=["mm1k", "mg1k", "finite-source"],
+        help="disk model for multi-process devices",
+    )
+    p.set_defaults(func=_cmd_predict)
+
+    p = sub.add_parser(
+        "reproduce", help="generate every figure/table artifact to a directory"
+    )
+    p.add_argument("--out", default="results")
+    p.add_argument("--scale", default="ci", choices=["ci", "paper"])
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_reproduce)
+
+    for name, func, help_text in (
+        ("fig5", _cmd_fig5, "disk service-time fits"),
+        ("fig6", _cmd_fig6, "S1 prediction sweep"),
+        ("fig7", _cmd_fig7, "S16 prediction sweep"),
+        ("tables", _cmd_tables, "Tables I and II"),
+        ("ablations", _cmd_ablations, "design-choice ablations"),
+    ):
+        p = sub.add_parser(name, help=f"reproduce {help_text}")
+        p.add_argument("--scale", default="ci", choices=["ci", "paper"])
+        p.add_argument("--seed", type=int, default=0)
+        p.set_defaults(func=func)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

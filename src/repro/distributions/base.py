@@ -1,0 +1,235 @@
+"""Base classes for latency distributions.
+
+The analytic model of the paper composes latency distributions almost
+exclusively in the Laplace-transform domain: the union-operation service
+time is a product of transforms, the Pollaczek--Khinchin formula maps the
+service transform to the waiting-time transform, and the final response
+latency is again a product (i.e. a convolution in the time domain).
+
+Every distribution in this package therefore exposes:
+
+``laplace(s)``
+    The Laplace transform ``E[exp(-s X)]`` of its pdf, evaluated at complex
+    ``s`` (vectorised over numpy arrays).  This is the primary composition
+    primitive.
+
+``mean`` / ``second_moment`` / ``variance``
+    Closed-form moments, needed by the P--K mean-waiting-time formula and
+    by stability checks.
+
+``cdf(t)``
+    The cumulative distribution function.  Distributions with a known
+    closed form override it; composite distributions fall back to a
+    numerical inversion of ``laplace(s)/s`` (see :mod:`repro.laplace`).
+
+``sample(rng, size)``
+    Random variates, used by the discrete-event simulator and by the
+    cross-validation tests that compare analytic and empirical behaviour.
+
+``atom_at_zero``
+    The probability mass located exactly at zero.  Cache hits contribute
+    such atoms (the paper approximates memory latency by zero, a Dirac
+    delta), and numerical Laplace inversion needs to know about them
+    because the inversion reconstructs only the absolutely continuous
+    part reliably near the origin.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.distributions.grid import GridPMF
+
+
+class DistributionError(ValueError):
+    """Raised for invalid distribution parameters or unsupported queries."""
+
+
+class Distribution(abc.ABC):
+    """A non-negative latency distribution with a Laplace transform."""
+
+    __slots__ = ()
+
+    #: Whether :meth:`laplace` is available.  A handful of distributions
+    #: (e.g. the lognormal) have no closed-form transform; they can still
+    #: be used for fitting and simulation but not for transform-domain
+    #: model composition.
+    has_laplace: bool = True
+
+    # ------------------------------------------------------------------
+    # Moments
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """First moment ``E[X]``."""
+
+    @property
+    @abc.abstractmethod
+    def second_moment(self) -> float:
+        """Second raw moment ``E[X^2]``."""
+
+    @property
+    def variance(self) -> float:
+        """Variance ``E[X^2] - E[X]^2`` (clipped at zero for round-off)."""
+        return max(self.second_moment - self.mean**2, 0.0)
+
+    @property
+    def scv(self) -> float:
+        """Squared coefficient of variation ``Var[X]/E[X]^2``.
+
+        Used by the two-moment M/G/1/K approximations.  Degenerate
+        distributions return 0; a zero-mean distribution returns 0 as
+        well (it is a point mass at the origin).
+        """
+        m = self.mean
+        if m == 0.0:
+            return 0.0
+        return self.variance / (m * m)
+
+    # ------------------------------------------------------------------
+    # Transform
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def laplace(self, s):
+        """Laplace transform ``E[e^{-sX}]`` at complex ``s`` (vectorised)."""
+
+    @property
+    def atom_at_zero(self) -> float:
+        """Probability mass exactly at zero (default: none)."""
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # Time-domain evaluation
+    # ------------------------------------------------------------------
+    def cdf(self, t, *, method: str = "euler", terms: int | None = None):
+        """Cumulative distribution function ``P(X <= t)``.
+
+        The default implementation numerically inverts ``laplace(s)/s``
+        via the algorithms in :mod:`repro.laplace`.  ``t`` may be a scalar
+        or array; values ``t <= 0`` map to :attr:`atom_at_zero` (for
+        ``t == 0``) or 0 (for ``t < 0``).
+        """
+        from repro.laplace import invert_cdf
+
+        return invert_cdf(self, t, method=method, terms=terms)
+
+    def sf(self, t, **kwargs):
+        """Survival function ``P(X > t) = 1 - cdf(t)``."""
+        return 1.0 - self.cdf(t, **kwargs)
+
+    def quantile(
+        self,
+        q: float,
+        *,
+        bracket: tuple[float, float] | None = None,
+        tol: float = 1e-9,
+        method: str = "euler",
+    ) -> float:
+        """Invert the CDF by bisection: smallest ``t`` with ``cdf(t) >= q``.
+
+        ``bracket`` optionally bounds the search; otherwise an upper bound
+        is grown geometrically from the mean.  Raises
+        :class:`DistributionError` when ``q`` is below the zero atom is
+        fine (returns 0) but ``q >= 1`` is rejected.
+        """
+        if not 0.0 <= q < 1.0:
+            raise DistributionError(f"quantile level must be in [0, 1), got {q}")
+        if q <= self.atom_at_zero:
+            return 0.0
+        if bracket is not None:
+            lo, hi = bracket
+        else:
+            lo = 0.0
+            hi = max(self.mean, 1e-9) * 2.0
+            for _ in range(80):
+                if float(self.cdf(hi, method=method)) >= q:
+                    break
+                hi *= 2.0
+            else:  # pragma: no cover - pathological transform
+                raise DistributionError("failed to bracket quantile")
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if hi - lo <= tol * max(1.0, hi):
+                break
+            if float(self.cdf(mid, method=method)) >= q:
+                hi = mid
+            else:
+                lo = mid
+        return 0.5 * (lo + hi)
+
+    # ------------------------------------------------------------------
+    # Sampling & discretisation
+    # ------------------------------------------------------------------
+    def sample(self, rng: np.random.Generator, size=None):
+        """Draw random variates (not all composites support this)."""
+        raise DistributionError(
+            f"{type(self).__name__} does not support direct sampling"
+        )
+
+    def to_grid(self, dt: float, n: int) -> "GridPMF":
+        """Discretise onto a lattice ``{0, dt, 2 dt, ...}`` of ``n`` bins.
+
+        Bin ``k`` receives the probability mass of ``((k-1/2) dt,
+        (k+1/2) dt]`` with bin 0 additionally holding the zero atom.  The
+        default implementation differences :meth:`cdf`; closed-form
+        distributions may override for speed or exactness.
+        """
+        from repro.distributions.grid import GridPMF
+
+        edges = (np.arange(n, dtype=float) + 0.5) * dt
+        cdf_vals = np.asarray(self.cdf(edges), dtype=float)
+        probs = np.empty(n, dtype=float)
+        probs[0] = cdf_vals[0]
+        probs[1:] = np.diff(cdf_vals)
+        np.clip(probs, 0.0, 1.0, out=probs)
+        return GridPMF(dt, probs)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(mean={self.mean:.6g})"
+
+
+def as_distribution(obj) -> Distribution:
+    """Coerce ``obj`` into a :class:`Distribution`.
+
+    Accepts an existing distribution, a non-negative scalar (mapped to a
+    point mass), or raises :class:`DistributionError`.
+    """
+    from repro.distributions.analytic import Degenerate
+
+    if isinstance(obj, Distribution):
+        return obj
+    if isinstance(obj, (int, float)) and not isinstance(obj, bool):
+        return Degenerate(float(obj))
+    raise DistributionError(f"cannot interpret {obj!r} as a distribution")
+
+
+def check_positive(name: str, value: float) -> float:
+    """Validate a strictly positive parameter."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0:
+        raise DistributionError(f"{name} must be positive and finite, got {value}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Validate a non-negative parameter."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0.0:
+        raise DistributionError(f"{name} must be >= 0 and finite, got {value}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate a probability in ``[0, 1]``."""
+    value = float(value)
+    if not np.isfinite(value) or not 0.0 <= value <= 1.0:
+        raise DistributionError(f"{name} must lie in [0, 1], got {value}")
+    return value

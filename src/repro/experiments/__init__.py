@@ -1,0 +1,84 @@
+"""Experiment harness: reproductions of every figure and table.
+
+| Paper artifact | Entry point |
+|---|---|
+| Fig 5 (disk service-time fits)            | :func:`run_fig5` |
+| Fig 6 (S1 prediction results)             | :func:`run_fig6` |
+| Fig 7 (S16 prediction results)            | :func:`run_fig7` |
+| Table I (our model's errors)              | :func:`run_tables` / :func:`build_table1` |
+| Table II (ours vs ODOPR vs noWTA)         | :func:`run_tables` / :func:`build_table2` |
+| Design-choice ablations (DESIGN.md)       | :mod:`repro.experiments.ablations` |
+"""
+
+from repro.experiments.scenarios import SLAS, Scenario, scenario_s1, scenario_s16
+from repro.experiments.runner import (
+    CalibrationBundle,
+    SweepPoint,
+    SweepResult,
+    calibrate,
+    run_sweep,
+)
+from repro.experiments.fig5 import Fig5Result, run_fig5
+from repro.experiments.figures67 import (
+    FigureResult,
+    figure_from_sweep,
+    run_fig6,
+    run_fig7,
+)
+from repro.experiments.tables import (
+    Table1,
+    Table2,
+    build_table1,
+    build_table2,
+    run_tables,
+)
+from repro.experiments.ablations import (
+    AblationResult,
+    run_accept_wait_ablation,
+    run_disk_queue_ablation,
+    run_inversion_ablation,
+)
+from repro.experiments.artifacts import generate_all
+from repro.experiments.cdf_validation import CdfValidation, run_cdf_validation
+from repro.experiments.assumptions import (
+    AssumptionStudy,
+    run_timeout_study,
+    run_write_fraction_study,
+)
+from repro.experiments.reporting import format_percent, render_series, render_table
+
+__all__ = [
+    "SLAS",
+    "Scenario",
+    "scenario_s1",
+    "scenario_s16",
+    "CalibrationBundle",
+    "SweepPoint",
+    "SweepResult",
+    "calibrate",
+    "run_sweep",
+    "Fig5Result",
+    "run_fig5",
+    "FigureResult",
+    "figure_from_sweep",
+    "run_fig6",
+    "run_fig7",
+    "Table1",
+    "Table2",
+    "build_table1",
+    "build_table2",
+    "run_tables",
+    "AblationResult",
+    "run_accept_wait_ablation",
+    "run_disk_queue_ablation",
+    "run_inversion_ablation",
+    "generate_all",
+    "CdfValidation",
+    "run_cdf_validation",
+    "AssumptionStudy",
+    "run_timeout_study",
+    "run_write_fraction_study",
+    "format_percent",
+    "render_series",
+    "render_table",
+]

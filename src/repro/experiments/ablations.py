@@ -1,0 +1,182 @@
+"""Ablations over the model's internal design choices.
+
+DESIGN.md calls out three approximations the paper makes explicitly, and
+this module measures what each costs on the same sweeps:
+
+* **disk queue model** (Section III-B): M/M/1/K (the paper) vs the
+  embedded-chain M/G/1/K vs the structurally exact finite-source queue
+  -- only meaningful for S16;
+* **accept()-wait model** (Section III-C): ``W_a = W_be`` (the paper) vs
+  the renewal equilibrium refinement vs none;
+* **Laplace inversion algorithm**: Euler vs Talbot vs Gaver--Stehfest on
+  identical model compositions (a numerical, not modelling, ablation).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.distributions import Gamma, Degenerate
+from repro.experiments.reporting import format_percent, render_table
+from repro.experiments.runner import CalibrationBundle, run_sweep
+from repro.experiments.scenarios import Scenario, scenario_s1, scenario_s16
+from repro.model import (
+    CacheMissRatios,
+    DeviceParameters,
+    DiskLatencyProfile,
+    FrontendParameters,
+    LatencyPercentileModel,
+    SystemParameters,
+)
+
+__all__ = [
+    "AblationResult",
+    "run_disk_queue_ablation",
+    "run_accept_wait_ablation",
+    "run_inversion_ablation",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class AblationResult:
+    """Mean abs error per (variant, sla)."""
+
+    name: str
+    slas: tuple[float, ...]
+    variants: tuple[str, ...]
+    mean_abs_errors: dict[str, dict[float, float]]
+
+    def render(self) -> str:
+        headers = ["Variant", *(f"{s * 1e3:.0f}ms" for s in self.slas)]
+        rows = [
+            [v, *(format_percent(self.mean_abs_errors[v][s]) for s in self.slas)]
+            for v in self.variants
+        ]
+        return render_table(headers, rows, title=f"Ablation: {self.name}")
+
+
+def _sweep_variants(
+    scenario: Scenario,
+    variants: dict[str, dict],
+    *,
+    seed: int,
+    calibration: CalibrationBundle | None = None,
+) -> AblationResult:
+    from repro.experiments.runner import calibrate
+    from repro.model.baselines import MODEL_FAMILIES
+
+    calibration = calibration if calibration is not None else calibrate(scenario, seed=seed)
+    errors: dict[str, dict[float, float]] = {}
+    for label, kwargs in variants.items():
+        family = kwargs.pop("_family", "ours")
+
+        class _Variant(MODEL_FAMILIES[family]):  # type: ignore[misc]
+            def __init__(self, params, **kw):
+                kw.update(kwargs)
+                super().__init__(params, **kw)
+
+        from repro.model import baselines
+
+        original = baselines.MODEL_FAMILIES
+        baselines.MODEL_FAMILIES = dict(original)
+        baselines.MODEL_FAMILIES["variant"] = _Variant
+        try:
+            sweep = run_sweep(
+                scenario, models=("variant",), calibration=calibration, seed=seed
+            )
+        finally:
+            baselines.MODEL_FAMILIES = original
+        errors[label] = {
+            sla: sweep.mean_abs_error("variant", sla) for sla in scenario.slas
+        }
+    return AblationResult(
+        name=scenario.name,
+        slas=tuple(scenario.slas),
+        variants=tuple(variants),
+        mean_abs_errors=errors,
+    )
+
+
+def run_disk_queue_ablation(
+    scenario: Scenario | None = None, *, seed: int = 0
+) -> AblationResult:
+    """M/M/1/K vs M/G/1/K vs finite-source on the S16 sweep."""
+    scenario = scenario if scenario is not None else scenario_s16()
+    return _sweep_variants(
+        scenario,
+        {
+            "mm1k (paper)": {"disk_queue": "mm1k"},
+            "mg1k": {"disk_queue": "mg1k"},
+            "finite-source": {"disk_queue": "finite-source"},
+        },
+        seed=seed,
+    )
+
+
+def run_accept_wait_ablation(
+    scenario: Scenario | None = None, *, seed: int = 0
+) -> AblationResult:
+    """W_a = W_be vs equilibrium vs none on the S1 sweep."""
+    scenario = scenario if scenario is not None else scenario_s1()
+    return _sweep_variants(
+        scenario,
+        {
+            "paper (Wa=Wbe)": {"accept_mode": "paper"},
+            "equilibrium": {"accept_mode": "equilibrium"},
+            "none (noWTA)": {"accept_mode": "none"},
+        },
+        seed=seed,
+    )
+
+
+def run_inversion_ablation(*, seed: int = 0) -> AblationResult:
+    """Euler vs Talbot vs Gaver on one fixed model composition.
+
+    Errors here are measured against the Euler-at-high-precision
+    reference, not against a simulation: this isolates numerical error.
+    """
+    rng = np.random.default_rng(seed)
+    disk = DiskLatencyProfile(
+        index=Gamma(2.0, 180.0), meta=Gamma(1.8, 250.0), data=Gamma(2.2, 240.0)
+    )
+    devices = tuple(
+        DeviceParameters(
+            name=f"d{i}",
+            request_rate=35.0 + rng.uniform(-5, 5),
+            data_read_rate=42.0 + rng.uniform(-5, 5),
+            miss_ratios=CacheMissRatios(0.3, 0.3, 0.6),
+            disk=disk,
+            parse=Degenerate(0.0005),
+        )
+        for i in range(4)
+    )
+    params = SystemParameters(FrontendParameters(12, Degenerate(0.001)), devices)
+    slas = (0.01, 0.05, 0.1)
+    reference = LatencyPercentileModel(params, inversion="euler")
+    ref = {sla: reference.sla_percentile(sla) for sla in slas}
+    errors: dict[str, dict[float, float]] = {}
+    for method in ("euler", "talbot", "gaver"):
+        model = LatencyPercentileModel(params, inversion=method)
+        errors[method] = {
+            sla: abs(model.sla_percentile(sla) - ref[sla]) for sla in slas
+        }
+    return AblationResult(
+        name="laplace-inversion",
+        slas=slas,
+        variants=("euler", "talbot", "gaver"),
+        mean_abs_errors=errors,
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run_accept_wait_ablation().render())
+    print()
+    print(run_disk_queue_ablation().render())
+    print()
+    print(run_inversion_ablation().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,79 @@
+"""Figures 6 and 7: observed vs predicted percentiles over the rate sweep.
+
+Fig 6 (scenario S1) and Fig 7 (scenario S16) each show, for SLAs of 10,
+50 and 100 ms, the observed percentile of requests meeting the SLA
+against the predictions of the paper's model and the two baselines
+(noWTA, ODOPR), plus the error strip of the paper's model.  One
+sub-figure = one SLA; the x-axis steps through the benchmarking-phase
+arrival rates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.experiments.reporting import render_series
+from repro.experiments.runner import SweepResult, run_sweep
+from repro.experiments.scenarios import Scenario, scenario_s1, scenario_s16
+
+__all__ = ["FigureResult", "run_fig6", "run_fig7", "figure_from_sweep"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FigureResult:
+    """The full data behind one of Fig 6 / Fig 7."""
+
+    name: str
+    sweep: SweepResult
+
+    def render(self, sla: float) -> str:
+        sw = self.sweep
+        series = {"observed": np.round(sw.observed_series(sla), 4)}
+        for model in sw.models:
+            series[model] = np.round(sw.predicted_series(model, sla), 4)
+        series["error(ours)"] = np.round(sw.errors("ours", sla), 4)
+        return render_series(
+            "rate_rps",
+            list(sw.rates),
+            {k: list(v) for k, v in series.items()},
+            title=f"{self.name} @ SLA {sla * 1e3:.0f} ms",
+        )
+
+    def render_all(self) -> str:
+        return "\n\n".join(self.render(sla) for sla in self.sweep.slas)
+
+
+def figure_from_sweep(name: str, sweep: SweepResult) -> FigureResult:
+    return FigureResult(name=name, sweep=sweep)
+
+
+def run_fig6(
+    scenario: Scenario | None = None, *, seed: int = 0, **kwargs
+) -> FigureResult:
+    """Fig 6: prediction results for the S1 scenario."""
+    scenario = scenario if scenario is not None else scenario_s1()
+    return figure_from_sweep(
+        "Fig 6 (S1)", run_sweep(scenario, seed=seed, **kwargs)
+    )
+
+
+def run_fig7(
+    scenario: Scenario | None = None, *, seed: int = 0, **kwargs
+) -> FigureResult:
+    """Fig 7: prediction results for the S16 scenario."""
+    scenario = scenario if scenario is not None else scenario_s16()
+    return figure_from_sweep(
+        "Fig 7 (S16)", run_sweep(scenario, seed=seed, **kwargs)
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run_fig6().render_all())
+    print()
+    print(run_fig7().render_all())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

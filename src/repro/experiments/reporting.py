@@ -1,0 +1,61 @@
+"""Plain-text rendering of experiment outputs.
+
+The paper presents figures and tables; in a terminal-first reproduction
+we print the same rows/series as aligned text so results can be diffed,
+logged and regression-tested.  All render functions return strings.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "render_series", "format_percent"]
+
+
+def format_percent(value: float, digits: int = 2) -> str:
+    """A percentile/error as a percent string (NaN -> '--')."""
+    if value != value:  # NaN
+        return "--"
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """ASCII table with right-aligned numeric columns."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell != cell:
+            return "--"
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def render_series(
+    x_label: str,
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    title: str = "",
+) -> str:
+    """One row per x-value, one column per named series (figure data)."""
+    headers = [x_label, *series]
+    rows = [
+        [x, *(s[i] for s in series.values())] for i, x in enumerate(x_values)
+    ]
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,240 @@
+"""Sweep runner: simulate, calibrate, predict, compare (Section V-B).
+
+The measurement loop mirrors the paper's: the workload steps through
+arrival rates; at each step the system settles, then a measurement
+window records (a) the observed percentile of requests meeting each SLA
+and (b) the online metrics (per-device rates, chunk rates, miss ratios).
+Device performance properties (fitted disk distributions, parse
+distributions, service-time proportions) come from the Section IV
+benchmarks, run once per scenario.  Every model family then predicts
+each window from *the same inputs the paper's deployment would have*,
+and errors are the differences between predicted and observed
+percentiles.
+
+Rate points whose model composition is unstable (utilisation >= 1) are
+recorded with NaN predictions -- the analogue of the paper excluding
+timeout-affected points from analysis.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.calibration import (
+    benchmark_disk,
+    benchmark_parse,
+    collect_device_metrics,
+    device_parameters_from_metrics,
+)
+from repro.model import FrontendParameters, SystemParameters, build_model
+from repro.queueing import UnstableQueueError
+from repro.simulator.cluster import Cluster
+from repro.workload.ssbench import OpenLoopDriver
+from repro.workload.wikipedia import WikipediaTraceGenerator
+from repro.experiments.scenarios import Scenario
+
+__all__ = ["SweepPoint", "SweepResult", "CalibrationBundle", "calibrate", "run_sweep"]
+
+DEFAULT_MODELS = ("ours", "odopr", "nowta")
+
+
+@dataclasses.dataclass(frozen=True)
+class CalibrationBundle:
+    """Once-per-scenario device performance properties (Section IV-A)."""
+
+    disk_benchmark: object
+    parse_benchmark: object
+
+    @property
+    def profile(self):
+        return self.disk_benchmark.latency_profile()
+
+    @property
+    def proportions(self):
+        return self.disk_benchmark.proportions()
+
+
+def calibrate(
+    scenario: Scenario,
+    *,
+    disk_objects: int = 2000,
+    parse_requests: int = 150,
+    seed: int = 0,
+) -> CalibrationBundle:
+    """Run the Section IV-A benchmarks for a scenario."""
+    catalog = scenario.catalog()
+    disk = benchmark_disk(
+        scenario.cluster.hdd,
+        catalog.sizes,
+        chunk_bytes=scenario.cluster.chunk_bytes,
+        n_objects=disk_objects,
+        seed=seed,
+    )
+    parse = benchmark_parse(
+        scenario.cluster, catalog.sizes, n_requests=parse_requests, seed=seed + 1
+    )
+    return CalibrationBundle(disk_benchmark=disk, parse_benchmark=parse)
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One rate step of the sweep."""
+
+    rate: float
+    n_requests: int
+    observed: dict[float, float]  # sla -> observed percentile
+    predicted: dict[str, dict[float, float]]  # model -> sla -> percentile
+    max_utilization: float
+
+    def error(self, model: str, sla: float) -> float:
+        """Signed prediction error (predicted - observed)."""
+        return self.predicted[model][sla] - self.observed[sla]
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepResult:
+    """All points of one scenario sweep."""
+
+    scenario: str
+    slas: tuple[float, ...]
+    models: tuple[str, ...]
+    points: tuple[SweepPoint, ...]
+
+    @property
+    def rates(self) -> np.ndarray:
+        return np.asarray([p.rate for p in self.points])
+
+    def observed_series(self, sla: float) -> np.ndarray:
+        return np.asarray([p.observed[sla] for p in self.points])
+
+    def predicted_series(self, model: str, sla: float) -> np.ndarray:
+        return np.asarray([p.predicted[model][sla] for p in self.points])
+
+    def errors(self, model: str, sla: float) -> np.ndarray:
+        """Signed errors over the sweep; NaN where the model was unstable."""
+        return self.predicted_series(model, sla) - self.observed_series(sla)
+
+    def abs_error_stats(self, model: str, sla: float) -> tuple[float, float, float]:
+        """``(best, worst, mean)`` absolute errors, Table I style."""
+        errs = np.abs(self.errors(model, sla))
+        errs = errs[~np.isnan(errs)]
+        if errs.size == 0:
+            return float("nan"), float("nan"), float("nan")
+        return float(errs.min()), float(errs.max()), float(errs.mean())
+
+    def mean_abs_error(self, model: str, sla: float) -> float:
+        return self.abs_error_stats(model, sla)[2]
+
+
+def run_sweep(
+    scenario: Scenario,
+    *,
+    models: Sequence[str] = DEFAULT_MODELS,
+    calibration: CalibrationBundle | None = None,
+    seed: int = 0,
+    rates: Iterable[float] | None = None,
+    rescale_service: bool = False,
+) -> SweepResult:
+    """Execute the full sweep for ``scenario``.
+
+    ``rescale_service=True`` additionally applies the Section IV-B
+    aggregate-service-time decomposition per window (by default the
+    benchmark-time distributions are used directly; the testbed disk
+    does not drift, so both settings agree -- the knob exists for the
+    calibration tests and the ablation bench).
+    """
+    calibration = calibration if calibration is not None else calibrate(scenario, seed=seed)
+    profile = calibration.profile
+    proportions = calibration.proportions
+    parse_fe = calibration.parse_benchmark.frontend
+    parse_be = calibration.parse_benchmark.backend
+
+    catalog = scenario.catalog()
+    cluster = Cluster(
+        scenario.cluster,
+        catalog.sizes,
+        seed=seed,
+        record_disk_samples=rescale_service,
+    )
+    gen = WikipediaTraceGenerator(catalog, rng=np.random.default_rng(seed + 100))
+    cluster.warm_caches(gen.warmup_accesses(scenario.warm_accesses))
+    driver = OpenLoopDriver(cluster)
+    frontend = FrontendParameters(
+        scenario.cluster.n_frontend_processes, parse_fe
+    )
+    n_be = scenario.cluster.processes_per_device
+
+    points: list[SweepPoint] = []
+    sweep_rates = tuple(rates) if rates is not None else scenario.rates
+    for rate in sweep_rates:
+        driver.run(gen.constant_rate(rate, scenario.settle_duration))
+        cluster.reset_window_counters()
+        disk_mark = cluster.metrics.disk_mark() if rescale_service else None
+        t0 = cluster.sim.now
+        driver.run(gen.constant_rate(rate, scenario.window_duration))
+        t1 = cluster.sim.now
+        metrics = collect_device_metrics(cluster.devices, t1 - t0)
+        # Let in-flight requests complete so the window's rows exist.
+        cluster.run_until(t1 + 5.0)
+        table = cluster.metrics.requests().window(t0, t1)
+        if len(table) == 0:
+            continue
+        observed = {
+            sla: float((table.response_latency <= sla).mean())
+            for sla in scenario.slas
+        }
+
+        aggregate_mean = None
+        if rescale_service:
+            since = cluster.metrics.disk_samples_since(disk_mark)
+            all_samples = np.concatenate(
+                [v for v in since.values() if v.size], axis=None
+            ) if any(v.size for v in since.values()) else np.empty(0)
+            if all_samples.size:
+                aggregate_mean = float(all_samples.mean())
+
+        device_params = tuple(
+            device_parameters_from_metrics(
+                m,
+                profile,
+                parse_be,
+                n_be,
+                aggregate_disk_mean=aggregate_mean,
+                proportions=proportions if aggregate_mean is not None else None,
+            )
+            for m in metrics
+            if m.request_rate > 0.0
+        )
+        params = SystemParameters(frontend, device_params)
+
+        predicted: dict[str, dict[float, float]] = {}
+        max_util = float("nan")
+        for family in models:
+            try:
+                model = build_model(family, params)
+            except UnstableQueueError:
+                predicted[family] = {sla: float("nan") for sla in scenario.slas}
+                continue
+            predicted[family] = {
+                sla: model.sla_percentile(sla) for sla in scenario.slas
+            }
+            if family == "ours":
+                max_util = max(model.utilizations().values())
+        points.append(
+            SweepPoint(
+                rate=float(rate),
+                n_requests=len(table),
+                observed=observed,
+                predicted=predicted,
+                max_utilization=max_util,
+            )
+        )
+    return SweepResult(
+        scenario=scenario.name,
+        slas=tuple(scenario.slas),
+        models=tuple(models),
+        points=tuple(points),
+    )

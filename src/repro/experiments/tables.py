@@ -1,0 +1,124 @@
+"""Tables I and II: prediction-error summaries.
+
+* **Table I**: best / worst / mean absolute prediction error of the
+  paper's model, per scenario (S1, S16) and SLA (10/50/100 ms).
+* **Table II**: mean absolute errors of our model vs the ODOPR and noWTA
+  baselines, same grid -- the quantitative form of the two core-component
+  contribution claims (union operation, accept()-wait model).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.experiments.reporting import format_percent, render_table
+from repro.experiments.runner import SweepResult, run_sweep
+from repro.experiments.scenarios import scenario_s1, scenario_s16
+
+__all__ = ["Table1", "Table2", "build_table1", "build_table2", "run_tables"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Table1:
+    """Best/worst/mean |error| of the paper's model (Table I)."""
+
+    rows: tuple[tuple[str, float, float, float, float], ...]
+    # (scenario, sla, best, worst, mean)
+
+    def render(self) -> str:
+        return render_table(
+            ["Scenario", "SLA", "Best Case", "Worst Case", "Mean"],
+            [
+                [
+                    scen,
+                    f"{sla * 1e3:.0f}ms",
+                    format_percent(best),
+                    format_percent(worst),
+                    format_percent(mean),
+                ]
+                for scen, sla, best, worst, mean in self.rows
+            ],
+            title="Table I: prediction errors of our model",
+        )
+
+    def mean_error(self, scenario: str, sla: float) -> float:
+        for scen, s, _b, _w, mean in self.rows:
+            if scen == scenario and abs(s - sla) < 1e-12:
+                return mean
+        raise KeyError((scenario, sla))
+
+    @property
+    def overall_mean(self) -> float:
+        means = [m for *_rest, m in self.rows if m == m]
+        return sum(means) / len(means) if means else float("nan")
+
+
+@dataclasses.dataclass(frozen=True)
+class Table2:
+    """Mean |error| per model family (Table II)."""
+
+    models: tuple[str, ...]
+    rows: tuple[tuple[str, float, dict[str, float]], ...]
+    # (scenario, sla, {model: mean abs error})
+
+    def render(self) -> str:
+        headers = ["Scenario", "SLA", *(f"{m} model" for m in self.models)]
+        body = [
+            [scen, f"{sla * 1e3:.0f}ms", *(format_percent(errs[m]) for m in self.models)]
+            for scen, sla, errs in self.rows
+        ]
+        return render_table(
+            headers, body, title="Table II: mean prediction errors of different models"
+        )
+
+    def error(self, scenario: str, sla: float, model: str) -> float:
+        for scen, s, errs in self.rows:
+            if scen == scenario and abs(s - sla) < 1e-12:
+                return errs[model]
+        raise KeyError((scenario, sla))
+
+
+def build_table1(sweeps: dict[str, SweepResult]) -> Table1:
+    rows = []
+    for scen, sweep in sweeps.items():
+        for sla in sweep.slas:
+            best, worst, mean = sweep.abs_error_stats("ours", sla)
+            rows.append((scen, sla, best, worst, mean))
+    return Table1(tuple(rows))
+
+
+def build_table2(sweeps: dict[str, SweepResult]) -> Table2:
+    models: tuple[str, ...] = ()
+    rows = []
+    for scen, sweep in sweeps.items():
+        models = sweep.models
+        for sla in sweep.slas:
+            rows.append(
+                (
+                    scen,
+                    sla,
+                    {m: sweep.mean_abs_error(m, sla) for m in sweep.models},
+                )
+            )
+    return Table2(models, tuple(rows))
+
+
+def run_tables(*, seed: int = 0, scale: str = "ci") -> tuple[Table1, Table2]:
+    """Run both scenario sweeps and build Tables I and II."""
+    sweeps = {
+        "S1": run_sweep(scenario_s1(scale), seed=seed),
+        "S16": run_sweep(scenario_s16(scale), seed=seed),
+    }
+    return build_table1(sweeps), build_table2(sweeps)
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    t1, t2 = run_tables()
+    print(t1.render())
+    print()
+    print(t2.render())
+    print(f"\nOverall mean error of our model: {format_percent(t1.overall_mean)}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

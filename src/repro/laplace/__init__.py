@@ -1,0 +1,24 @@
+"""Numerical Laplace-transform inversion (Abate--Whitt family).
+
+The bridge between the paper's transform-domain derivations and its
+time-domain percentile predictions.  Three independent algorithms --
+Euler (default), fixed Talbot and Gaver--Stehfest -- plus CDF-oriented
+wrappers with atom handling and optional mollification.
+"""
+
+from repro.laplace.euler import euler_invert, euler_nodes
+from repro.laplace.gaver import gaver_invert, gaver_weights
+from repro.laplace.inversion import METHODS, invert_cdf, invert_pdf
+from repro.laplace.talbot import talbot_invert, talbot_nodes
+
+__all__ = [
+    "euler_invert",
+    "euler_nodes",
+    "gaver_invert",
+    "gaver_weights",
+    "talbot_invert",
+    "talbot_nodes",
+    "invert_cdf",
+    "invert_pdf",
+    "METHODS",
+]

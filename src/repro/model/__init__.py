@@ -1,0 +1,96 @@
+"""The paper's analytic latency-percentile model (core contribution).
+
+Compose :class:`SystemParameters` (device properties + online metrics),
+hand them to :class:`LatencyPercentileModel`, and query
+``sla_percentile(sla_seconds)`` -- the fraction of requests predicted to
+meet the SLA.  Baselines (:class:`OdoprModel`, :class:`NoWtaModel`) and
+ablation knobs (``accept_mode``, ``disk_queue``) mirror Section V-C.
+"""
+
+from repro.model.parameters import (
+    CacheMissRatios,
+    DeviceParameters,
+    DiskLatencyProfile,
+    FrontendParameters,
+    HeterogeneousFrontendParameters,
+    ParameterError,
+    SystemParameters,
+)
+from repro.model.union_operation import (
+    first_pass_operations,
+    operation_latency,
+    union_operation_service,
+)
+from repro.model.backend import DISK_QUEUE_MODELS, BackendModel
+from repro.model.frontend import (
+    ACCEPT_WAIT_MODES,
+    accept_wait,
+    device_response,
+    frontend_queueing_latency,
+)
+from repro.model.system import LatencyPercentileModel, PredictionBreakdown
+from repro.model.serialization import (
+    distribution_from_spec,
+    distribution_to_spec,
+    system_from_doc,
+    system_to_doc,
+)
+from repro.model.sensitivity import (
+    DeviceSensitivity,
+    rank_sensitivities,
+    sla_sensitivities,
+)
+from repro.model.whatif import (
+    admission_rate,
+    devices_needed,
+    min_devices_online,
+    rank_devices,
+    sla_met,
+)
+from repro.model.baselines import (
+    MODEL_FAMILIES,
+    MM1Model,
+    NoWtaModel,
+    OdoprModel,
+    build_model,
+    odopr_parameters,
+)
+
+__all__ = [
+    "CacheMissRatios",
+    "DeviceParameters",
+    "DiskLatencyProfile",
+    "FrontendParameters",
+    "HeterogeneousFrontendParameters",
+    "ParameterError",
+    "SystemParameters",
+    "first_pass_operations",
+    "operation_latency",
+    "union_operation_service",
+    "DISK_QUEUE_MODELS",
+    "BackendModel",
+    "ACCEPT_WAIT_MODES",
+    "accept_wait",
+    "device_response",
+    "frontend_queueing_latency",
+    "LatencyPercentileModel",
+    "PredictionBreakdown",
+    "MODEL_FAMILIES",
+    "MM1Model",
+    "NoWtaModel",
+    "OdoprModel",
+    "build_model",
+    "odopr_parameters",
+    "admission_rate",
+    "devices_needed",
+    "min_devices_online",
+    "rank_devices",
+    "sla_met",
+    "distribution_from_spec",
+    "distribution_to_spec",
+    "system_from_doc",
+    "system_to_doc",
+    "DeviceSensitivity",
+    "rank_sensitivities",
+    "sla_sensitivities",
+]

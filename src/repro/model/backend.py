@@ -1,0 +1,153 @@
+"""Backend-tier model (Section III-B).
+
+``N_be = 1``: the union-operation queue is M/G/1; the Pollaczek--Khinchin
+transform gives the waiting time ``W_be``, and the backend response
+latency is ``S_be = W_be * parse * index * meta * data``.
+
+``N_be > 1``: each of the ``N_be`` identical processes owns an operation
+queue; cache-missing operations enter the shared disk's FCFS queue and
+block their process.  The paper's transformation treats the *disk
+response latency* (sojourn of the M/M/1/K queue with ``K = N_be``) as the
+"disk service time" of each process, after which the device reduces to
+``N_be`` independent copies of the ``N_be = 1`` model at rate
+``r / N_be``; the overall latency distribution equals any single copy's
+by symmetry.
+
+``disk_queue`` selects the finite-capacity disk approximation:
+
+* ``"mm1k"`` -- the paper's choice (M/M/1/K with the mixed mean rate);
+* ``"mg1k"`` -- embedded-chain M/G/1/K with the true service *mixture*
+  (the better approximation Section III-B says would also work);
+* ``"finite-source"`` -- M/M/1//N machine-repairman, the structurally
+  exact population model (ablation).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.distributions import Distribution, Mixture, convolve
+from repro.model.parameters import DeviceParameters, DiskLatencyProfile, ParameterError
+from repro.model.union_operation import first_pass_operations, union_operation_service
+from repro.queueing import FiniteSourceQueue, MG1KQueue, MG1Queue, MM1KQueue
+
+__all__ = ["BackendModel", "DISK_QUEUE_MODELS"]
+
+DISK_QUEUE_MODELS = ("mm1k", "mg1k", "finite-source")
+
+
+@dataclasses.dataclass(frozen=True)
+class BackendModel:
+    """Solved backend model for one storage device.
+
+    Attributes
+    ----------
+    device:
+        The parameters actually used by the final M/G/1 stage -- for
+        ``N_be > 1`` this is the *transformed* per-process device (rates
+        divided by ``N_be``, disk latencies replaced by the disk-queue
+        sojourn), per the paper's reduction.
+    queue:
+        The union-operation M/G/1 queue.
+    waiting_time:
+        ``W_be`` -- also the accept()-operation lifetime used by the
+        frontend model.
+    response_time:
+        ``S_be`` -- backend response latency (to first chunk).
+    disk_sojourn:
+        The disk-queue sojourn distribution when ``N_be > 1`` (else None).
+    """
+
+    device: DeviceParameters
+    queue: MG1Queue
+    waiting_time: Distribution
+    response_time: Distribution
+    disk_sojourn: Distribution | None
+
+    @classmethod
+    def solve(
+        cls, dev: DeviceParameters, *, disk_queue: str = "mm1k"
+    ) -> "BackendModel":
+        """Build and solve the backend model for ``dev``."""
+        if disk_queue not in DISK_QUEUE_MODELS:
+            raise ParameterError(
+                f"unknown disk queue model {disk_queue!r}; choose from {DISK_QUEUE_MODELS}"
+            )
+        disk_sojourn: Distribution | None = None
+        if dev.n_processes > 1:
+            dev, disk_sojourn = _reduce_multiprocess(dev, disk_queue)
+        service = union_operation_service(dev)
+        queue = MG1Queue(dev.request_rate, service)
+        waiting = queue.waiting_time()
+        response = convolve(waiting, *first_pass_operations(dev))
+        return cls(dev, queue, waiting, response, disk_sojourn)
+
+    @property
+    def utilization(self) -> float:
+        """Union-operation queue utilisation of one process."""
+        return self.queue.utilization
+
+    @property
+    def mean_response_time(self) -> float:
+        return self.response_time.mean
+
+
+def _disk_service_mixture(dev: DeviceParameters) -> tuple[Mixture, float]:
+    """The disk's service distribution: operations of the three types mix
+    in the disk queue proportionally to their arrival rates.
+
+    Returns ``(mixture, r_disk)``.
+    """
+    m = dev.miss_ratios
+    rates = (
+        m.index * dev.request_rate,
+        m.meta * dev.request_rate,
+        m.data * dev.data_read_rate,
+    )
+    r_disk = sum(rates)
+    if r_disk <= 0.0:
+        raise ParameterError("device generates no disk operations")
+    comps = (dev.disk.index, dev.disk.meta, dev.disk.data)
+    return Mixture.rate_weighted(comps, rates), r_disk
+
+
+def _reduce_multiprocess(
+    dev: DeviceParameters, disk_queue: str
+) -> tuple[DeviceParameters, Distribution | None]:
+    """The paper's ``N_be > 1`` reduction to an equivalent one-process device."""
+    m = dev.miss_ratios
+    if dev.disk_operation_rate <= 0.0:
+        # No operation ever reaches the disk: the disk queue is empty and
+        # the per-process system is just the rate-split M/G/1.
+        per_process = dataclasses.replace(
+            dev,
+            request_rate=dev.request_rate / dev.n_processes,
+            data_read_rate=dev.data_read_rate / dev.n_processes,
+            n_processes=1,
+        )
+        return per_process, None
+
+    service_mix, r_disk = _disk_service_mixture(dev)
+    b = service_mix.mean  # the paper's "raw average service time of disk"
+    if disk_queue == "mm1k":
+        sojourn = MM1KQueue(r_disk, 1.0 / b, dev.n_processes).sojourn_time()
+    elif disk_queue == "mg1k":
+        sojourn = MG1KQueue(r_disk, service_mix, dev.n_processes).sojourn_time()
+    else:  # finite-source
+        # Feasibility: the machine-repairman throughput saturates at the
+        # disk service rate; cap the matched rate just below saturation
+        # (the open-arrival models saturate the same way, via blocking).
+        mu = 1.0 / b
+        matched = min(r_disk, 0.995 * mu)
+        sojourn = FiniteSourceQueue.from_offered_rate(
+            matched, mu, dev.n_processes
+        ).sojourn_time()
+
+    per_process = dataclasses.replace(
+        dev,
+        request_rate=dev.request_rate / dev.n_processes,
+        data_read_rate=dev.data_read_rate / dev.n_processes,
+        disk=DiskLatencyProfile(index=sojourn, meta=sojourn, data=sojourn),
+        n_processes=1,
+    )
+    return per_process, sojourn

@@ -1,0 +1,113 @@
+"""Baseline models (Section V-C) and one extra sanity baseline.
+
+* **ODOPR** ("One Disk Operation Per Request"): imitates prior models
+  that allow at most one disk access per request -- index lookups,
+  metadata reads and *extra* data reads are treated as cache hits; only
+  the single (first) data read may touch disk.
+* **noWTA**: our full model minus the waiting time for being
+  accept()-ed (``W_a = 0``) -- imitates models that ignore the accept()
+  queueing the paper quantifies.
+* **MM1**: an additional coarse baseline (not in the paper) that
+  collapses each device to a single M/M/1 queue whose exponential
+  service matches the union-operation mean -- the "textbook" model a
+  practitioner might reach for first; useful calibration for how much
+  the distributional detail buys.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.distributions import Exponential
+from repro.model.parameters import CacheMissRatios, DeviceParameters, SystemParameters
+from repro.model.system import LatencyPercentileModel
+from repro.model.union_operation import union_operation_service
+
+__all__ = [
+    "build_model",
+    "odopr_parameters",
+    "OdoprModel",
+    "NoWtaModel",
+    "MM1Model",
+    "MODEL_FAMILIES",
+]
+
+
+def odopr_parameters(params: SystemParameters) -> SystemParameters:
+    """Rewrite parameters under the ODOPR assumption.
+
+    Index and metadata reads always hit cache (``m_index = m_meta = 0``)
+    and extra data reads vanish (``r_data = r``); the single data read
+    keeps its measured miss ratio.
+    """
+    devices = []
+    for dev in params.devices:
+        devices.append(
+            dataclasses.replace(
+                dev,
+                data_read_rate=dev.request_rate,
+                miss_ratios=CacheMissRatios(0.0, 0.0, dev.miss_ratios.data),
+            )
+        )
+    return dataclasses.replace(params, devices=tuple(devices))
+
+
+class OdoprModel(LatencyPercentileModel):
+    """The ODOPR baseline: full pipeline on ODOPR-rewritten parameters."""
+
+    def __init__(self, params: SystemParameters, **kwargs) -> None:
+        super().__init__(odopr_parameters(params), **kwargs)
+
+
+class NoWtaModel(LatencyPercentileModel):
+    """The noWTA baseline: accept()-wait forced to zero."""
+
+    def __init__(self, params: SystemParameters, **kwargs) -> None:
+        kwargs["accept_mode"] = "none"
+        super().__init__(params, **kwargs)
+
+
+class MM1Model(LatencyPercentileModel):
+    """Mean-matched exponential-service baseline (extra, not in paper)."""
+
+    def __init__(self, params: SystemParameters, **kwargs) -> None:
+        devices = []
+        for dev in params.devices:
+            mean = union_operation_service(dev).mean
+            expo = Exponential.from_mean(max(mean, 1e-12))
+            devices.append(
+                dataclasses.replace(
+                    dev,
+                    data_read_rate=dev.request_rate,
+                    miss_ratios=CacheMissRatios(0.0, 0.0, 1.0),
+                    disk=dataclasses.replace(dev.disk, data=expo),
+                    parse=_zero_parse(dev),
+                )
+            )
+        super().__init__(dataclasses.replace(params, devices=tuple(devices)), **kwargs)
+
+
+def _zero_parse(dev: DeviceParameters):
+    from repro.distributions import Degenerate
+
+    return Degenerate(0.0)
+
+
+#: Name -> constructor map used by the experiment harness.
+MODEL_FAMILIES = {
+    "ours": LatencyPercentileModel,
+    "odopr": OdoprModel,
+    "nowta": NoWtaModel,
+    "mm1": MM1Model,
+}
+
+
+def build_model(family: str, params: SystemParameters, **kwargs) -> LatencyPercentileModel:
+    """Construct a model by family name (``ours``/``odopr``/``nowta``/``mm1``)."""
+    try:
+        ctor = MODEL_FAMILIES[family]
+    except KeyError:
+        raise ValueError(
+            f"unknown model family {family!r}; choose from {sorted(MODEL_FAMILIES)}"
+        ) from None
+    return ctor(params, **kwargs)

@@ -1,0 +1,233 @@
+"""Model input parameters (Section IV of the paper).
+
+The model consumes two kinds of inputs:
+
+* **device performance properties** -- benchmarked once, independent of
+  workload: the disk-served latency distributions per operation type
+  (fitted Gammas on the paper's testbed) and the request-parsing latency
+  distributions at both tiers (degenerate on their testbed);
+* **system online metrics** -- cheap, continuously available numbers:
+  per-device request arrival rate ``r``, data-read (chunk) arrival rate
+  ``r_data``, and the three cache-miss ratios.
+
+These dataclasses carry exactly that split.  They are plain frozen
+records; all queueing logic lives in :mod:`repro.model.backend` /
+:mod:`repro.model.frontend`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.distributions import Distribution, Degenerate
+
+__all__ = [
+    "CacheMissRatios",
+    "DiskLatencyProfile",
+    "DeviceParameters",
+    "FrontendParameters",
+    "HeterogeneousFrontendParameters",
+    "SystemParameters",
+    "ParameterError",
+]
+
+
+class ParameterError(ValueError):
+    """Raised for inconsistent model parameters."""
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheMissRatios:
+    """Per-operation cache-miss ratios ``(m_index, m_meta, m_data)``.
+
+    The probability that an index lookup / metadata read / data-chunk
+    read has to touch the disk rather than being served from memory.
+    """
+
+    index: float
+    meta: float
+    data: float
+
+    def __post_init__(self) -> None:
+        for name in ("index", "meta", "data"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ParameterError(f"miss ratio {name} must be in [0, 1], got {v}")
+
+    @classmethod
+    def all_hits(cls) -> "CacheMissRatios":
+        return cls(0.0, 0.0, 0.0)
+
+    @classmethod
+    def all_misses(cls) -> "CacheMissRatios":
+        return cls(1.0, 1.0, 1.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class DiskLatencyProfile:
+    """Disk-served latency distributions per operation type.
+
+    These are the ``index_d(t), meta_d(t), data_d(t)`` of Section III-B,
+    obtained from the Section IV-A disk benchmark (Gamma fits on the
+    paper's testbed; any :class:`~repro.distributions.Distribution` with
+    a transform works, including :class:`~repro.distributions.Empirical`).
+    """
+
+    index: Distribution
+    meta: Distribution
+    data: Distribution
+
+    def __post_init__(self) -> None:
+        for name in ("index", "meta", "data"):
+            d = getattr(self, name)
+            if not d.has_laplace:
+                raise ParameterError(
+                    f"disk latency distribution {name!r} must have a Laplace transform"
+                )
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceParameters:
+    """Everything the backend model needs about one storage device.
+
+    ``request_rate`` (``r``) and ``data_read_rate`` (``r_data``) are the
+    online metrics; ``r_data >= r`` because objects larger than one chunk
+    generate extra data reads.  ``n_processes`` is ``N_be``.
+    """
+
+    name: str
+    request_rate: float
+    data_read_rate: float
+    miss_ratios: CacheMissRatios
+    disk: DiskLatencyProfile
+    parse: Distribution = dataclasses.field(default_factory=lambda: Degenerate(0.0))
+    n_processes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.request_rate <= 0.0:
+            raise ParameterError(f"request_rate must be positive, got {self.request_rate}")
+        if self.data_read_rate < self.request_rate * (1.0 - 1e-9):
+            raise ParameterError(
+                "data_read_rate must be >= request_rate "
+                f"({self.data_read_rate} < {self.request_rate}); every request "
+                "reads at least its first chunk"
+            )
+        if int(self.n_processes) != self.n_processes or self.n_processes < 1:
+            raise ParameterError(
+                f"n_processes must be a positive integer, got {self.n_processes}"
+            )
+        if not self.parse.has_laplace:
+            raise ParameterError("parse distribution must have a Laplace transform")
+
+    @property
+    def extra_data_read_rate(self) -> float:
+        """Mean number of *extra* data reads per request: ``p = (r_data - r)/r``."""
+        return max(self.data_read_rate - self.request_rate, 0.0) / self.request_rate
+
+    @property
+    def disk_operation_rate(self) -> float:
+        """``r_disk = m_index r + m_meta r + m_data r_data`` (Section III-B)."""
+        m = self.miss_ratios
+        return m.index * self.request_rate + m.meta * self.request_rate + (
+            m.data * self.data_read_rate
+        )
+
+    def scaled(self, factor: float) -> "DeviceParameters":
+        """Rates multiplied by ``factor`` (what-if load scaling)."""
+        if factor <= 0.0:
+            raise ParameterError(f"scale factor must be positive, got {factor}")
+        return dataclasses.replace(
+            self,
+            request_rate=self.request_rate * factor,
+            data_read_rate=self.data_read_rate * factor,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class FrontendParameters:
+    """Frontend tier: ``N_fe`` identical processes with parse latency
+    ``parse_fe`` (Section III-C, homogeneous-server case)."""
+
+    n_processes: int
+    parse: Distribution
+
+    def __post_init__(self) -> None:
+        if int(self.n_processes) != self.n_processes or self.n_processes < 1:
+            raise ParameterError(
+                f"n_processes must be a positive integer, got {self.n_processes}"
+            )
+        if not self.parse.has_laplace:
+            raise ParameterError("parse distribution must have a Laplace transform")
+
+
+@dataclasses.dataclass(frozen=True)
+class HeterogeneousFrontendParameters:
+    """A frontend tier of several homogeneous pools (Section III-C).
+
+    The paper: "the frontend tier of heterogeneous servers can be
+    divided into several sets of homogeneous servers, and the
+    distribution of queueing latencies can be calculated separately."
+    ``shares`` is each pool's fraction of the request stream; by default
+    the load balancer spreads per process, so shares are proportional to
+    pool sizes.
+    """
+
+    pools: tuple[FrontendParameters, ...]
+    shares: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.pools:
+            raise ParameterError("need at least one frontend pool")
+        if self.shares is None:
+            total = sum(p.n_processes for p in self.pools)
+            object.__setattr__(
+                self,
+                "shares",
+                tuple(p.n_processes / total for p in self.pools),
+            )
+        shares = self.shares
+        if len(shares) != len(self.pools):
+            raise ParameterError("need one share per pool")
+        if any(s < 0.0 for s in shares) or abs(sum(shares) - 1.0) > 1e-9:
+            raise ParameterError("shares must be non-negative and sum to 1")
+
+    @property
+    def n_processes(self) -> int:
+        return sum(p.n_processes for p in self.pools)
+
+
+@dataclasses.dataclass(frozen=True)
+class SystemParameters:
+    """The full two-tier system: one frontend tier plus the device set.
+
+    ``frontend`` accepts either a single homogeneous pool
+    (:class:`FrontendParameters`) or a heterogeneous tier
+    (:class:`HeterogeneousFrontendParameters`).
+    """
+
+    frontend: FrontendParameters | HeterogeneousFrontendParameters
+    devices: tuple[DeviceParameters, ...]
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise ParameterError("need at least one storage device")
+        names = [d.name for d in self.devices]
+        if len(set(names)) != len(names):
+            raise ParameterError(f"device names must be unique, got {names}")
+
+    @property
+    def total_request_rate(self) -> float:
+        """Aggregate arrival rate across all devices (the frontend load)."""
+        return sum(d.request_rate for d in self.devices)
+
+    def device(self, name: str) -> DeviceParameters:
+        for d in self.devices:
+            if d.name == name:
+                return d
+        raise ParameterError(f"unknown device {name!r}")
+
+    def scaled(self, factor: float) -> "SystemParameters":
+        """Uniformly scale every device's load (what-if sweeps)."""
+        return dataclasses.replace(
+            self, devices=tuple(d.scaled(factor) for d in self.devices)
+        )

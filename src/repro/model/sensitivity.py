@@ -1,0 +1,163 @@
+"""Sensitivity analysis: which parameter moves the SLA percentile most?
+
+The paper's "what-if" framing (Section I) implies a derivative question
+operators actually ask: *if I could improve one thing -- a miss ratio, a
+disk's speed, the arrival rate -- which buys the most SLA?*  This module
+answers it with central finite differences of the model's percentile
+with respect to each scalar input, per device:
+
+* the three cache-miss ratios (what better caching buys),
+* the request and data-read rates (what load shedding buys),
+* a uniform disk-speed factor (what faster spindles buy).
+
+Derivatives are reported as ``d(percentile) / d(parameter)`` in natural
+units (per unit miss ratio; per request/s; per unit speed factor), and
+:func:`rank_sensitivities` orders the levers by the percentile gain of a
+standardised nudge -- a principled version of the bottleneck hunt.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.model.parameters import (
+    CacheMissRatios,
+    DeviceParameters,
+    ParameterError,
+    SystemParameters,
+)
+from repro.model.system import LatencyPercentileModel
+from repro.queueing import UnstableQueueError
+from repro.distributions import Scaled
+
+__all__ = ["DeviceSensitivity", "sla_sensitivities", "rank_sensitivities"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceSensitivity:
+    """Partial derivatives of the system percentile w.r.t. one device."""
+
+    device: str
+    d_miss_index: float
+    d_miss_meta: float
+    d_miss_data: float
+    d_request_rate: float
+    d_disk_speed: float  # w.r.t. a service-time *multiplier* (1 = now)
+
+    def standardised_gains(self) -> dict[str, float]:
+        """Percentile gain for a standard one-step improvement of each
+        lever: -5 points of miss ratio, -10% of this device's load, or
+        10% faster disk service."""
+        return {
+            "cache index (-0.05 miss)": -0.05 * self.d_miss_index,
+            "cache meta (-0.05 miss)": -0.05 * self.d_miss_meta,
+            "cache data (-0.05 miss)": -0.05 * self.d_miss_data,
+            "shed 10% load": -0.1 * self.d_request_rate,
+            "10% faster disk": -0.1 * self.d_disk_speed,
+        }
+
+
+def _percentile(params: SystemParameters, sla: float, **kwargs) -> float:
+    try:
+        return LatencyPercentileModel(params, **kwargs).sla_percentile(sla)
+    except UnstableQueueError:
+        return float("nan")
+
+
+def _replace_device(
+    params: SystemParameters, name: str, new_dev: DeviceParameters
+) -> SystemParameters:
+    devices = tuple(new_dev if d.name == name else d for d in params.devices)
+    return dataclasses.replace(params, devices=devices)
+
+
+def _central(f, x0: float, h: float) -> float:
+    hi, lo = f(x0 + h), f(x0 - h)
+    return (hi - lo) / (2.0 * h)
+
+
+def sla_sensitivities(
+    params: SystemParameters,
+    sla_seconds: float,
+    device_name: str,
+    *,
+    rel_step: float = 0.05,
+    **model_kwargs,
+) -> DeviceSensitivity:
+    """Finite-difference sensitivities of the *system* percentile with
+    respect to one device's parameters."""
+    dev = params.device(device_name)
+
+    def with_miss(kind: str):
+        def f(x: float) -> float:
+            x = min(max(x, 0.0), 1.0)
+            ratios = dataclasses.replace(dev.miss_ratios, **{kind: x})
+            return _percentile(
+                _replace_device(
+                    params, device_name, dataclasses.replace(dev, miss_ratios=ratios)
+                ),
+                sla_seconds,
+                **model_kwargs,
+            )
+
+        return f
+
+    def with_rate(x: float) -> float:
+        factor = x / dev.request_rate
+        return _percentile(
+            _replace_device(params, device_name, dev.scaled(factor)),
+            sla_seconds,
+            **model_kwargs,
+        )
+
+    def with_speed(factor: float) -> float:
+        disk = dataclasses.replace(
+            dev.disk,
+            index=Scaled(dev.disk.index, factor),
+            meta=Scaled(dev.disk.meta, factor),
+            data=Scaled(dev.disk.data, factor),
+        )
+        return _percentile(
+            _replace_device(
+                params, device_name, dataclasses.replace(dev, disk=disk)
+            ),
+            sla_seconds,
+            **model_kwargs,
+        )
+
+    m = dev.miss_ratios
+    h_miss = rel_step
+    # Keep the stencil inside [0, 1].
+    def miss_deriv(kind: str, value: float) -> float:
+        h = min(h_miss, value if value > 0 else h_miss, 1.0 - value if value < 1 else h_miss)
+        if h <= 0.0:
+            h = h_miss
+        f = with_miss(kind)
+        return _central(f, min(max(value, h), 1.0 - h), h)
+
+    h_rate = rel_step * dev.request_rate
+    h_speed = rel_step
+    return DeviceSensitivity(
+        device=device_name,
+        d_miss_index=miss_deriv("index", m.index),
+        d_miss_meta=miss_deriv("meta", m.meta),
+        d_miss_data=miss_deriv("data", m.data),
+        d_request_rate=_central(with_rate, dev.request_rate, h_rate),
+        d_disk_speed=_central(with_speed, 1.0, h_speed),
+    )
+
+
+def rank_sensitivities(
+    params: SystemParameters, sla_seconds: float, **model_kwargs
+) -> list[tuple[str, str, float]]:
+    """All (device, lever, standardised gain) triples, best lever first.
+
+    NaN gains (stencil crossed into saturation) sort last.
+    """
+    out: list[tuple[str, str, float]] = []
+    for dev in params.devices:
+        sens = sla_sensitivities(params, sla_seconds, dev.name, **model_kwargs)
+        for lever, gain in sens.standardised_gains().items():
+            out.append((dev.name, lever, gain))
+    out.sort(key=lambda row: (-(row[2]) if row[2] == row[2] else float("inf")))
+    return out

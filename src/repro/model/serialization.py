@@ -1,0 +1,177 @@
+"""JSON (de)serialisation of model parameters.
+
+Deployments live in version control as JSON; this module converts
+between those documents and :class:`SystemParameters`, in both
+directions, for every distribution family with a stable parameterisation
+(Gamma, Exponential, Degenerate, Weibull, Pareto, ShiftedExponential).
+The CLI's ``predict`` command and the round-trip tests are built on it.
+
+Time-valued fields use milliseconds in the JSON (human-friendly) and
+seconds in the objects (SI-consistent), matching the CLI schema
+documented in :mod:`repro.cli`.
+"""
+
+from __future__ import annotations
+
+from repro.distributions import (
+    Degenerate,
+    Distribution,
+    Exponential,
+    Gamma,
+    Pareto,
+    ShiftedExponential,
+    Weibull,
+)
+from repro.model.parameters import (
+    CacheMissRatios,
+    DeviceParameters,
+    DiskLatencyProfile,
+    FrontendParameters,
+    ParameterError,
+    SystemParameters,
+)
+
+__all__ = [
+    "distribution_to_spec",
+    "distribution_from_spec",
+    "system_to_doc",
+    "system_from_doc",
+]
+
+
+def distribution_from_spec(spec: dict) -> Distribution:
+    """Build a :class:`Distribution` from a JSON spec."""
+    if not isinstance(spec, dict) or "family" not in spec:
+        raise ValueError(f"distribution spec needs a 'family': {spec!r}")
+    family = spec["family"]
+    if family == "gamma":
+        return Gamma(spec["shape"], spec["rate"])
+    if family == "exponential":
+        if "mean_ms" in spec:
+            return Exponential.from_mean(spec["mean_ms"] / 1e3)
+        return Exponential(spec["rate"])
+    if family == "degenerate":
+        return Degenerate(spec["value_ms"] / 1e3)
+    if family == "weibull":
+        return Weibull(spec["shape"], spec["scale_ms"] / 1e3)
+    if family == "pareto":
+        return Pareto(spec["alpha"], spec["sigma_ms"] / 1e3)
+    if family == "shifted-exponential":
+        return ShiftedExponential(spec["floor_ms"] / 1e3, spec["rate"])
+    raise ValueError(f"unknown distribution family {family!r}")
+
+
+def distribution_to_spec(dist: Distribution) -> dict:
+    """Inverse of :func:`distribution_from_spec` for supported families."""
+    if isinstance(dist, Gamma):
+        return {"family": "gamma", "shape": dist.shape, "rate": dist.rate}
+    if isinstance(dist, ShiftedExponential):
+        return {
+            "family": "shifted-exponential",
+            "floor_ms": dist.floor * 1e3,
+            "rate": dist.rate,
+        }
+    if isinstance(dist, Exponential):
+        return {"family": "exponential", "rate": dist.rate}
+    if isinstance(dist, Degenerate):
+        return {"family": "degenerate", "value_ms": dist.value * 1e3}
+    if isinstance(dist, Weibull):
+        return {"family": "weibull", "shape": dist.shape, "scale_ms": dist.scale * 1e3}
+    if isinstance(dist, Pareto):
+        return {"family": "pareto", "alpha": dist.alpha, "sigma_ms": dist.sigma * 1e3}
+    raise ValueError(
+        f"{type(dist).__name__} has no canonical JSON form; use a "
+        "parametric family or serialise benchmark samples instead"
+    )
+
+
+def system_from_doc(doc: dict) -> tuple[SystemParameters, list[float]]:
+    """Parse a system document; returns ``(params, slas_seconds)``."""
+    fe = doc["frontend"]
+    frontend = FrontendParameters(
+        n_processes=int(fe["n_processes"]),
+        parse=Degenerate(float(fe["parse_ms"]) / 1e3)
+        if "parse_ms" in fe
+        else distribution_from_spec(fe["parse"]),
+    )
+    devices = []
+    for d in doc["devices"]:
+        miss = d["miss_ratios"]
+        if isinstance(miss, dict):
+            ratios = CacheMissRatios(miss["index"], miss["meta"], miss["data"])
+        else:
+            ratios = CacheMissRatios(*miss)
+        disk_spec = d["disk"]
+        devices.append(
+            DeviceParameters(
+                name=str(d["name"]),
+                request_rate=float(d["request_rate"]),
+                data_read_rate=float(d.get("data_read_rate", d["request_rate"])),
+                miss_ratios=ratios,
+                disk=DiskLatencyProfile(
+                    index=distribution_from_spec(disk_spec["index"]),
+                    meta=distribution_from_spec(disk_spec["meta"]),
+                    data=distribution_from_spec(disk_spec["data"]),
+                ),
+                parse=Degenerate(float(d.get("parse_ms", 0.0)) / 1e3),
+                n_processes=int(d.get("n_processes", 1)),
+            )
+        )
+    slas = [s / 1e3 for s in doc.get("slas_ms", [10.0, 50.0, 100.0])]
+    return SystemParameters(frontend=frontend, devices=tuple(devices)), slas
+
+
+def system_to_doc(
+    params: SystemParameters, slas_seconds: list[float] | None = None
+) -> dict:
+    """Serialise a system description back to the JSON schema.
+
+    Only homogeneous frontends with Degenerate or family-parametric
+    parse distributions are representable; device parse distributions
+    must be Degenerate (the schema stores them as ``parse_ms``).
+    """
+    frontend = params.frontend
+    if not isinstance(frontend, FrontendParameters):
+        raise ParameterError(
+            "only homogeneous frontends serialise to the JSON schema"
+        )
+    if isinstance(frontend.parse, Degenerate):
+        fe_doc = {
+            "n_processes": frontend.n_processes,
+            "parse_ms": frontend.parse.value * 1e3,
+        }
+    else:
+        fe_doc = {
+            "n_processes": frontend.n_processes,
+            "parse": distribution_to_spec(frontend.parse),
+        }
+    devices = []
+    for dev in params.devices:
+        if not isinstance(dev.parse, Degenerate):
+            raise ParameterError(
+                f"device {dev.name!r} parse distribution must be Degenerate "
+                "to serialise"
+            )
+        devices.append(
+            {
+                "name": dev.name,
+                "request_rate": dev.request_rate,
+                "data_read_rate": dev.data_read_rate,
+                "miss_ratios": {
+                    "index": dev.miss_ratios.index,
+                    "meta": dev.miss_ratios.meta,
+                    "data": dev.miss_ratios.data,
+                },
+                "n_processes": dev.n_processes,
+                "parse_ms": dev.parse.value * 1e3,
+                "disk": {
+                    "index": distribution_to_spec(dev.disk.index),
+                    "meta": distribution_to_spec(dev.disk.meta),
+                    "data": distribution_to_spec(dev.disk.data),
+                },
+            }
+        )
+    doc = {"frontend": fe_doc, "devices": devices}
+    if slas_seconds is not None:
+        doc["slas_ms"] = [s * 1e3 for s in slas_seconds]
+    return doc

@@ -1,0 +1,211 @@
+"""System-level model (Section III-D) and the user-facing predictor.
+
+:class:`LatencyPercentileModel` is the library's headline API: construct
+it from :class:`~repro.model.parameters.SystemParameters` and ask for the
+percentile of requests meeting an SLA -- the paper's Equation 3 mixture
+
+    S(t) = sum_j r_j S_j(t) / sum_j r_j
+
+evaluated at the SLA threshold, where each ``S_j`` is the per-device
+frontend response latency of Equation 2.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.distributions import Distribution, Mixture
+from repro.model.backend import BackendModel
+from repro.model.frontend import device_response
+from repro.model.parameters import ParameterError, SystemParameters
+from repro.queueing import UnstableQueueError
+
+__all__ = ["LatencyPercentileModel", "PredictionBreakdown"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PredictionBreakdown:
+    """Mean-latency decomposition for one device (what-if diagnostics)."""
+
+    device: str
+    utilization: float
+    mean_frontend_queueing: float
+    mean_accept_wait: float
+    mean_backend_response: float
+
+    @property
+    def mean_total(self) -> float:
+        return (
+            self.mean_frontend_queueing
+            + self.mean_accept_wait
+            + self.mean_backend_response
+        )
+
+
+class LatencyPercentileModel:
+    """The paper's full analytic model.
+
+    Parameters
+    ----------
+    params:
+        System description (frontend pool + devices with online metrics).
+    accept_mode:
+        How to model the waiting time for being accept()-ed:
+        ``"paper"`` (default, ``W_a = W_be``), ``"none"`` (the noWTA
+        baseline), or ``"equilibrium"`` (renewal refinement).
+    disk_queue:
+        Finite-capacity disk model for ``N_be > 1`` devices: ``"mm1k"``
+        (paper default), ``"mg1k"``, or ``"finite-source"``.
+    inversion:
+        Numerical Laplace-inversion algorithm for CDF evaluation
+        (``"euler"`` default, ``"talbot"``, ``"gaver"``).
+
+    Raises :class:`~repro.queueing.UnstableQueueError` when any queue in
+    the composition would be saturated -- the paper's model is only
+    defined below saturation ("normal status" assumption).
+    """
+
+    def __init__(
+        self,
+        params: SystemParameters,
+        *,
+        accept_mode: str = "paper",
+        disk_queue: str = "mm1k",
+        inversion: str = "euler",
+    ) -> None:
+        self.params = params
+        self.accept_mode = accept_mode
+        self.disk_queue = disk_queue
+        self.inversion = inversion
+        self._backends: dict[str, BackendModel] = {}
+        self._device_latency: dict[str, Distribution] = {}
+        total = params.total_request_rate
+        for dev in params.devices:
+            backend = BackendModel.solve(dev, disk_queue=disk_queue)
+            self._backends[dev.name] = backend
+            self._device_latency[dev.name] = device_response(
+                params.frontend, total, backend, accept_mode=accept_mode
+            )
+        self._system = Mixture.rate_weighted(
+            [self._device_latency[d.name] for d in params.devices],
+            [d.request_rate for d in params.devices],
+        )
+
+    # ------------------------------------------------------------------
+    # Distributions
+    # ------------------------------------------------------------------
+    @property
+    def system_latency(self) -> Distribution:
+        """The Equation 3 mixture over devices."""
+        return self._system
+
+    def device_latency(self, name: str) -> Distribution:
+        """``S_j``: response-latency distribution of one device."""
+        try:
+            return self._device_latency[name]
+        except KeyError:
+            raise ParameterError(f"unknown device {name!r}") from None
+
+    def backend(self, name: str) -> BackendModel:
+        """The solved backend model for one device."""
+        try:
+            return self._backends[name]
+        except KeyError:
+            raise ParameterError(f"unknown device {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Predictions
+    # ------------------------------------------------------------------
+    def sla_percentile(self, sla_seconds: float) -> float:
+        """Fraction of requests meeting the SLA: ``S(sla)``.
+
+        This is the paper's headline prediction, e.g.
+        ``sla_percentile(0.1) == 0.95`` means 95% of requests respond
+        within 100 ms.
+        """
+        return float(self._system.cdf(sla_seconds, method=self.inversion))
+
+    def sla_percentiles(self, slas: Iterable[float]) -> np.ndarray:
+        """Vectorised :meth:`sla_percentile` over several SLAs."""
+        slas = np.asarray(list(slas), dtype=float)
+        return np.asarray(self._system.cdf(slas, method=self.inversion), dtype=float)
+
+    def device_sla_percentile(self, name: str, sla_seconds: float) -> float:
+        """Per-device percentile (bottleneck identification)."""
+        return float(self.device_latency(name).cdf(sla_seconds, method=self.inversion))
+
+    def latency_quantile(self, q: float) -> float:
+        """Inverse prediction: the latency below which fraction ``q`` of
+        requests complete (e.g. ``latency_quantile(0.99)`` is the p99)."""
+        return self._system.quantile(q, method=self.inversion)
+
+    @property
+    def mean_latency(self) -> float:
+        return self._system.mean
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def breakdown(self) -> list[PredictionBreakdown]:
+        """Per-device mean-latency decomposition (Sq / Wa / Sbe)."""
+        from repro.model.frontend import accept_wait, frontend_queueing_latency
+
+        total = self.params.total_request_rate
+        s_q_mean = frontend_queueing_latency(self.params.frontend, total).mean
+        out = []
+        for dev in self.params.devices:
+            be = self._backends[dev.name]
+            w_a = accept_wait(be.waiting_time, self.accept_mode)
+            out.append(
+                PredictionBreakdown(
+                    device=dev.name,
+                    utilization=be.utilization,
+                    mean_frontend_queueing=s_q_mean,
+                    mean_accept_wait=w_a.mean,
+                    mean_backend_response=be.response_time.mean,
+                )
+            )
+        return out
+
+    def utilizations(self) -> Mapping[str, float]:
+        """Per-device union-operation queue utilisation."""
+        return {name: be.utilization for name, be in self._backends.items()}
+
+    def max_stable_scale(self, *, tol: float = 1e-4) -> float:
+        """Largest uniform load multiplier keeping every queue stable.
+
+        Used by overload-control and capacity-planning what-ifs: beyond
+        this factor the model (like the system) saturates.  Found by
+        bisection on :meth:`SystemParameters.scaled`.
+        """
+        lo, hi = 0.0, 1.0
+        # Grow hi until unstable (or absurdly large).
+        for _ in range(60):
+            if not self._stable_at(hi):
+                break
+            lo = hi
+            hi *= 2.0
+        else:
+            return hi
+        while hi - lo > tol * hi:
+            mid = 0.5 * (lo + hi)
+            if self._stable_at(mid):
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    def _stable_at(self, factor: float) -> bool:
+        try:
+            LatencyPercentileModel(
+                self.params.scaled(factor),
+                accept_mode=self.accept_mode,
+                disk_queue=self.disk_queue,
+                inversion=self.inversion,
+            )
+        except UnstableQueueError:
+            return False
+        return True

@@ -1,0 +1,73 @@
+"""The union-operation abstraction (Section III-B, contribution 1).
+
+The event-driven backend process interleaves heterogeneous operations of
+different requests in one FCFS queue.  The paper's abstraction packs, per
+*request arrival*, the four operation classes into a single i.i.d. "union
+operation" so the queue becomes M/G/1:
+
+* one request parsing,
+* one index lookup (zero-inflated by the index cache),
+* one metadata read (zero-inflated by the metadata cache),
+* one data-chunk read (zero-inflated by the data cache),
+* a Poisson(``p``) number of *extra* data-chunk reads with
+  ``p = (r_data - r) / r`` -- the chunks beyond the first, which arrive
+  interleaved from other requests but, with Poisson-arrival independence,
+  aggregate into a compound-Poisson add-on.
+
+Transform:
+
+    L[B_be](s) = L[parse] L[index] L[meta] L[data] exp(p (L[data](s) - 1))
+
+Mean (the paper's series in closed form):
+
+    E[B_be] = parse + index + meta + (1 + p) * data-bar
+"""
+
+from __future__ import annotations
+
+from repro.distributions import (
+    Distribution,
+    PoissonCompound,
+    convolve,
+    zero_inflate,
+)
+from repro.model.parameters import DeviceParameters
+
+__all__ = [
+    "operation_latency",
+    "union_operation_service",
+    "first_pass_operations",
+]
+
+
+def operation_latency(disk_latency: Distribution, miss_ratio: float) -> Distribution:
+    """Cache-aware latency of one operation:
+    ``miss_ratio * disk_latency + (1 - miss_ratio) * delta(t)``."""
+    return zero_inflate(disk_latency, miss_ratio)
+
+
+def first_pass_operations(dev: DeviceParameters) -> tuple[Distribution, ...]:
+    """The ``(parse, index, meta, data)`` latency tuple for one request.
+
+    These are the four factors of both the union-operation service time
+    and the backend response latency ``S_be = W_be * parse * index *
+    meta * data`` (the response starts after the *first* data chunk, so
+    the extra reads do not appear here).
+    """
+    m = dev.miss_ratios
+    return (
+        dev.parse,
+        operation_latency(dev.disk.index, m.index),
+        operation_latency(dev.disk.meta, m.meta),
+        operation_latency(dev.disk.data, m.data),
+    )
+
+
+def union_operation_service(dev: DeviceParameters) -> Distribution:
+    """Service-time distribution of the union operation ``B_be``."""
+    parse, index, meta, data = first_pass_operations(dev)
+    p = dev.extra_data_read_rate
+    parts = [parse, index, meta, data]
+    if p > 0.0:
+        parts.append(PoissonCompound(data, p))
+    return convolve(*parts)

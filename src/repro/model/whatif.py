@@ -1,0 +1,175 @@
+"""What-if analysis helpers (the paper's Section I applications).
+
+The introduction motivates the model with four applications; this module
+turns each into a one-call API over :class:`LatencyPercentileModel`:
+
+* :func:`devices_needed` -- **capacity planning**: smallest device count
+  meeting an SLA target for an anticipated workload, with explicit
+  infeasibility detection (the zero-load service-time floor can cap the
+  achievable percentile regardless of scale);
+* :func:`admission_rate` -- **overload control**: the highest arrival
+  rate the deployment sustains while meeting the SLA target, i.e. the
+  admission threshold to enforce during a surge;
+* :func:`min_devices_online` -- **elastic storage**: the fewest devices
+  that can stay powered on at a given (night-time) workload;
+* :func:`rank_devices` -- **bottleneck identification**: devices ordered
+  by their predicted SLA percentile, worst first.
+
+All helpers treat the supplied :class:`SystemParameters` as the template
+deployment and rescale/rebalance it analytically; nothing is simulated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.model.parameters import ParameterError, SystemParameters
+from repro.model.system import LatencyPercentileModel
+from repro.queueing import UnstableQueueError
+
+__all__ = [
+    "sla_met",
+    "devices_needed",
+    "admission_rate",
+    "min_devices_online",
+    "rank_devices",
+]
+
+
+def sla_met(
+    params: SystemParameters, sla_seconds: float, target_percentile: float, **model_kwargs
+) -> bool:
+    """Does the deployment meet "``target`` of requests within ``sla``"?"""
+    try:
+        model = LatencyPercentileModel(params, **model_kwargs)
+    except UnstableQueueError:
+        return False
+    return model.sla_percentile(sla_seconds) >= target_percentile
+
+
+def _rebalanced(params: SystemParameters, n_devices: int) -> SystemParameters:
+    """The same total workload spread evenly over ``n_devices`` clones of
+    the template's first device."""
+    if n_devices < 1:
+        raise ParameterError("need at least one device")
+    total_rate = params.total_request_rate
+    total_data = sum(d.data_read_rate for d in params.devices)
+    template = params.devices[0]
+    devices = tuple(
+        dataclasses.replace(
+            template,
+            name=f"{template.name}-w{i}",
+            request_rate=total_rate / n_devices,
+            data_read_rate=total_data / n_devices,
+        )
+        for i in range(n_devices)
+    )
+    return dataclasses.replace(params, devices=devices)
+
+
+def devices_needed(
+    params: SystemParameters,
+    sla_seconds: float,
+    target_percentile: float,
+    *,
+    max_devices: int = 1024,
+    **model_kwargs,
+) -> int | None:
+    """Capacity planning: the smallest device count meeting the target.
+
+    Returns ``None`` when the target is unattainable at any scale --
+    detected against the zero-load ceiling (queueing vanishes as devices
+    grow, but the disk service times themselves remain).
+    """
+    if not 0.0 < target_percentile < 1.0:
+        raise ParameterError("target percentile must be in (0, 1)")
+    # Zero-load ceiling: one device at (effectively) no load.
+    floor_params = _rebalanced(params.scaled(1e-6), 1)
+    ceiling = LatencyPercentileModel(floor_params, **model_kwargs).sla_percentile(
+        sla_seconds
+    )
+    if ceiling < target_percentile:
+        return None
+    lo, hi = 0, None
+    n = max(1, len(params.devices))
+    while n <= max_devices:
+        if sla_met(_rebalanced(params, n), sla_seconds, target_percentile, **model_kwargs):
+            hi = n
+            break
+        lo = n
+        n *= 2
+    if hi is None:
+        raise ParameterError(f"no feasible deployment under {max_devices} devices")
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if sla_met(_rebalanced(params, mid), sla_seconds, target_percentile, **model_kwargs):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def admission_rate(
+    params: SystemParameters,
+    sla_seconds: float,
+    target_percentile: float,
+    *,
+    tol: float = 1e-3,
+    **model_kwargs,
+) -> float:
+    """Overload control: the largest uniform load multiple of the current
+    workload that still meets the target, returned as an absolute
+    request rate (requests/second)."""
+    if not sla_met(params.scaled(1e-3), sla_seconds, target_percentile, **model_kwargs):
+        return 0.0
+    lo, hi = 1e-3, 1.0
+    # Grow until violated.
+    while sla_met(params.scaled(hi), sla_seconds, target_percentile, **model_kwargs):
+        lo = hi
+        hi *= 2.0
+        if hi > 1e6:  # pragma: no cover - pathological template
+            break
+    while hi - lo > tol * hi:
+        mid = 0.5 * (lo + hi)
+        if sla_met(params.scaled(mid), sla_seconds, target_percentile, **model_kwargs):
+            lo = mid
+        else:
+            hi = mid
+    return lo * params.total_request_rate
+
+
+def min_devices_online(
+    params: SystemParameters,
+    sla_seconds: float,
+    target_percentile: float,
+    **model_kwargs,
+) -> int | None:
+    """Elastic storage: fewest devices that sustain the current workload.
+
+    Returns ``None`` if even the full deployment misses the target.
+    """
+    n_now = len(params.devices)
+    if not sla_met(_rebalanced(params, n_now), sla_seconds, target_percentile, **model_kwargs):
+        return None
+    best = n_now
+    for n in range(n_now - 1, 0, -1):
+        if sla_met(_rebalanced(params, n), sla_seconds, target_percentile, **model_kwargs):
+            best = n
+        else:
+            break
+    return best
+
+
+def rank_devices(
+    params: SystemParameters, sla_seconds: float, **model_kwargs
+) -> list[tuple[str, float]]:
+    """Bottleneck identification: ``(device, predicted percentile)``
+    sorted worst-first."""
+    model = LatencyPercentileModel(params, **model_kwargs)
+    ranked = [
+        (dev.name, model.device_sla_percentile(dev.name, sla_seconds))
+        for dev in params.devices
+    ]
+    ranked.sort(key=lambda pair: pair[1])
+    return ranked

@@ -1,0 +1,28 @@
+"""Queueing-theory building blocks for the latency-percentile model.
+
+* :class:`MG1Queue` -- Pollaczek--Khinchin transform pipeline (union
+  operation queues, frontend parsing queues).
+* :class:`MM1KQueue` -- the paper's disk model for multi-process devices.
+* :class:`MG1KQueue` -- exact-queue-length / approximate-sojourn
+  M/G/1/K, the better-approximation arm of the III-B ablation.
+* :class:`FiniteSourceQueue` -- M/M/1//N machine-repairman queue, the
+  structurally exact disk model the paper approximates away.
+* :class:`MM1Queue` -- closed forms for cross-validation.
+"""
+
+from repro.queueing.errors import QueueingError, UnstableQueueError
+from repro.queueing.finite_source import FiniteSourceQueue
+from repro.queueing.mg1 import MG1Queue
+from repro.queueing.mg1k import MG1KQueue
+from repro.queueing.mm1 import MM1Queue
+from repro.queueing.mm1k import MM1KQueue
+
+__all__ = [
+    "QueueingError",
+    "UnstableQueueError",
+    "FiniteSourceQueue",
+    "MG1Queue",
+    "MG1KQueue",
+    "MM1Queue",
+    "MM1KQueue",
+]

@@ -1,0 +1,20 @@
+"""Exceptions shared by the queueing building blocks."""
+
+from __future__ import annotations
+
+__all__ = ["QueueingError", "UnstableQueueError"]
+
+
+class QueueingError(ValueError):
+    """Invalid queueing-model parameters."""
+
+
+class UnstableQueueError(QueueingError):
+    """Raised when an open queue is asked about steady state at rho >= 1.
+
+    The paper's "normal status" assumption (Section III-A) excludes
+    overload: the model is only claimed valid below saturation, and the
+    experiment harness stops its rate sweeps where predictions would
+    require an unstable queue (mirroring the paper, which only analyses
+    points with no timeouts/retries).
+    """

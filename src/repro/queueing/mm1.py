@@ -1,0 +1,83 @@
+"""M/M/1 queue: closed forms used as ground truth in tests and baselines.
+
+Every quantity here has a textbook closed form, which makes M/M/1 the
+canonical cross-check for the transform machinery: the P--K pipeline fed
+with an exponential service must reproduce these formulas exactly, and
+the simulator configured with exponential service must converge to them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.distributions import Distribution, Exponential, TransformDistribution
+from repro.queueing.errors import UnstableQueueError
+
+__all__ = ["MM1Queue"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MM1Queue:
+    """M/M/1 queue with Poisson arrivals ``arrival_rate`` and service rate
+    ``service_rate`` (both per second)."""
+
+    arrival_rate: float
+    service_rate: float
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate <= 0.0 or self.service_rate <= 0.0:
+            raise ValueError("rates must be positive")
+        if self.utilization >= 1.0:
+            raise UnstableQueueError(
+                f"M/M/1 unstable: rho={self.utilization:.4f} >= 1"
+            )
+
+    @property
+    def utilization(self) -> float:
+        return self.arrival_rate / self.service_rate
+
+    @property
+    def mean_waiting_time(self) -> float:
+        """Mean time in queue (excluding service)."""
+        return self.utilization / (self.service_rate - self.arrival_rate)
+
+    @property
+    def mean_sojourn_time(self) -> float:
+        """Mean time in system: ``1 / (mu - lambda)``."""
+        return 1.0 / (self.service_rate - self.arrival_rate)
+
+    @property
+    def mean_queue_length(self) -> float:
+        """Mean number in system: ``rho / (1 - rho)``."""
+        rho = self.utilization
+        return rho / (1.0 - rho)
+
+    def sojourn_time(self) -> Distribution:
+        """Sojourn time is exactly Exponential(mu - lambda)."""
+        return Exponential(self.service_rate - self.arrival_rate)
+
+    def waiting_time(self) -> Distribution:
+        """Waiting time: atom ``1 - rho`` at zero plus exponential tail.
+
+        ``P(W <= t) = 1 - rho e^{-(mu - lambda) t}``; returned as a
+        transform distribution with the exact atom recorded.
+        """
+        lam, mu = self.arrival_rate, self.service_rate
+        rho = self.utilization
+
+        def transform(s):
+            return (1.0 - rho) + rho * (mu - lam) / (mu - lam + s)
+
+        mean = rho / (mu - lam)
+        second = 2.0 * rho / (mu - lam) ** 2
+        return TransformDistribution(
+            transform, mean, second, atom_at_zero=1.0 - rho, name="mm1-waiting"
+        )
+
+    def queue_length_pmf(self, n_max: int) -> np.ndarray:
+        """``P(N = k)`` for ``k = 0..n_max`` (geometric)."""
+        rho = self.utilization
+        k = np.arange(n_max + 1)
+        return (1.0 - rho) * rho**k

@@ -1,0 +1,488 @@
+"""Backend tier: storage devices, event-driven processes, connection pool.
+
+This is the structural heart of the testbed substitute.  Per device
+(Section II / III-B semantics):
+
+* ``N_be`` identical event-driven **processes** each own a FCFS operation
+  queue.  Queue entries are ``accept()`` operations, request starts
+  (parse + index lookup + metadata read + first chunk read, executed
+  synchronously -- disk operations *block the process*), and chunk
+  continuations.  After starting the asynchronous send of a chunk the
+  process yields: the next chunk read is appended to the *tail* of its
+  queue, which is exactly the interleaving Fig 1 depicts and the union
+  operation abstracts.
+* One FCFS **disk** shared by the device's processes; because processes
+  block on their disk operations, at most ``N_be`` operations are ever
+  at the disk (the structure the paper models as M/M/1/K).
+* One **connection pool** per device.  A connecting request waits in the
+  pool until a process performs an accept() operation; accepts are
+  scheduled like any other operation (tail of a process queue) and drain
+  the *whole* pool when they run -- the batch-accept behaviour the paper
+  identifies as the source of S16 load imbalance.  The accept target is
+  an idle process when one exists (epoll wakes a blocked worker
+  immediately) and round-robin among busy ones otherwise (the accept
+  then waits its turn in that process's queue, the regime where
+  ``W_a ~ W_be``).
+
+Caching mirrors a Linux backend: the index (inode/dentry slab), metadata
+(xattr) and data (page cache) entries live in *separate* LRU budgets per
+server, so per-operation hit/miss outcomes are only popularity-coupled,
+not identical -- the regime in which the model's independent
+``m_index/m_meta/m_data`` treatment is a good approximation.  Index &
+metadata footprints default to ~1 KB per object combined, the figure the
+paper quotes for production deployments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.distributions import Distribution
+from repro.simulator.cache import LruCache
+from repro.simulator.core import Simulator
+from repro.simulator.disk import OP_DATA, OP_INDEX, OP_META, OP_WRITE, Disk
+from repro.simulator.network import NetworkProfile
+from repro.simulator.request import Request
+
+__all__ = ["StorageDevice", "StorageProcess", "Connection", "DeviceCounters"]
+
+#: Cache footprint of one index entry (inode/dentry) and one metadata
+#: (xattr) blob; together ~1 KB per object, per Section II.
+INDEX_ENTRY_BYTES = 256
+META_ENTRY_BYTES = 768
+
+_OP_ACCEPT = 0
+_OP_START = 1
+_OP_CHUNK = 2
+_OP_WCHUNK = 3
+
+
+class Connection:
+    """A pending TCP connection in the device's pool."""
+
+    __slots__ = ("request", "frontend")
+
+    def __init__(self, request: Request, frontend) -> None:
+        self.request = request
+        self.frontend = frontend
+
+
+class DeviceCounters:
+    """Windowed online metrics of one device (Section IV-B inputs)."""
+
+    __slots__ = (
+        "requests",
+        "chunk_reads",
+        "write_requests",
+        "chunk_writes",
+        "index_hits",
+        "index_misses",
+        "meta_hits",
+        "meta_misses",
+        "data_hits",
+        "data_misses",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.requests = 0
+        self.chunk_reads = 0
+        self.write_requests = 0
+        self.chunk_writes = 0
+        self.index_hits = 0
+        self.index_misses = 0
+        self.meta_hits = 0
+        self.meta_misses = 0
+        self.data_hits = 0
+        self.data_misses = 0
+
+    def miss_ratio(self, kind: str) -> float:
+        hits = getattr(self, f"{kind}_hits")
+        misses = getattr(self, f"{kind}_misses")
+        total = hits + misses
+        return misses / total if total else 0.0
+
+
+class StorageProcess:
+    """One event-driven worker: a FCFS queue of heterogeneous operations."""
+
+    __slots__ = ("sim", "device", "pid", "queue", "busy")
+
+    def __init__(self, sim: Simulator, device: "StorageDevice", pid: int) -> None:
+        self.sim = sim
+        self.device = device
+        self.pid = pid
+        self.queue: deque[tuple] = deque()
+        self.busy = False
+
+    # ------------------------------------------------------------------
+    def enqueue(self, op: tuple) -> None:
+        self.queue.append(op)
+        if not self.busy:
+            self._next()
+
+    def _next(self) -> None:
+        if not self.queue:
+            self.busy = False
+            return
+        self.busy = True
+        op = self.queue.popleft()
+        code = op[0]
+        if code == _OP_START:
+            self._run_start(op[1])
+        elif code == _OP_CHUNK:
+            self._run_chunk(op[1], op[2])
+        elif code == _OP_WCHUNK:
+            self._run_write_chunk(op[1], op[2])
+        else:
+            self._run_accept()
+
+    # ------------------------------------------------------------------
+    # accept()
+    # ------------------------------------------------------------------
+    def _run_accept(self) -> None:
+        self.sim.schedule(self.device.accept_overhead, self._finish_accept)
+
+    def _finish_accept(self) -> None:
+        """Batch-accept: drain the whole backlog into this process.
+
+        The frontend sent each HTTP request as soon as its connect()
+        completed (standard TCP: data flows before accept), so at accept
+        time the request bytes already sit in the socket buffer and the
+        handler starts without another round trip.  Connections parked
+        in the SYN queue (listen backlog full) are promoted into the
+        freed backlog and wait for a future accept.
+        """
+        dev = self.device
+        now = self.sim.now
+        while dev.pool:
+            conn = dev.pool.popleft()
+            conn.request.accepted_time = now
+            self._receive_request(conn.request)
+        while dev.syn_queue and len(dev.pool) < dev.listen_backlog:
+            dev.pool.append(dev.syn_queue.popleft())
+        if dev.pool:
+            dev.accept_pending = True
+            dev._choose_acceptor().enqueue((_OP_ACCEPT,))
+        else:
+            dev.accept_pending = False
+        self._next()
+
+    def _receive_request(self, req: Request) -> None:
+        req.backend_enqueue_time = self.sim.now
+        self.enqueue((_OP_START, req))
+
+    # ------------------------------------------------------------------
+    # request start: parse + index + meta + first chunk
+    # ------------------------------------------------------------------
+    def _run_start(self, req: Request) -> None:
+        parse_time = self.device.sample_parse()
+        if parse_time > 0.0:
+            self.sim.schedule(parse_time, self._after_parse, req)
+        else:
+            self._after_parse(req)
+
+    def _after_parse(self, req: Request) -> None:
+        if req.is_delete:
+            self.device.delete_object(req, self._after_delete)
+        elif req.is_write:
+            self.device.write_chunk(req, 0, self._after_write_chunk)
+        else:
+            self.device.read_index(req, self._after_index)
+
+    def _after_index(self, req: Request) -> None:
+        self.device.read_meta(req, self._after_meta)
+
+    def _after_meta(self, req: Request) -> None:
+        self.device.read_chunk(req, 0, self._after_first_chunk)
+
+    def _after_first_chunk(self, req: Request) -> None:
+        dev = self.device
+        req.backend_start_time = self.sim.now
+        dev.send_chunk(req, 0, is_first=True, is_last=req.n_chunks == 1)
+        if req.n_chunks > 1:
+            self.queue.append((_OP_CHUNK, req, 1))
+        self._next()
+
+    # ------------------------------------------------------------------
+    # chunk continuation
+    # ------------------------------------------------------------------
+    def _run_chunk(self, req: Request, idx: int) -> None:
+        self.device.read_chunk(req, idx, lambda r, _i=idx: self._after_chunk(r, _i))
+
+    def _after_chunk(self, req: Request, idx: int) -> None:
+        dev = self.device
+        is_last = idx + 1 >= req.n_chunks
+        dev.send_chunk(req, idx, is_first=False, is_last=is_last)
+        if not is_last:
+            self.queue.append((_OP_CHUNK, req, idx + 1))
+        self._next()
+
+    # ------------------------------------------------------------------
+    # write path (PUT): receive + durably write chunk by chunk, yielding
+    # between chunks just like reads, then one metadata commit, then ack
+    # ------------------------------------------------------------------
+    def _run_write_chunk(self, req: Request, idx: int) -> None:
+        self.device.write_chunk(req, idx, self._after_write_chunk)
+
+    def _after_write_chunk(self, req: Request, idx: int) -> None:
+        if idx + 1 < req.n_chunks:
+            self.queue.append((_OP_WCHUNK, req, idx + 1))
+            self._next()
+        else:
+            self.device.finalize_write(req, self._after_write_finalize)
+
+    def _after_write_finalize(self, req: Request) -> None:
+        req.backend_start_time = self.sim.now
+        self.device.send_write_ack(req)
+        self._next()
+
+    def _after_delete(self, req: Request) -> None:
+        req.backend_start_time = self.sim.now
+        self.device.send_write_ack(req)
+        self._next()
+
+
+class StorageDevice:
+    """One storage device: disk + cache view + ``N_be`` processes + pool."""
+
+    __slots__ = (
+        "sim",
+        "device_id",
+        "name",
+        "disk",
+        "index_cache",
+        "meta_cache",
+        "data_cache",
+        "network",
+        "processes",
+        "pool",
+        "syn_queue",
+        "listen_backlog",
+        "accept_pending",
+        "accept_overhead",
+        "chunk_bytes",
+        "object_sizes",
+        "counters",
+        "parse_dist",
+        "on_complete",
+        "on_write_ack",
+        "scanner",
+        "_rng",
+        "_rr",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device_id: int,
+        name: str,
+        disk: Disk,
+        caches: tuple[LruCache, LruCache, LruCache],
+        network: NetworkProfile,
+        n_processes: int,
+        chunk_bytes: int,
+        object_sizes: np.ndarray,
+        parse_dist: Distribution,
+        rng: np.random.Generator,
+        accept_overhead: float = 5e-5,
+        listen_backlog: int = 1024,
+    ) -> None:
+        if n_processes < 1:
+            raise ValueError("need at least one process per device")
+        if chunk_bytes < 1:
+            raise ValueError("chunk_bytes must be positive")
+        self.sim = sim
+        self.device_id = device_id
+        self.name = name
+        self.disk = disk
+        self.index_cache, self.meta_cache, self.data_cache = caches
+        self.network = network
+        if listen_backlog < 1:
+            raise ValueError("listen_backlog must be >= 1")
+        self.processes = [StorageProcess(sim, self, i) for i in range(n_processes)]
+        self.pool: deque[Connection] = deque()
+        self.syn_queue: deque[Connection] = deque()
+        self.listen_backlog = listen_backlog
+        self.accept_pending = False
+        self.accept_overhead = accept_overhead
+        self.chunk_bytes = chunk_bytes
+        self.object_sizes = object_sizes
+        self.counters = DeviceCounters()
+        self.parse_dist = parse_dist
+        self.on_complete = None  # wired by the cluster to the recorder
+        self.on_write_ack = None  # wired by the cluster (quorum handling)
+        self.scanner = None  # optional MaintenanceScanner (set by the cluster)
+        self._rng = rng
+        self._rr = 0
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    def connect(self, conn: Connection) -> None:
+        """A TCP SYN arrives: enter the listen backlog, or queue behind
+        it when the backlog is full (connect() has not completed yet for
+        such connections, so their frontends cannot send requests)."""
+        if self.scanner is not None:
+            self.scanner.advance(self.sim.now)
+        conn.request.connect_time = self.sim.now
+        conn.request.device_id = self.device_id
+        if conn.request.is_write:
+            self.counters.write_requests += 1
+        else:
+            self.counters.requests += 1
+        if len(self.pool) < self.listen_backlog:
+            self.pool.append(conn)
+            if not self.accept_pending:
+                self.accept_pending = True
+                self._choose_acceptor().enqueue((_OP_ACCEPT,))
+        else:
+            self.syn_queue.append(conn)
+
+    def _choose_acceptor(self) -> StorageProcess:
+        # An idle worker is woken immediately; otherwise the accept
+        # operation waits in a busy worker's queue (round-robin).
+        for proc in self.processes:
+            if not proc.busy:
+                return proc
+        self._rr = (self._rr + 1) % len(self.processes)
+        return self.processes[self._rr]
+
+    # ------------------------------------------------------------------
+    # cached reads
+    # ------------------------------------------------------------------
+    def sample_parse(self) -> float:
+        return float(self.parse_dist.sample(self._rng))
+
+    def read_index(self, req: Request, cont) -> None:
+        if self.index_cache.access(req.object_id, INDEX_ENTRY_BYTES):
+            self.counters.index_hits += 1
+            cont(req)
+        else:
+            self.counters.index_misses += 1
+            self.disk.submit(OP_INDEX, INDEX_ENTRY_BYTES, lambda: cont(req))
+
+    def read_meta(self, req: Request, cont) -> None:
+        if self.meta_cache.access(req.object_id, META_ENTRY_BYTES):
+            self.counters.meta_hits += 1
+            cont(req)
+        else:
+            self.counters.meta_misses += 1
+            self.disk.submit(OP_META, META_ENTRY_BYTES, lambda: cont(req))
+
+    def read_chunk(self, req: Request, idx: int, cont) -> None:
+        self.counters.chunk_reads += 1
+        nbytes = self.chunk_size_of(req, idx)
+        if self.data_cache.access((req.object_id, idx), nbytes):
+            self.counters.data_hits += 1
+            cont(req)
+        else:
+            self.counters.data_misses += 1
+            self.disk.submit(OP_DATA, nbytes, lambda: cont(req))
+
+    # ------------------------------------------------------------------
+    # durable writes (PUT path)
+    # ------------------------------------------------------------------
+    def write_chunk(self, req: Request, idx: int, cont) -> None:
+        """Durably write one received chunk; the process blocks on the
+        disk like it does for reads, and the written chunk lands in the
+        page cache (write-through)."""
+        self.counters.chunk_writes += 1
+        nbytes = self.chunk_size_of(req, idx)
+        self.data_cache.access((req.object_id, idx), nbytes)
+        self.disk.submit(OP_WRITE, nbytes, lambda: cont(req, idx))
+
+    def finalize_write(self, req: Request, cont) -> None:
+        """Commit the object's metadata (inode + xattrs) after the last
+        chunk: one small durable write, then the index and metadata
+        caches hold the fresh entries."""
+        self.index_cache.access(req.object_id, INDEX_ENTRY_BYTES)
+        self.meta_cache.access(req.object_id, META_ENTRY_BYTES)
+        self.disk.submit(
+            OP_WRITE, INDEX_ENTRY_BYTES + META_ENTRY_BYTES, lambda: cont(req)
+        )
+
+    def delete_object(self, req: Request, cont) -> None:
+        """Tombstone the object: one small durable write, and every
+        cached entry of the object is invalidated (Swift unlinks the
+        .data file and drops a .ts tombstone)."""
+        self.index_cache.evict(req.object_id)
+        self.meta_cache.evict(req.object_id)
+        size = int(self.object_sizes[req.object_id])
+        n_chunks = max(1, -(-size // self.chunk_bytes))
+        for idx in range(n_chunks):
+            self.data_cache.evict((req.object_id, idx))
+        self.disk.submit(OP_WRITE, 512, lambda: cont(req))
+
+    def send_write_ack(self, req: Request) -> None:
+        """Acknowledge this replica's durable write to the frontend."""
+        self.sim.schedule(self.network.latency, self._deliver_write_ack, req)
+
+    def _deliver_write_ack(self, req: Request) -> None:
+        if self.on_write_ack is not None:
+            self.on_write_ack(req)
+
+    def chunk_size_of(self, req: Request, idx: int) -> int:
+        if idx + 1 < req.n_chunks:
+            return self.chunk_bytes
+        return req.size_bytes - (req.n_chunks - 1) * self.chunk_bytes
+
+    # ------------------------------------------------------------------
+    # deliveries back to the frontend
+    # ------------------------------------------------------------------
+    def send_chunk(self, req: Request, idx: int, *, is_first: bool, is_last: bool) -> None:
+        """Write one chunk to the (serialised) response stream.
+
+        Chunk ``idx`` starts serialising at ``max(now, stream_clock)`` so
+        a later chunk can never overtake an earlier one on the wire; its
+        last byte lands one link latency after its departure.
+        """
+        now = self.sim.now
+        nbytes = self.chunk_size_of(req, idx)
+        start = now if req.stream_clock < now else req.stream_clock
+        depart = start + nbytes / self.network.bandwidth
+        req.stream_clock = depart
+        if is_first:
+            self.sim.schedule_at(
+                start + self.network.latency, self.deliver_first_byte, req
+            )
+        if is_last:
+            self.sim.schedule_at(
+                depart + self.network.latency, self.deliver_completion, req
+            )
+
+    def deliver_first_byte(self, req: Request) -> None:
+        # A timed-out-and-retried request may receive bytes from two
+        # replicas; the first arrival wins.
+        if req.first_byte_time < 0.0:
+            req.first_byte_time = self.sim.now
+
+    def deliver_completion(self, req: Request) -> None:
+        if req.is_complete:
+            return  # duplicate delivery from a pre-retry replica
+        req.completion_time = self.sim.now
+        if self.on_complete is not None:
+            self.on_complete(req)
+
+    # ------------------------------------------------------------------
+    def warm(self, object_ids: np.ndarray) -> None:
+        """Pre-populate the cache as a long warmup phase would, without
+        simulating time (the paper warms for 3 hours of wall clock; we
+        replay the accesses against the cache directly)."""
+        for obj in object_ids:
+            obj = int(obj)
+            self.index_cache.access(obj, INDEX_ENTRY_BYTES)
+            self.meta_cache.access(obj, META_ENTRY_BYTES)
+            size = int(self.object_sizes[obj])
+            n_chunks = max(1, -(-size // self.chunk_bytes))
+            for idx in range(n_chunks):
+                nbytes = (
+                    self.chunk_bytes
+                    if idx + 1 < n_chunks
+                    else size - (n_chunks - 1) * self.chunk_bytes
+                )
+                self.data_cache.access((obj, idx), nbytes)

@@ -1,0 +1,97 @@
+"""Byte-budget LRU cache model (the backend page cache).
+
+The paper's cost argument (Section II): backend servers deliberately lack
+the memory to cache all index & metadata (Wikipedia's Swift cluster runs
+RAM-to-disk ratios of 1:300 to 1:800), so index lookups, metadata reads
+*and* data reads all miss with workload-dependent ratios -- the
+``m_index, m_meta, m_data`` online metrics of the model.
+
+This is a plain LRU over ``(kind, key)`` entries with byte-accurate
+charging, standing in for the Linux page cache + XFS inode/dentry caches
+of the testbed.  One instance per backend server: all devices on a
+server share its memory, as in the real deployment.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["LruCache"]
+
+
+class LruCache:
+    """LRU cache with a byte capacity.
+
+    ``access`` is the single hot entry point: it returns whether the key
+    was resident (hit) and, on a miss, admits it -- matching page-cache
+    fill-on-read semantics.  Entries larger than the whole capacity are
+    never admitted.
+    """
+
+    __slots__ = ("capacity_bytes", "_entries", "used_bytes", "hits", "misses")
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity_bytes}")
+        self.capacity_bytes = int(capacity_bytes)
+        self._entries: OrderedDict[tuple, int] = OrderedDict()
+        self.used_bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def access(self, key, size: int) -> bool:
+        """Touch ``key``; returns True on hit.  Misses are admitted."""
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._admit(key, size)
+        return False
+
+    def _admit(self, key, size: int) -> None:
+        size = int(size)
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        if size > self.capacity_bytes:
+            return  # larger than memory: read-through, never cached
+        entries = self._entries
+        while self.used_bytes + size > self.capacity_bytes:
+            _old, old_size = entries.popitem(last=False)
+            self.used_bytes -= old_size
+        entries[key] = size
+        self.used_bytes += size
+
+    def evict(self, key) -> bool:
+        """Drop one entry (used by failure-injection tests)."""
+        size = self._entries.pop(key, None)
+        if size is None:
+            return False
+        self.used_bytes -= size
+        return True
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.used_bytes = 0
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LruCache(used={self.used_bytes}/{self.capacity_bytes} bytes, "
+            f"entries={len(self._entries)}, hit_ratio={self.hit_ratio:.3f})"
+        )

@@ -1,0 +1,332 @@
+"""Cluster assembly: the full simulated testbed.
+
+Mirrors the paper's experimental setup (Section V-A): a frontend pool of
+identical proxy processes, backend servers each hosting one (or more)
+HDD-backed storage devices with ``N_be`` worker processes and a shared
+byte-budget cache, a 1 Gbps network, and a hash ring of 1,024 partitions
+with 3 replicas.  Scaled down by default so that full rate sweeps run in
+CI; every knob is in :class:`ClusterConfig`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.distributions import Degenerate, Distribution
+from repro.simulator.backend import StorageDevice
+from repro.simulator.cache import LruCache
+from repro.simulator.core import Simulator
+from repro.simulator.disk import Disk, HddProfile
+from repro.simulator.frontend import FrontendProcess
+from repro.simulator.metrics import MetricsRecorder
+from repro.simulator.network import NetworkProfile
+from repro.simulator.request import Request
+from repro.simulator.ring import HashRing
+from repro.simulator.rng import RngStreams
+
+__all__ = ["ClusterConfig", "Cluster"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterConfig:
+    """Static description of the simulated cluster.
+
+    Defaults mirror the paper's 7-node testbed shape: 3 frontend servers
+    x 4 proxy workers, 4 backend servers x 1 device.
+    """
+
+    n_frontend_processes: int = 12
+    n_devices: int = 4
+    processes_per_device: int = 1
+    devices_per_server: int = 1
+    chunk_bytes: int = 65536
+    cache_bytes_per_server: int = 192 << 20
+    #: Fraction of the server's memory given to the index (inode/dentry),
+    #: metadata (xattr) and data (page cache) LRU budgets respectively.
+    cache_split: tuple[float, float, float] = (0.06, 0.14, 0.80)
+    hdd: HddProfile = dataclasses.field(default_factory=HddProfile)
+    #: Optional per-device hardware overrides for mixed fleets or
+    #: degraded spindles: ``(device_index, profile)`` pairs; unlisted
+    #: devices use ``hdd``.
+    hdd_overrides: tuple[tuple[int, HddProfile], ...] = ()
+    network: NetworkProfile = dataclasses.field(default_factory=NetworkProfile)
+    parse_fe: Distribution = dataclasses.field(
+        default_factory=lambda: Degenerate(0.0008)
+    )
+    parse_be: Distribution = dataclasses.field(
+        default_factory=lambda: Degenerate(0.0004)
+    )
+    accept_overhead: float = 5e-5
+    #: TCP listen backlog per device: connections beyond it wait in the
+    #: SYN queue and cannot carry request bytes until promoted.
+    listen_backlog: int = 1024
+    n_partitions: int = 1024
+    replicas: int = 3
+    #: Background maintenance scan rate (objects/second per server).
+    #: Swift deployments continuously run auditors and replicators that
+    #: stat/list every object; those uniform scans keep re-filling the
+    #: inode (index) and xattr (metadata) caches with cold entries,
+    #: decoupling index/meta hits from data-popularity.  0 disables.
+    scanner_rate: float = 600.0
+    #: Auditor data-read speed relative to ``scanner_rate`` (the data
+    #: pass is bytes-limited, so it walks objects more slowly).
+    scanner_data_fraction: float = 0.5
+    #: Frontend read timeout (seconds); ``None`` disables (the paper's
+    #: "normal status").  Timed-out reads retry on a different replica
+    #: up to ``max_retries`` times.
+    request_timeout: float | None = None
+    max_retries: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_frontend_processes < 1 or self.n_devices < 1:
+            raise ValueError("need at least one frontend process and one device")
+        if self.processes_per_device < 1:
+            raise ValueError("processes_per_device must be >= 1")
+        if self.devices_per_server < 1 or self.n_devices % self.devices_per_server:
+            raise ValueError("devices_per_server must divide n_devices")
+        if self.replicas > self.n_devices:
+            raise ValueError("cannot place more replicas than devices")
+        for idx, _profile in self.hdd_overrides:
+            if not 0 <= idx < self.n_devices:
+                raise ValueError(f"hdd_overrides device index {idx} out of range")
+        split = self.cache_split
+        if len(split) != 3 or any(f < 0.0 for f in split) or sum(split) > 1.0 + 1e-9:
+            raise ValueError("cache_split must be three fractions summing to <= 1")
+
+    @property
+    def n_backend_servers(self) -> int:
+        return self.n_devices // self.devices_per_server
+
+    def hdd_for(self, device_index: int) -> HddProfile:
+        for idx, profile in self.hdd_overrides:
+            if idx == device_index:
+                return profile
+        return self.hdd
+
+
+class Cluster:
+    """The assembled simulated system."""
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        object_sizes: np.ndarray,
+        seed: int = 0,
+        *,
+        record_disk_samples: bool = False,
+    ) -> None:
+        self.config = config
+        self.object_sizes = np.asarray(object_sizes, dtype=np.int64)
+        if self.object_sizes.size == 0 or np.any(self.object_sizes <= 0):
+            raise ValueError("object sizes must be positive")
+        self.sim = Simulator()
+        self.rng = RngStreams(seed)
+        self.metrics = MetricsRecorder(record_disk_samples=record_disk_samples)
+        self.ring = HashRing(
+            config.n_partitions,
+            config.n_devices,
+            config.replicas,
+            self.rng.stream("ring"),
+        )
+
+        # Backend: three cache budgets per server (index slab, xattr,
+        # page cache), one disk + N_be processes per device.
+        self.caches: list[tuple[LruCache, LruCache, LruCache]] = [
+            tuple(
+                LruCache(int(frac * config.cache_bytes_per_server))
+                for frac in config.cache_split
+            )
+            for _ in range(config.n_backend_servers)
+        ]
+        from repro.simulator.scanner import MaintenanceScanner
+
+        self.scanners: list[MaintenanceScanner | None] = []
+        for s in range(config.n_backend_servers):
+            if config.scanner_rate > 0.0:
+                idx_cache, meta_cache, data_cache = self.caches[s]
+                self.scanners.append(
+                    MaintenanceScanner(
+                        idx_cache,
+                        meta_cache,
+                        data_cache,
+                        self.object_sizes,
+                        config.chunk_bytes,
+                        config.scanner_rate,
+                        data_rate_fraction=config.scanner_data_fraction,
+                        phase=(s * self.object_sizes.size) // max(
+                            config.n_backend_servers, 1
+                        ),
+                    )
+                )
+            else:
+                self.scanners.append(None)
+
+        self.devices: list[StorageDevice] = []
+        for d in range(config.n_devices):
+            server = d // config.devices_per_server
+            disk = Disk(
+                self.sim,
+                config.hdd_for(d),
+                self.rng.stream(f"disk{d}"),
+                recorder=self.metrics,
+            )
+            dev = StorageDevice(
+                self.sim,
+                device_id=d,
+                name=f"dev{d}",
+                disk=disk,
+                caches=self.caches[server],
+                network=config.network,
+                n_processes=config.processes_per_device,
+                chunk_bytes=config.chunk_bytes,
+                object_sizes=self.object_sizes,
+                parse_dist=config.parse_be,
+                rng=self.rng.stream(f"parse-be{d}"),
+                accept_overhead=config.accept_overhead,
+                listen_backlog=config.listen_backlog,
+            )
+            dev.on_complete = self.metrics.record_request
+            dev.on_write_ack = self._handle_write_ack
+            dev.scanner = self.scanners[server]
+            self.devices.append(dev)
+
+        self.frontends = [
+            FrontendProcess(
+                self.sim,
+                fid=f,
+                parse_dist=config.parse_fe,
+                ring=self.ring,
+                devices=self.devices,
+                network=config.network,
+                rng=self.rng.stream(f"fe{f}"),
+                timeout=config.request_timeout,
+                max_retries=config.max_retries,
+            )
+            for f in range(config.n_frontend_processes)
+        ]
+        self._lb_rng = self.rng.stream("load-balancer")
+        self._next_rid = 0
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+    def dispatch(
+        self, object_id: int, is_write: bool = False, is_delete: bool = False
+    ) -> Request:
+        """Inject one request now, via a uniformly random frontend
+        process (ssbench's built-in load balancing)."""
+        req = Request(
+            self._next_rid,
+            int(object_id),
+            int(self.object_sizes[int(object_id)]),
+            self.config.chunk_bytes,
+            is_write=is_write,
+            is_delete=is_delete,
+        )
+        self._next_rid += 1
+        fe = self.frontends[self._lb_rng.integers(len(self.frontends))]
+        fe.submit(req)
+        return req
+
+    def _handle_write_ack(self, req: Request) -> None:
+        """Quorum tracking for replicated writes: respond to the client
+        (and record the request) when the majority has acked."""
+        req.write_acks += 1
+        if req.write_acks == req.write_quorum:
+            req.first_byte_time = self.sim.now
+            req.completion_time = self.sim.now
+            self.metrics.record_request(req)
+
+    def schedule_arrivals(
+        self,
+        times: np.ndarray,
+        object_ids: np.ndarray,
+        writes: np.ndarray | None = None,
+    ) -> None:
+        """Pre-schedule an open-loop arrival sequence."""
+        times = np.asarray(times, dtype=float)
+        object_ids = np.asarray(object_ids)
+        if times.shape != object_ids.shape:
+            raise ValueError("times and object_ids must have matching shapes")
+        if writes is None:
+            for t, obj in zip(times, object_ids):
+                self.sim.schedule_at(float(t), self.dispatch, int(obj))
+        else:
+            writes = np.asarray(writes, dtype=bool)
+            if writes.shape != times.shape:
+                raise ValueError("writes must match times in shape")
+            for t, obj, w in zip(times, object_ids, writes):
+                self.sim.schedule_at(float(t), self.dispatch, int(obj), bool(w))
+
+    def run_until(self, t_end: float) -> None:
+        self.sim.run_until(t_end)
+
+    def drain(self, *, max_events: int | None = 50_000_000) -> int:
+        """Finish all in-flight work (end of an experiment)."""
+        return self.sim.run_until_idle(max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # warmup & windows
+    # ------------------------------------------------------------------
+    def warm_caches(self, object_ids: np.ndarray) -> None:
+        """Replay an access stream against the caches without simulating
+        time (substitutes for the paper's 3-hour warmup phase).  Each
+        access warms one randomly chosen replica, like real GETs would."""
+        rng = self.rng.stream("warmup")
+        for obj in np.asarray(object_ids):
+            dev = self.devices[self.ring.pick(int(obj), rng)]
+            dev.warm(np.asarray([obj]))
+        for server_caches in self.caches:
+            for cache in server_caches:
+                cache.reset_counters()
+
+    def reset_window_counters(self) -> None:
+        for dev in self.devices:
+            dev.counters.reset()
+        for server_caches in self.caches:
+            for cache in server_caches:
+                cache.reset_counters()
+
+    # ------------------------------------------------------------------
+    @property
+    def total_disk_ops(self) -> int:
+        return sum(dev.disk.ops_served for dev in self.devices)
+
+    def state_summary(self) -> dict:
+        """Instantaneous queue/state snapshot for debugging and tests.
+
+        Everything a live dashboard would show: per-device operation
+        backlogs, pool/SYN depths, disk queues, cache fills, frontend
+        queue lengths and the event horizon."""
+        return {
+            "now": self.sim.now,
+            "pending_events": self.sim.pending_events,
+            "frontend_queue_lengths": [fe.queue_length for fe in self.frontends],
+            "devices": [
+                {
+                    "name": dev.name,
+                    "process_queue_lengths": [
+                        len(p.queue) + (1 if p.busy else 0) for p in dev.processes
+                    ],
+                    "pool_depth": len(dev.pool),
+                    "syn_queue_depth": len(dev.syn_queue),
+                    "disk_backlog": dev.disk.queue_length
+                    + (1 if dev.disk.busy else 0),
+                    "cache_fill": {
+                        "index": dev.index_cache.used_bytes,
+                        "meta": dev.meta_cache.used_bytes,
+                        "data": dev.data_cache.used_bytes,
+                    },
+                }
+                for dev in self.devices
+            ],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        c = self.config
+        return (
+            f"Cluster(fe={c.n_frontend_processes}, devices={c.n_devices}, "
+            f"Nbe={c.processes_per_device}, objects={self.object_sizes.size})"
+        )

@@ -1,0 +1,175 @@
+"""HDD service-time model and FCFS disk server.
+
+The paper's backend stores objects on commodity HDDs (Section II: cloud
+object stores buy capacity, not IOPS).  The hardware model here produces
+the three operation classes of Section III-B with distinct, Gamma-shaped
+service-time distributions -- which is what lets the Section IV-A
+calibration (fill the disk, random-read, fit Gamma) reproduce Fig 5:
+
+* **index lookup** (file open): directory + inode block reads -- about
+  two short positioning rounds (seek + rotational latency) plus tiny
+  transfers;
+* **metadata read** (xattr read): one positioning round, small transfer;
+* **data read** (one chunk): one positioning round plus
+  ``chunk_bytes / transfer_rate`` of media transfer.
+
+Positioning = Gamma-distributed seek (mean a few ms, moderate shape --
+short seeks dominate under random access) + Uniform(0, full revolution)
+rotational latency + fixed controller overhead.  Sums of these are
+unimodal and right-skewed; a Gamma fits them with small KS distance,
+exactly the paper's empirical finding.
+
+:class:`Disk` wraps the hardware model as a FCFS single server inside the
+event kernel.  The storage *processes* block while their operation is on
+the disk, so the number of outstanding operations never exceeds the
+number of processes -- the structure the paper approximates by M/M/1/K
+with ``K = N_be``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Callable
+
+import numpy as np
+
+from repro.simulator.core import Simulator
+
+__all__ = ["HddProfile", "Disk", "OP_INDEX", "OP_META", "OP_DATA", "OP_WRITE"]
+
+OP_INDEX = "index"
+OP_META = "meta"
+OP_DATA = "data"
+OP_WRITE = "write"
+
+
+@dataclasses.dataclass(frozen=True)
+class HddProfile:
+    """Hardware parameters of one spindle.
+
+    Defaults approximate a 7200-rpm 1 TB nearline SATA drive of the
+    paper's era (2016): ~4 ms average seek under random load, 8.33 ms
+    full revolution, ~150 MB/s outer-track streaming rate.
+    """
+
+    seek_shape: float = 1.6
+    seek_mean: float = 0.004
+    rotation_period: float = 1.0 / 120.0  # 7200 rpm
+    transfer_rate: float = 150e6  # bytes / second
+    controller_overhead: float = 0.0002
+    index_rounds: int = 2
+    index_transfer_bytes: int = 4096
+    meta_transfer_bytes: int = 4096
+    #: Durability cost of a chunk write: journal commit / fsync barrier,
+    #: roughly one extra platter revolution on 2016-era drives.
+    write_flush_overhead: float = 0.008
+
+    def __post_init__(self) -> None:
+        if min(
+            self.seek_shape,
+            self.seek_mean,
+            self.rotation_period,
+            self.transfer_rate,
+        ) <= 0.0:
+            raise ValueError("HddProfile parameters must be positive")
+        if self.controller_overhead < 0.0:
+            raise ValueError("controller_overhead must be >= 0")
+        if self.index_rounds < 1:
+            raise ValueError("index_rounds must be >= 1")
+
+    # ------------------------------------------------------------------
+    def _positioning(self, rng: np.random.Generator, rounds: int = 1) -> float:
+        seek = rng.gamma(self.seek_shape * rounds, self.seek_mean / self.seek_shape)
+        rotation = rng.random(rounds).sum() * self.rotation_period
+        return seek + rotation + rounds * self.controller_overhead
+
+    def service_time(self, kind: str, nbytes: int, rng: np.random.Generator) -> float:
+        """Sample a raw service time for one disk operation."""
+        if kind == OP_INDEX:
+            return self._positioning(rng, self.index_rounds) + (
+                self.index_transfer_bytes / self.transfer_rate
+            )
+        if kind == OP_META:
+            return self._positioning(rng, 1) + (
+                self.meta_transfer_bytes / self.transfer_rate
+            )
+        if kind == OP_DATA:
+            return self._positioning(rng, 1) + nbytes / self.transfer_rate
+        if kind == OP_WRITE:
+            return (
+                self._positioning(rng, 1)
+                + nbytes / self.transfer_rate
+                + self.write_flush_overhead
+            )
+        raise ValueError(f"unknown disk operation kind {kind!r}")
+
+    def mean_service_time(self, kind: str, nbytes: int = 0) -> float:
+        """Analytic mean of :meth:`service_time` (used by sanity tests)."""
+        pos = self.seek_mean + 0.5 * self.rotation_period + self.controller_overhead
+        if kind == OP_INDEX:
+            return self.index_rounds * pos + self.index_transfer_bytes / self.transfer_rate
+        if kind == OP_META:
+            return pos + self.meta_transfer_bytes / self.transfer_rate
+        if kind == OP_DATA:
+            return pos + nbytes / self.transfer_rate
+        if kind == OP_WRITE:
+            return pos + nbytes / self.transfer_rate + self.write_flush_overhead
+        raise ValueError(f"unknown disk operation kind {kind!r}")
+
+
+class Disk:
+    """A FCFS single-server disk inside the simulation.
+
+    ``submit(kind, nbytes, done)`` enqueues one operation; ``done()``
+    fires when it completes.  Per-operation service samples are recorded
+    (kind, service-time) when a recorder is attached, feeding the online
+    service-time estimation of Section IV-B.
+    """
+
+    __slots__ = ("sim", "profile", "rng", "_queue", "_busy", "recorder", "ops_served")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: HddProfile,
+        rng: np.random.Generator,
+        recorder=None,
+    ) -> None:
+        self.sim = sim
+        self.profile = profile
+        self.rng = rng
+        self._queue: deque[tuple[str, int, Callable]] = deque()
+        self._busy = False
+        self.recorder = recorder
+        self.ops_served = 0
+
+    @property
+    def queue_length(self) -> int:
+        """Operations waiting (excluding the one in service)."""
+        return len(self._queue)
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    def submit(self, kind: str, nbytes: int, done: Callable) -> None:
+        if self._busy:
+            self._queue.append((kind, nbytes, done))
+            return
+        self._start(kind, nbytes, done)
+
+    def _start(self, kind: str, nbytes: int, done: Callable) -> None:
+        self._busy = True
+        service = self.profile.service_time(kind, nbytes, self.rng)
+        if self.recorder is not None:
+            self.recorder.record_disk_op(kind, service)
+        self.sim.schedule(service, self._complete, done)
+
+    def _complete(self, done: Callable) -> None:
+        self.ops_served += 1
+        self._busy = False
+        if self._queue:
+            kind, nbytes, next_done = self._queue.popleft()
+            self._start(kind, nbytes, next_done)
+        done()

@@ -1,0 +1,150 @@
+"""Frontend tier: event-driven proxy processes (Section III-C).
+
+Each frontend process is a FCFS queue of request-parsing operations
+(M/G/1 in the model).  After parsing, the process routes the request via
+the hash ring and opens TCP connections toward the chosen device(s) --
+the connect lands in the device's pool one network latency later, where
+the accept()-wait of the paper begins.
+
+Reads (GET) go to one random replica, as Swift's proxy does.  Writes
+(PUT) fan out to *all* replicas and complete at a majority quorum,
+Swift's write semantics; the paper's model covers reads only (its
+"read-heavy workloads" assumption), so the write path exists to measure
+what that assumption costs (see the write-fraction tests).
+
+When ``timeout`` is configured, a read that has produced no first byte
+within the deadline is retried on a *different* replica (Swift's
+node-error-limiting behaviour); the abandoned replica keeps working on
+the stale request -- wasted service, exactly as in production.  The
+paper's "normal status" assumption excludes this regime; the simulator
+includes it so the boundary of the model's validity is testable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.distributions import Distribution
+from repro.simulator.backend import Connection, StorageDevice
+from repro.simulator.core import Simulator
+from repro.simulator.network import NetworkProfile
+from repro.simulator.request import Request
+from repro.simulator.ring import HashRing
+
+__all__ = ["FrontendProcess"]
+
+
+class FrontendProcess:
+    """One event-driven proxy worker."""
+
+    __slots__ = (
+        "sim",
+        "fid",
+        "parse_dist",
+        "ring",
+        "devices",
+        "network",
+        "queue",
+        "busy",
+        "timeout",
+        "max_retries",
+        "timeouts_fired",
+        "_rng",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fid: int,
+        parse_dist: Distribution,
+        ring: HashRing,
+        devices: list[StorageDevice],
+        network: NetworkProfile,
+        rng: np.random.Generator,
+        *,
+        timeout: float | None = None,
+        max_retries: int = 1,
+    ) -> None:
+        if timeout is not None and timeout <= 0.0:
+            raise ValueError("timeout must be positive (or None)")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.sim = sim
+        self.fid = fid
+        self.parse_dist = parse_dist
+        self.ring = ring
+        self.devices = devices
+        self.network = network
+        self.queue: deque[Request] = deque()
+        self.busy = False
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.timeouts_fired = 0
+        self._rng = rng
+
+    # ------------------------------------------------------------------
+    def submit(self, req: Request) -> None:
+        """A request arrives from the load balancer."""
+        req.arrival_time = self.sim.now
+        req.frontend_id = self.fid
+        self.queue.append(req)
+        if not self.busy:
+            self._next()
+
+    def _next(self) -> None:
+        if not self.queue:
+            self.busy = False
+            return
+        self.busy = True
+        req = self.queue.popleft()
+        req.parse_start_time = self.sim.now
+        parse_time = float(self.parse_dist.sample(self._rng))
+        self.sim.schedule(parse_time, self._after_parse, req)
+
+    def _after_parse(self, req: Request) -> None:
+        if req.is_write:
+            self._send_write(req)
+        else:
+            self._send_read(req, exclude=-1)
+        self._next()
+
+    # ------------------------------------------------------------------
+    # reads: one replica, optional timeout + retry on another
+    # ------------------------------------------------------------------
+    def _send_read(self, req: Request, exclude: int) -> None:
+        replicas = self.ring.devices_for(req.object_id)
+        candidates = [int(d) for d in replicas if int(d) != exclude]
+        device = self.devices[candidates[self._rng.integers(len(candidates))]]
+        self.sim.schedule(self.network.latency, device.connect, Connection(req, self))
+        if self.timeout is not None:
+            self.sim.schedule(
+                self.timeout, self._check_timeout, req, req.retries, device.device_id
+            )
+
+    def _check_timeout(self, req: Request, attempt: int, device_id: int) -> None:
+        if req.first_byte_time >= 0.0:
+            return  # answered in time
+        if attempt != req.retries or req.retries >= self.max_retries:
+            return  # a newer attempt is in flight, or retries exhausted
+        req.retries += 1
+        req.timed_out = True
+        self.timeouts_fired += 1
+        self._send_read(req, exclude=device_id)
+
+    # ------------------------------------------------------------------
+    # writes: fan out to every replica, majority quorum
+    # ------------------------------------------------------------------
+    def _send_write(self, req: Request) -> None:
+        replicas = self.ring.devices_for(req.object_id)
+        req.write_quorum = len(replicas) // 2 + 1
+        for dev_idx in replicas:
+            device = self.devices[int(dev_idx)]
+            self.sim.schedule(
+                self.network.latency, device.connect, Connection(req, self)
+            )
+
+    @property
+    def queue_length(self) -> int:
+        return len(self.queue)

@@ -1,0 +1,185 @@
+"""Measurement plane of the simulator.
+
+Collects three families of observations:
+
+* **request records** -- one row per completed request (arrival time,
+  response/full latency, per-stage waits, device id) stored in flat
+  Python lists and exported as numpy arrays for vectorised reduction
+  (per the HPC guides: accumulate cheaply, reduce in bulk);
+* **disk-operation samples** -- (kind, service time) pairs feeding the
+  Section IV calibration;
+* the window utilities that turn request rows into the paper's
+  "percentile of requests meeting SLA per 5-minute window" series.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.simulator.request import Request
+
+__all__ = ["MetricsRecorder", "RequestTable", "sla_percentile", "sla_percentile_ci"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RequestTable:
+    """Columnar view of completed requests."""
+
+    arrival: np.ndarray
+    response_latency: np.ndarray
+    full_latency: np.ndarray
+    accept_wait: np.ndarray
+    frontend_sojourn: np.ndarray
+    backend_response: np.ndarray
+    device_id: np.ndarray
+    n_chunks: np.ndarray
+    is_write: np.ndarray
+    retries: np.ndarray
+
+    def __len__(self) -> int:
+        return self.arrival.size
+
+    def window(self, t_start: float, t_end: float) -> "RequestTable":
+        """Rows whose *arrival* falls in ``[t_start, t_end)``."""
+        mask = (self.arrival >= t_start) & (self.arrival < t_end)
+        return RequestTable(
+            *(getattr(self, f.name)[mask] for f in dataclasses.fields(self))
+        )
+
+    def for_device(self, device_id: int) -> "RequestTable":
+        mask = self.device_id == device_id
+        return RequestTable(
+            *(getattr(self, f.name)[mask] for f in dataclasses.fields(self))
+        )
+
+    def reads(self) -> "RequestTable":
+        mask = ~self.is_write
+        return RequestTable(
+            *(getattr(self, f.name)[mask] for f in dataclasses.fields(self))
+        )
+
+    def writes(self) -> "RequestTable":
+        mask = self.is_write
+        return RequestTable(
+            *(getattr(self, f.name)[mask] for f in dataclasses.fields(self))
+        )
+
+
+def sla_percentile(latencies: np.ndarray, sla_seconds: float) -> float:
+    """Observed fraction of requests meeting the SLA."""
+    if latencies.size == 0:
+        raise ValueError("no requests observed in window")
+    return float(np.count_nonzero(latencies <= sla_seconds)) / latencies.size
+
+
+def sla_percentile_ci(
+    latencies: np.ndarray, sla_seconds: float, confidence: float = 0.95
+) -> tuple[float, float, float]:
+    """Observed SLA percentile with a Wilson score interval.
+
+    Returns ``(estimate, lower, upper)``.  The Wilson interval behaves
+    sensibly at the extremes (estimates of 0 or 1 still get non-trivial
+    bounds), which matters for the near-saturation windows where almost
+    nothing meets the SLA and for light-load windows where almost
+    everything does.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    n = latencies.size
+    p = sla_percentile(latencies, sla_seconds)
+    from scipy import stats as _stats
+
+    z = float(_stats.norm.ppf(0.5 + confidence / 2.0))
+    denom = 1.0 + z * z / n
+    centre = (p + z * z / (2 * n)) / denom
+    half = (z / denom) * np.sqrt(p * (1 - p) / n + z * z / (4 * n * n))
+    return p, max(0.0, centre - half), min(1.0, centre + half)
+
+
+class MetricsRecorder:
+    """Accumulates request completions and disk-op samples."""
+
+    __slots__ = ("_rows", "_disk_samples", "record_disk_samples")
+
+    def __init__(self, *, record_disk_samples: bool = True) -> None:
+        self._rows: list[tuple] = []
+        self._disk_samples: dict[str, list[float]] = {}
+        self.record_disk_samples = record_disk_samples
+
+    # ------------------------------------------------------------------
+    def record_request(self, req: Request) -> None:
+        self._rows.append(
+            (
+                req.arrival_time,
+                req.response_latency,
+                req.full_latency,
+                req.accept_wait,
+                req.frontend_sojourn,
+                req.backend_response,
+                req.device_id,
+                req.n_chunks,
+                req.is_write,
+                req.retries,
+            )
+        )
+
+    def record_disk_op(self, kind: str, service_time: float) -> None:
+        if not self.record_disk_samples:
+            return
+        self._disk_samples.setdefault(kind, []).append(service_time)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_requests(self) -> int:
+        return len(self._rows)
+
+    def requests(self) -> RequestTable:
+        if not self._rows:
+            empty = np.empty(0)
+            iempty = np.empty(0, dtype=int)
+            return RequestTable(
+                empty, empty, empty, empty, empty, empty,
+                iempty, iempty, np.empty(0, dtype=bool), iempty,
+            )
+        cols = list(zip(*self._rows))
+        return RequestTable(
+            np.asarray(cols[0], dtype=float),
+            np.asarray(cols[1], dtype=float),
+            np.asarray(cols[2], dtype=float),
+            np.asarray(cols[3], dtype=float),
+            np.asarray(cols[4], dtype=float),
+            np.asarray(cols[5], dtype=float),
+            np.asarray(cols[6], dtype=int),
+            np.asarray(cols[7], dtype=int),
+            np.asarray(cols[8], dtype=bool),
+            np.asarray(cols[9], dtype=int),
+        )
+
+    def disk_samples(self, kind: str) -> np.ndarray:
+        return np.asarray(self._disk_samples.get(kind, ()), dtype=float)
+
+    def disk_mark(self) -> dict[str, int]:
+        """Snapshot sample counts; pair with :meth:`disk_samples_since`
+        to window disk observations (Section IV-B online aggregates)."""
+        return {kind: len(samples) for kind, samples in self._disk_samples.items()}
+
+    def disk_samples_since(self, mark: dict[str, int]) -> dict[str, np.ndarray]:
+        """Per-kind samples recorded after ``mark`` was taken."""
+        out = {}
+        for kind, samples in self._disk_samples.items():
+            start = mark.get(kind, 0)
+            out[kind] = np.asarray(samples[start:], dtype=float)
+        return out
+
+    def disk_sample_kinds(self) -> list[str]:
+        return sorted(self._disk_samples)
+
+    def clear_requests(self) -> None:
+        """Drop request rows (window boundaries) but keep disk samples."""
+        self._rows.clear()
+
+    def clear(self) -> None:
+        self._rows.clear()
+        self._disk_samples.clear()

@@ -1,0 +1,38 @@
+"""Network model.
+
+Section III-A assumes "sufficient resources of computation and network"
+(the Wikipedia cluster peaks at ~50 MB/s per backend against 1 Gbps
+links), so the network is modeled as an unloaded link: a fixed one-way
+latency plus serialisation delay at the configured bandwidth, with no
+queueing.  The analytic model folds these sub-millisecond delays into
+nothing at all; keeping them in the simulator (rather than zeroing them)
+preserves a small honest gap between model and "testbed".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["NetworkProfile"]
+
+
+@dataclasses.dataclass(frozen=True)
+class NetworkProfile:
+    """An unloaded full-duplex link (defaults: 1 Gbps, 100 us one-way)."""
+
+    latency: float = 100e-6
+    bandwidth: float = 125e6  # bytes/second (1 Gbps)
+
+    def __post_init__(self) -> None:
+        if self.latency < 0.0:
+            raise ValueError(f"latency must be >= 0, got {self.latency}")
+        if self.bandwidth <= 0.0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+
+    def transfer_delay(self, nbytes: int) -> float:
+        """One-way delivery time for ``nbytes``."""
+        return self.latency + nbytes / self.bandwidth
+
+    @property
+    def rtt(self) -> float:
+        return 2.0 * self.latency

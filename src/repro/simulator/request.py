@@ -1,0 +1,125 @@
+"""The request record threaded through the simulated system.
+
+One mutable, slotted object per GET request carries every timestamp the
+experiments need.  Latency semantics follow the paper:
+
+* the **response latency** used for SLA accounting is time-to-first-byte
+  measured at the frontend (``first_byte_time - arrival_time``): the
+  backend "starts responding a request after it gets the metadata and
+  the first data chunk" (Section III-B), and the paper measures at the
+  frontend server (Section V-A);
+* ``completion_time`` (last chunk delivered) is also recorded, for the
+  full-transfer diagnostics.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["Request"]
+
+_UNSET = -1.0
+
+
+class Request:
+    """Mutable per-request record (timestamps in simulated seconds)."""
+
+    __slots__ = (
+        "rid",
+        "object_id",
+        "size_bytes",
+        "n_chunks",
+        "is_write",
+        "is_delete",
+        "arrival_time",
+        "frontend_id",
+        "device_id",
+        "parse_start_time",
+        "connect_time",
+        "accepted_time",
+        "backend_enqueue_time",
+        "backend_start_time",
+        "first_byte_time",
+        "completion_time",
+        "stream_clock",
+        "write_acks",
+        "write_quorum",
+        "retries",
+        "timed_out",
+    )
+
+    def __init__(
+        self,
+        rid: int,
+        object_id: int,
+        size_bytes: int,
+        chunk_bytes: int,
+        *,
+        is_write: bool = False,
+        is_delete: bool = False,
+    ) -> None:
+        self.rid = rid
+        self.object_id = object_id
+        self.size_bytes = size_bytes
+        self.n_chunks = max(1, math.ceil(size_bytes / chunk_bytes))
+        # DELETEs are mutations too: they fan out to all replicas and
+        # complete at the same write quorum (Swift tombstones).
+        self.is_write = is_write or is_delete
+        self.is_delete = is_delete
+        self.arrival_time = _UNSET
+        self.frontend_id = -1
+        self.device_id = -1
+        self.parse_start_time = _UNSET
+        self.connect_time = _UNSET
+        self.accepted_time = _UNSET
+        self.backend_enqueue_time = _UNSET
+        self.backend_start_time = _UNSET
+        self.first_byte_time = _UNSET
+        self.completion_time = _UNSET
+        # Departure time of the last byte already written to the response
+        # stream; serialises chunk sends so later chunks cannot overtake
+        # earlier ones on the wire.
+        self.stream_clock = 0.0
+        # Write-path state: replica acknowledgements gathered so far and
+        # the quorum needed before the frontend answers the client.
+        self.write_acks = 0
+        self.write_quorum = 1
+        # Timeout/retry state (normal status = both stay zero/False).
+        self.retries = 0
+        self.timed_out = False
+
+    # ------------------------------------------------------------------
+    @property
+    def response_latency(self) -> float:
+        """Frontend-observed time to first byte (the SLA metric)."""
+        return self.first_byte_time - self.arrival_time
+
+    @property
+    def full_latency(self) -> float:
+        """Frontend-observed time to last byte."""
+        return self.completion_time - self.arrival_time
+
+    @property
+    def accept_wait(self) -> float:
+        """Observed waiting time for being accept()-ed (``W_a``)."""
+        return self.accepted_time - self.connect_time
+
+    @property
+    def frontend_sojourn(self) -> float:
+        """Observed ``S_q``: frontend queueing + parsing."""
+        return self.connect_time - self.arrival_time
+
+    @property
+    def backend_response(self) -> float:
+        """Observed ``S_be``: backend enqueue to first chunk read."""
+        return self.first_byte_time - self.backend_enqueue_time
+
+    @property
+    def is_complete(self) -> bool:
+        return self.completion_time != _UNSET
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Request(rid={self.rid}, obj={self.object_id}, "
+            f"size={self.size_bytes}, chunks={self.n_chunks})"
+        )

@@ -1,0 +1,96 @@
+"""Swift-style consistent-hash ring: partitions, replicas, placement.
+
+The testbed maps objects to 1,024 partitions by hashing; each partition
+has 3 replicas, evenly distributed so that replicas of one partition land
+on distinct devices (Section V-A).  GETs choose a replica at random --
+the paper notes this randomness ("randomness exists in the replica
+choosing scheme of OpenStack Swift") as the reason its experiment runs
+are not point-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["HashRing"]
+
+#: Knuth multiplicative hash constant -- a stable object_id -> partition map.
+_HASH_MULT = 2654435761
+
+
+class HashRing:
+    """Partition-to-device assignment with replica placement."""
+
+    __slots__ = ("n_partitions", "n_devices", "replicas", "assignment")
+
+    def __init__(
+        self,
+        n_partitions: int,
+        n_devices: int,
+        replicas: int,
+        rng: np.random.Generator,
+    ) -> None:
+        if n_partitions < 1 or n_devices < 1:
+            raise ValueError("need at least one partition and one device")
+        if not 1 <= replicas <= n_devices:
+            raise ValueError(
+                f"replicas must be in [1, n_devices={n_devices}], got {replicas}"
+            )
+        self.n_partitions = n_partitions
+        self.n_devices = n_devices
+        self.replicas = replicas
+        self.assignment = self._build(rng)
+
+    def _build(self, rng: np.random.Generator) -> np.ndarray:
+        """(n_partitions, replicas) device indices, balanced and distinct.
+
+        Swift's ring builder balances by always giving the next replica
+        to the least-loaded eligible device; we do the same with random
+        tie-breaking, which keeps every device's total assignment within
+        one partition of the ideal share.
+        """
+        out = np.empty((self.n_partitions, self.replicas), dtype=np.int32)
+        loads = np.zeros(self.n_devices, dtype=np.int64)
+        parts = rng.permutation(self.n_partitions)
+        for part in parts:
+            used: list[int] = []
+            for rank in range(self.replicas):
+                # Least-loaded device not already holding this partition,
+                # random among ties.
+                candidates = [d for d in range(self.n_devices) if d not in used]
+                min_load = min(loads[d] for d in candidates)
+                ties = [d for d in candidates if loads[d] == min_load]
+                dev = int(ties[rng.integers(len(ties))])
+                out[part, rank] = dev
+                loads[dev] += 1
+                used.append(dev)
+        return out
+
+    # ------------------------------------------------------------------
+    def partition_of(self, object_id: int) -> int:
+        return (object_id * _HASH_MULT) % self.n_partitions
+
+    def devices_for(self, object_id: int) -> np.ndarray:
+        """All replica device indices for an object."""
+        return self.assignment[self.partition_of(object_id)]
+
+    def pick(self, object_id: int, rng: np.random.Generator) -> int:
+        """Random-replica GET routing (Swift behaviour)."""
+        devices = self.devices_for(object_id)
+        return int(devices[rng.integers(devices.size)])
+
+    def device_load_share(self, popularity: np.ndarray) -> np.ndarray:
+        """Expected request-rate share per device for a popularity vector.
+
+        ``popularity[i]`` is the access probability of object ``i``; each
+        access goes to a uniformly random replica.  Used by the harness
+        to derive per-device rates without simulating.
+        """
+        popularity = np.asarray(popularity, dtype=float)
+        shares = np.zeros(self.n_devices)
+        parts = (np.arange(popularity.size) * _HASH_MULT) % self.n_partitions
+        per_replica = popularity / self.replicas
+        for rank in range(self.replicas):
+            devs = self.assignment[parts, rank]
+            np.add.at(shares, devs, per_replica)
+        return shares / max(popularity.sum(), 1e-300)

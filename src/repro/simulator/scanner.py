@@ -1,0 +1,171 @@
+"""Background maintenance scans (Swift auditors / replicators).
+
+Production Swift backends never serve requests from a quiet machine:
+
+* the **object replicator** walks the whole namespace (rsync listings),
+  touching every inode -- index-cache traffic;
+* the **object auditor** stats every object and reads its xattrs and
+  full contents to verify checksums -- metadata- and page-cache traffic
+  (2016-era Swift read audit data through the buffered page cache; the
+  resulting pollution was a known operational issue).
+
+All three walks proceed at roughly constant rates, *uniformly* over the
+namespace and independently of request popularity.  Their visible effect
+on the caches is steady pollution: cold entries stream through, so
+whether a request's index lookup / metadata read / data read hits is no
+longer a deterministic function of object popularity -- which is the
+regime the paper's independent ``m_index/m_meta/m_data`` model
+describes.
+
+We model the cache-side effect only (auditor disk I/O is rate-limited
+and absorbed into the benchmarked service-time distributions): three
+cyclic uniform walks, each following a *different* stride permutation of
+the object space so the sets they keep resident are mutually
+pseudo-independent.  The scanner is advanced lazily from request
+arrivals (no self-scheduling events), so an idle simulation still
+drains; touch counts are exact in aggregate (``rate * elapsed``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.simulator.cache import LruCache
+
+__all__ = ["MaintenanceScanner"]
+
+#: Entry sizes must match the request path's so scan entries displace
+#: request entries one-for-one.
+from repro.simulator.backend import INDEX_ENTRY_BYTES, META_ENTRY_BYTES
+
+#: Upper bound on touches applied per kind in one lazy advance (guards a
+#: long idle gap; after a full cache turnover more touches are moot).
+_MAX_BATCH = 20_000
+
+
+def _coprime_stride(n: int, fraction: float) -> int:
+    """A stride near ``fraction * n`` that is coprime with ``n`` (so the
+    strided walk visits every object before repeating)."""
+    stride = max(1, int(fraction * n)) % n or 1
+    while math.gcd(stride, n) != 1:
+        stride = (stride + 1) % n or 1
+    return stride
+
+
+class _Walk:
+    """One cyclic strided walk over ``n`` objects."""
+
+    __slots__ = ("n", "stride", "pos", "carry", "speed")
+
+    def __init__(self, n: int, stride: int, phase: int, speed: float) -> None:
+        self.n = n
+        self.stride = stride
+        self.pos = phase % n
+        self.carry = 0.0
+        self.speed = speed
+
+    def take(self, budget: float) -> int:
+        self.carry += budget * self.speed
+        count = min(int(self.carry), _MAX_BATCH)
+        self.carry -= count
+        return count
+
+    def step(self) -> int:
+        out = self.pos
+        self.pos = (self.pos + self.stride) % self.n
+        return out
+
+
+class MaintenanceScanner:
+    """Uniform cyclic cache-touch process for one backend server."""
+
+    __slots__ = (
+        "index_cache",
+        "meta_cache",
+        "data_cache",
+        "object_sizes",
+        "chunk_bytes",
+        "rate",
+        "data_rate_fraction",
+        "_index_walk",
+        "_meta_walk",
+        "_data_walk",
+        "_last_time",
+        "touches",
+    )
+
+    def __init__(
+        self,
+        index_cache: LruCache,
+        meta_cache: LruCache,
+        data_cache: LruCache | None,
+        object_sizes: np.ndarray,
+        chunk_bytes: int,
+        rate: float,
+        *,
+        data_rate_fraction: float = 0.5,
+        start_time: float = 0.0,
+        phase: int = 0,
+    ) -> None:
+        if rate < 0.0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        n = int(object_sizes.size)
+        if n < 1:
+            raise ValueError("need at least one object")
+        self.index_cache = index_cache
+        self.meta_cache = meta_cache
+        self.data_cache = data_cache
+        self.object_sizes = object_sizes
+        self.chunk_bytes = chunk_bytes
+        self.rate = rate
+        self.data_rate_fraction = data_rate_fraction
+        # Three mutually pseudo-independent permutation walks: the
+        # replicator in natural order, the auditor xattr pass and data
+        # pass on golden-ratio-flavoured strides.
+        self._index_walk = _Walk(n, 1, phase, 1.0)
+        self._meta_walk = _Walk(n, _coprime_stride(n, 0.6180339887), phase, 0.85)
+        self._data_walk = _Walk(
+            n, _coprime_stride(n, 0.3819660113), phase, data_rate_fraction
+        )
+        self._last_time = start_time
+        self.touches = 0
+
+    def advance(self, now: float) -> None:
+        """Apply all scan touches that accrued since the last advance."""
+        if self.rate == 0.0 or now <= self._last_time:
+            return
+        budget = (now - self._last_time) * self.rate
+        self._last_time = now
+
+        walk = self._index_walk
+        cache = self.index_cache
+        count = walk.take(budget)
+        for _ in range(count):
+            cache.access(walk.step(), INDEX_ENTRY_BYTES)
+        self.touches += count
+
+        walk = self._meta_walk
+        cache = self.meta_cache
+        count = walk.take(budget)
+        for _ in range(count):
+            cache.access(walk.step(), META_ENTRY_BYTES)
+        self.touches += count
+
+        if self.data_cache is not None:
+            walk = self._data_walk
+            cache = self.data_cache
+            sizes = self.object_sizes
+            chunk = self.chunk_bytes
+            count = walk.take(budget)
+            for _ in range(count):
+                obj = walk.step()
+                size = int(sizes[obj])
+                n_chunks = max(1, -(-size // chunk))
+                for idx in range(n_chunks):
+                    nbytes = (
+                        chunk if idx + 1 < n_chunks else size - (n_chunks - 1) * chunk
+                    )
+                    cache.access((obj, idx), nbytes)
+            self.touches += count

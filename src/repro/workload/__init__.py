@@ -1,0 +1,30 @@
+"""Workload substrate: catalogs, traces, arrival schedules, drivers."""
+
+from repro.workload.analysis import (
+    arrival_rate_series,
+    fit_zipf_exponent,
+    interarrival_cv,
+    popularity_from_trace,
+    working_set_size,
+)
+from repro.workload.arrivals import RatePhase, RateSchedule, poisson_arrivals
+from repro.workload.catalog import ObjectCatalog
+from repro.workload.ssbench import ClosedLoopDriver, OpenLoopDriver
+from repro.workload.trace import Trace
+from repro.workload.wikipedia import WikipediaTraceGenerator
+
+__all__ = [
+    "arrival_rate_series",
+    "fit_zipf_exponent",
+    "interarrival_cv",
+    "popularity_from_trace",
+    "working_set_size",
+    "RatePhase",
+    "RateSchedule",
+    "poisson_arrivals",
+    "ObjectCatalog",
+    "ClosedLoopDriver",
+    "OpenLoopDriver",
+    "Trace",
+    "WikipediaTraceGenerator",
+]

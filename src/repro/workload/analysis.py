@@ -1,0 +1,105 @@
+"""Trace analysis: recover workload-model parameters from a raw trace.
+
+The paper's pipeline starts from a real trace (wikibench) and needs the
+workload's shape -- arrival rates over time, popularity skew, working-set
+size -- both to drive experiments and to feed the what-if machinery
+(e.g. Che's approximation wants a popularity vector).  This module
+extracts those from any :class:`~repro.workload.trace.Trace`:
+
+* :func:`arrival_rate_series` -- binned request rates (the monitoring
+  view of Section IV-B);
+* :func:`popularity_from_trace` -- empirical access-probability vector;
+* :func:`fit_zipf_exponent` -- the Zipf ``s`` via log-log least squares
+  over the rank-frequency curve (the standard diagnostic for long-tail
+  access, Section II's premise);
+* :func:`working_set_size` -- distinct objects within a window;
+* :func:`interarrival_cv` -- coefficient of variation of interarrival
+  gaps: ~1 supports the paper's Poisson-arrival assumption, >>1 flags
+  burstiness the model will mispredict.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workload.trace import Trace
+
+__all__ = [
+    "arrival_rate_series",
+    "popularity_from_trace",
+    "fit_zipf_exponent",
+    "working_set_size",
+    "interarrival_cv",
+]
+
+
+def arrival_rate_series(trace: Trace, bin_seconds: float) -> tuple[np.ndarray, np.ndarray]:
+    """``(bin_start_times, rates)`` over fixed-width bins."""
+    if bin_seconds <= 0.0:
+        raise ValueError("bin_seconds must be positive")
+    if len(trace) == 0:
+        return np.empty(0), np.empty(0)
+    t0 = float(trace.timestamps[0])
+    rel = trace.timestamps - t0
+    n_bins = int(rel[-1] // bin_seconds) + 1
+    counts = np.bincount((rel // bin_seconds).astype(int), minlength=n_bins)
+    times = t0 + np.arange(n_bins) * bin_seconds
+    return times, counts / bin_seconds
+
+
+def popularity_from_trace(trace: Trace, n_objects: int | None = None) -> np.ndarray:
+    """Empirical access-probability vector (0 for never-seen objects)."""
+    if len(trace) == 0:
+        raise ValueError("empty trace")
+    size = int(trace.object_ids.max()) + 1 if n_objects is None else n_objects
+    if size <= int(trace.object_ids.max()):
+        raise ValueError("n_objects smaller than the largest object id")
+    counts = np.bincount(trace.object_ids, minlength=size).astype(float)
+    return counts / counts.sum()
+
+
+def fit_zipf_exponent(
+    trace: Trace, *, min_count: int = 2
+) -> tuple[float, float]:
+    """Fit ``frequency ~ rank^-s`` by log-log least squares.
+
+    Only ranks with at least ``min_count`` observations enter the fit
+    (singletons flatten the measured tail far below the true law).
+    Returns ``(s, r_squared)``.
+    """
+    counts = np.bincount(trace.object_ids).astype(float)
+    counts = np.sort(counts[counts >= min_count])[::-1]
+    if counts.size < 10:
+        raise ValueError("too few repeated objects to fit a Zipf exponent")
+    ranks = np.arange(1, counts.size + 1, dtype=float)
+    x = np.log(ranks)
+    y = np.log(counts)
+    slope, intercept = np.polyfit(x, y, 1)
+    fitted = slope * x + intercept
+    ss_res = float(np.sum((y - fitted) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0.0 else 1.0
+    return -float(slope), r2
+
+
+def working_set_size(trace: Trace, window_seconds: float | None = None) -> int:
+    """Distinct objects accessed (optionally within the trailing window)."""
+    if len(trace) == 0:
+        return 0
+    if window_seconds is None:
+        ids = trace.object_ids
+    else:
+        cutoff = float(trace.timestamps[-1]) - window_seconds
+        ids = trace.object_ids[trace.timestamps >= cutoff]
+    return int(np.unique(ids).size)
+
+
+def interarrival_cv(trace: Trace) -> float:
+    """Coefficient of variation of interarrival gaps (Poisson -> ~1)."""
+    if len(trace) < 3:
+        raise ValueError("need at least three arrivals")
+    gaps = np.diff(trace.timestamps)
+    mean = gaps.mean()
+    if mean <= 0.0:
+        raise ValueError("degenerate timestamps")
+    return float(gaps.std() / mean)

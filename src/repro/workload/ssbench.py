@@ -1,0 +1,99 @@
+"""ssbench-like load driver (Section V-A).
+
+The paper modifies SwiftStack's ssbench to (a) replay traces, (b) issue
+requests in an *open loop* (arrivals fire on schedule regardless of
+completions -- the regime where queueing delays compound honestly), and
+(c) load-balance each request onto a random frontend.  The cluster's
+``dispatch`` already implements (c); this driver implements (a)/(b) plus
+the closed-loop mode used by the parse-latency benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulator.cluster import Cluster
+from repro.simulator.request import Request
+from repro.workload.trace import Trace
+
+__all__ = ["OpenLoopDriver", "ClosedLoopDriver"]
+
+
+class OpenLoopDriver:
+    """Replays a trace against a cluster on the simulated clock."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+
+    def load(self, trace: Trace, *, offset: float | None = None) -> None:
+        """Schedule every trace request as a future arrival.
+
+        ``offset`` shifts timestamps; default places the trace's first
+        request at the current simulated time.
+        """
+        if len(trace) == 0:
+            return
+        if offset is None:
+            offset = self.cluster.sim.now - float(trace.timestamps[0])
+        times = trace.timestamps + offset
+        if times.size and times[0] < self.cluster.sim.now:
+            raise ValueError("trace would schedule arrivals into the past")
+        self.cluster.schedule_arrivals(times, trace.object_ids, trace.writes)
+
+    def run(self, trace: Trace) -> None:
+        """Load the trace and simulate until its horizon."""
+        start = self.cluster.sim.now
+        self.load(trace)
+        self.cluster.run_until(start + trace.duration)
+
+
+class ClosedLoopDriver:
+    """Issues requests one at a time: the next fires when the previous
+    completes (max outstanding = 1, as the Section IV benchmarks demand).
+    """
+
+    def __init__(self, cluster: Cluster, think_time: float = 0.0) -> None:
+        if think_time < 0.0:
+            raise ValueError("think_time must be >= 0")
+        self.cluster = cluster
+        self.think_time = think_time
+        self._pending: list[int] = []
+        self._chain_hook_installed = False
+        self.completed: list[Request] = []
+
+    def run(self, object_ids: np.ndarray) -> list[Request]:
+        """Issue ``object_ids`` sequentially; returns completed requests."""
+        self._pending = [int(o) for o in object_ids][::-1]
+        self.completed = []
+        if not self._pending:
+            return self.completed
+        self._install_hook()
+        self._issue_next()
+        self.cluster.drain()
+        return self.completed
+
+    def _install_hook(self) -> None:
+        if self._chain_hook_installed:
+            return
+        original_hooks = [dev.on_complete for dev in self.cluster.devices]
+
+        def make_hook(orig):
+            def hook(req: Request) -> None:
+                if orig is not None:
+                    orig(req)
+                self._on_complete(req)
+
+            return hook
+
+        for dev, orig in zip(self.cluster.devices, original_hooks):
+            dev.on_complete = make_hook(orig)
+        self._chain_hook_installed = True
+
+    def _issue_next(self) -> None:
+        obj = self._pending.pop()
+        self.cluster.dispatch(obj)
+
+    def _on_complete(self, req: Request) -> None:
+        self.completed.append(req)
+        if self._pending:
+            self.cluster.sim.schedule(self.think_time, self._issue_next)

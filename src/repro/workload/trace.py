@@ -1,0 +1,137 @@
+"""Trace records and file I/O.
+
+A trace is the (timestamp, object_id) request stream -- the shape of the
+wikibench-derived media trace the paper replays (their trace lacks sizes
+too; they resolved sizes by re-fetching objects, we resolve them against
+the catalog).  Traces round-trip through ``.npz`` (compact, exact) and a
+wikibench-like text format (one ``timestamp object_id`` pair per line)
+for interoperability.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+import numpy as np
+
+__all__ = ["Trace"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Trace:
+    """An ordered request stream.
+
+    ``writes`` optionally flags PUTs; when omitted the trace is
+    all-GET, the paper's read-heavy regime.
+    """
+
+    timestamps: np.ndarray
+    object_ids: np.ndarray
+    writes: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        ts = np.asarray(self.timestamps, dtype=float)
+        ids = np.asarray(self.object_ids, dtype=np.int64)
+        if ts.ndim != 1 or ts.shape != ids.shape:
+            raise ValueError("timestamps and object_ids must be matching 1-D arrays")
+        if ts.size and np.any(np.diff(ts) < 0.0):
+            raise ValueError("timestamps must be non-decreasing")
+        if np.any(ids < 0):
+            raise ValueError("object ids must be non-negative")
+        object.__setattr__(self, "timestamps", ts)
+        object.__setattr__(self, "object_ids", ids)
+        if self.writes is not None:
+            w = np.asarray(self.writes, dtype=bool)
+            if w.shape != ts.shape:
+                raise ValueError("writes must match timestamps in shape")
+            object.__setattr__(self, "writes", w)
+
+    @property
+    def write_fraction(self) -> float:
+        if self.writes is None or len(self) == 0:
+            return 0.0
+        return float(self.writes.mean())
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.timestamps.size
+
+    @property
+    def duration(self) -> float:
+        return float(self.timestamps[-1] - self.timestamps[0]) if len(self) else 0.0
+
+    @property
+    def mean_rate(self) -> float:
+        dur = self.duration
+        return len(self) / dur if dur > 0.0 else float("inf")
+
+    def window(self, t_start: float, t_end: float) -> "Trace":
+        mask = (self.timestamps >= t_start) & (self.timestamps < t_end)
+        return Trace(
+            self.timestamps[mask],
+            self.object_ids[mask],
+            None if self.writes is None else self.writes[mask],
+        )
+
+    def rescaled(self, rate: float, rng: np.random.Generator | None = None) -> "Trace":
+        """Rewrite timestamps as Poisson arrivals at ``rate``, keeping
+        the object sequence -- the paper's timestamp rewriting trick
+        (Section V-B) that lets one trace drive any arrival rate."""
+        if rate <= 0.0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        rng = np.random.default_rng(0) if rng is None else rng
+        gaps = rng.exponential(1.0 / rate, len(self))
+        return Trace(np.cumsum(gaps), self.object_ids.copy())
+
+    def concatenated(self, other: "Trace") -> "Trace":
+        """Append ``other`` shifted to start where this trace ends."""
+        if len(self) == 0:
+            return other
+        shift = float(self.timestamps[-1])
+        return Trace(
+            np.concatenate([self.timestamps, other.timestamps + shift]),
+            np.concatenate([self.object_ids, other.object_ids]),
+        )
+
+    # ------------------------------------------------------------------
+    def save_npz(self, path: str | os.PathLike) -> None:
+        arrays = {"timestamps": self.timestamps, "object_ids": self.object_ids}
+        if self.writes is not None:
+            arrays["writes"] = self.writes
+        np.savez_compressed(path, **arrays)
+
+    @classmethod
+    def load_npz(cls, path: str | os.PathLike) -> "Trace":
+        with np.load(path) as data:
+            writes = data["writes"] if "writes" in data.files else None
+            return cls(data["timestamps"], data["object_ids"], writes)
+
+    def save_text(self, path: str | os.PathLike) -> None:
+        """wikibench-like text: ``timestamp object_id [is_write]`` lines."""
+        if self.writes is None:
+            np.savetxt(
+                path,
+                np.column_stack([self.timestamps, self.object_ids.astype(float)]),
+                fmt=("%.6f", "%d"),
+            )
+        else:
+            np.savetxt(
+                path,
+                np.column_stack(
+                    [
+                        self.timestamps,
+                        self.object_ids.astype(float),
+                        self.writes.astype(float),
+                    ]
+                ),
+                fmt=("%.6f", "%d", "%d"),
+            )
+
+    @classmethod
+    def load_text(cls, path: str | os.PathLike) -> "Trace":
+        data = np.loadtxt(path, ndmin=2)
+        if data.size == 0:
+            return cls(np.empty(0), np.empty(0, dtype=np.int64))
+        writes = data[:, 2].astype(bool) if data.shape[1] >= 3 else None
+        return cls(data[:, 0], data[:, 1].astype(np.int64), writes)

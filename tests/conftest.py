@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import Degenerate, Gamma
+from repro.model import (
+    CacheMissRatios,
+    DeviceParameters,
+    DiskLatencyProfile,
+    FrontendParameters,
+    SystemParameters,
+)
+from repro.workload import ObjectCatalog
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def disk_profile() -> DiskLatencyProfile:
+    """A realistic HDD-ish latency profile (means ~17 / 8.5 / 8.5 ms)."""
+    return DiskLatencyProfile(
+        index=Gamma(2.4, 140.0),
+        meta=Gamma(1.8, 210.0),
+        data=Gamma(2.0, 235.0),
+    )
+
+
+@pytest.fixture
+def device(disk_profile) -> DeviceParameters:
+    return DeviceParameters(
+        name="dev0",
+        request_rate=30.0,
+        data_read_rate=33.0,
+        miss_ratios=CacheMissRatios(0.4, 0.45, 0.7),
+        disk=disk_profile,
+        parse=Degenerate(0.0004),
+        n_processes=1,
+    )
+
+
+@pytest.fixture
+def system_params(device) -> SystemParameters:
+    import dataclasses
+
+    devices = tuple(
+        dataclasses.replace(device, name=f"dev{i}") for i in range(4)
+    )
+    return SystemParameters(
+        frontend=FrontendParameters(12, Degenerate(0.001)),
+        devices=devices,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_catalog() -> ObjectCatalog:
+    return ObjectCatalog.synthetic(
+        5_000,
+        mean_size=16_384.0,
+        size_sigma=1.0,
+        zipf_s=0.9,
+        rng=np.random.default_rng(7),
+    )

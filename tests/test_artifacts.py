@@ -1,0 +1,68 @@
+"""Smoke test for the one-shot artifact generator."""
+
+import dataclasses
+
+import pytest
+
+import repro.experiments as experiments
+from repro.experiments.artifacts import generate_all
+
+
+@pytest.fixture
+def tiny_scenarios(monkeypatch):
+    """Shrink both scenario factories so the full artifact run is fast."""
+
+    def shrink(factory):
+        def wrapped(scale="ci"):
+            base = factory("ci")
+            return dataclasses.replace(
+                base,
+                n_objects=8_000,
+                warm_accesses=20_000,
+                rates=(40.0, 90.0),
+                window_duration=8.0,
+                settle_duration=2.0,
+            )
+
+        return wrapped
+
+    import repro.experiments.ablations as ablations
+    import repro.experiments.assumptions as assumptions
+    import repro.experiments.cdf_validation as cdf_validation
+    import repro.experiments.fig5 as fig5
+    import repro.experiments.figures67 as figures67
+
+    s1, s16 = shrink(experiments.scenario_s1), shrink(experiments.scenario_s16)
+    # Each consumer module bound the factory names at import time, so
+    # patch every binding, not just the package attribute.
+    for module in (experiments, ablations, assumptions, cdf_validation, fig5, figures67):
+        if hasattr(module, "scenario_s1"):
+            monkeypatch.setattr(module, "scenario_s1", s1)
+        if hasattr(module, "scenario_s16"):
+            monkeypatch.setattr(module, "scenario_s16", s16)
+
+
+EXPECTED = {
+    "fig5.txt",
+    "fig6.txt",
+    "fig7.txt",
+    "table1.txt",
+    "table2.txt",
+    "ablations.txt",
+    "assumptions.txt",
+    "cdf_validation.txt",
+    "MANIFEST.txt",
+}
+
+
+def test_generate_all(tmp_path, tiny_scenarios):
+    written = generate_all(tmp_path / "results", seed=1)
+    assert set(written) == EXPECTED
+    for name in EXPECTED:
+        path = tmp_path / "results" / name
+        assert path.exists()
+        assert path.stat().st_size > 0
+    manifest = (tmp_path / "results" / "MANIFEST.txt").read_text()
+    assert "seed: 1" in manifest
+    table2 = (tmp_path / "results" / "table2.txt").read_text()
+    assert "Table II" in table2 and "odopr" in table2

@@ -1,0 +1,205 @@
+"""Tests for the Section IV calibration pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.calibration import (
+    DEFAULT_LATENCY_THRESHOLD,
+    benchmark_disk,
+    benchmark_parse,
+    collect_device_metrics,
+    decompose_service_times,
+    device_parameters_from_metrics,
+    miss_ratio_by_threshold,
+    rescale_profile,
+)
+from repro.model import CacheMissRatios, DiskLatencyProfile
+from repro.simulator import ClusterConfig, HddProfile
+from repro.simulator.disk import OP_DATA, OP_INDEX, OP_META
+
+
+@pytest.fixture(scope="module")
+def disk_result(small_catalog):
+    return benchmark_disk(HddProfile(), small_catalog.sizes, n_objects=1200, seed=3)
+
+
+class TestDiskBenchmark:
+    def test_gamma_wins_all_kinds(self, disk_result):
+        """Fig 5's core claim: Gamma fits disk service times best."""
+        for kind in (OP_INDEX, OP_META, OP_DATA):
+            assert disk_result.best(kind).family == "gamma"
+            assert disk_result.best(kind).ks_statistic < 0.08
+
+    def test_sample_counts(self, disk_result):
+        # One index + one meta per object; >= one data read per object.
+        n = disk_result.samples[OP_INDEX].size
+        assert disk_result.samples[OP_META].size == n
+        assert disk_result.samples[OP_DATA].size >= n
+
+    def test_index_slower_than_meta(self, disk_result):
+        means = disk_result.mean_service_times()
+        assert means[OP_INDEX] > means[OP_META]
+
+    def test_proportions_sum_to_one(self, disk_result):
+        p = disk_result.proportions()
+        assert sum(p) == pytest.approx(1.0)
+        assert all(x > 0.0 for x in p)
+
+    def test_profile_matches_sample_means(self, disk_result):
+        profile = disk_result.latency_profile()
+        means = disk_result.mean_service_times()
+        assert profile.index.mean == pytest.approx(means[OP_INDEX], rel=0.05)
+        assert profile.data.mean == pytest.approx(means[OP_DATA], rel=0.05)
+
+    def test_deterministic_under_seed(self, small_catalog):
+        a = benchmark_disk(HddProfile(), small_catalog.sizes, n_objects=200, seed=9)
+        b = benchmark_disk(HddProfile(), small_catalog.sizes, n_objects=200, seed=9)
+        assert np.array_equal(a.samples[OP_DATA], b.samples[OP_DATA])
+
+    def test_validation(self, small_catalog):
+        with pytest.raises(ValueError):
+            benchmark_disk(HddProfile(), small_catalog.sizes, n_objects=1)
+        with pytest.raises(ValueError):
+            benchmark_disk(HddProfile(), np.array([]))
+
+
+class TestParseBenchmark:
+    def test_degenerate_parse_recovered(self, small_catalog):
+        cfg = ClusterConfig()
+        res = benchmark_parse(cfg, small_catalog.sizes, n_requests=60, seed=5)
+        # Configured parse latencies are constant -> degenerate wins.
+        assert res.backend_fits[0].family == "degenerate"
+        assert res.backend.mean == pytest.approx(cfg.parse_be.mean, rel=0.01)
+        # Frontend estimate absorbs fixed connection overheads but stays
+        # within a millisecond of the configured value.
+        assert res.frontend.mean == pytest.approx(cfg.parse_fe.mean, abs=1e-3)
+
+    def test_samples_non_negative(self, small_catalog):
+        res = benchmark_parse(ClusterConfig(), small_catalog.sizes, n_requests=40)
+        assert np.all(res.frontend_samples >= 0.0)
+        assert np.all(res.backend_samples >= 0.0)
+
+    def test_validation(self, small_catalog):
+        with pytest.raises(ValueError):
+            benchmark_parse(ClusterConfig(), small_catalog.sizes, n_requests=1)
+
+
+class TestMissRatioThreshold:
+    def test_threshold_classifier(self):
+        lat = np.array([1e-6, 5e-6, 1e-2, 2e-2])  # two memory, two disk
+        assert miss_ratio_by_threshold(lat) == pytest.approx(0.5)
+
+    def test_default_threshold_matches_paper(self):
+        assert DEFAULT_LATENCY_THRESHOLD == pytest.approx(0.015e-3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            miss_ratio_by_threshold(np.array([]))
+
+
+class TestDecomposition:
+    def test_recovers_known_means(self):
+        """Forward-compute the aggregate from known b_i/b_m/b_d, then
+        decompose back."""
+        b = (0.017, 0.0085, 0.0085)
+        total = sum(b)
+        proportions = tuple(x / total for x in b)
+        m = CacheMissRatios(0.4, 0.5, 0.7)
+        r, rd = 30.0, 33.0
+        rates = (m.index * r, m.meta * r, m.data * rd)
+        aggregate = sum(bi * ri for bi, ri in zip(b, rates)) / sum(rates)
+        out = decompose_service_times(aggregate, proportions, m, r, rd)
+        assert out == pytest.approx(b)
+
+    def test_no_disk_ops_rejected(self):
+        with pytest.raises(ValueError):
+            decompose_service_times(
+                0.01, (0.5, 0.25, 0.25), CacheMissRatios.all_hits(), 10.0, 10.0
+            )
+
+    def test_bad_proportions_rejected(self):
+        with pytest.raises(ValueError):
+            decompose_service_times(
+                0.01, (0.5, 0.2, 0.2), CacheMissRatios.all_misses(), 10.0, 10.0
+            )
+
+
+class TestRescaleProfile:
+    def test_scales_means(self, disk_profile):
+        out = rescale_profile(disk_profile, (0.02, 0.01, 0.012))
+        assert out.index.mean == pytest.approx(0.02)
+        assert out.meta.mean == pytest.approx(0.01)
+        assert out.data.mean == pytest.approx(0.012)
+
+    def test_identity_scale_preserved(self, disk_profile):
+        out = rescale_profile(
+            disk_profile,
+            (disk_profile.index.mean, disk_profile.meta.mean, disk_profile.data.mean),
+        )
+        assert out.index is disk_profile.index
+
+
+class TestCollectMetrics:
+    def test_from_live_cluster(self, small_catalog):
+        from repro.simulator import Cluster
+        from repro.workload import OpenLoopDriver, WikipediaTraceGenerator
+
+        cl = Cluster(
+            ClusterConfig(cache_bytes_per_server=8 << 20),
+            small_catalog.sizes,
+            seed=6,
+        )
+        gen = WikipediaTraceGenerator(small_catalog, rng=np.random.default_rng(7))
+        OpenLoopDriver(cl).run(gen.constant_rate(80.0, 10.0))
+        mets = collect_device_metrics(cl.devices, 10.0)
+        cl.drain()
+        assert len(mets) == 4
+        total_rate = sum(m.request_rate for m in mets)
+        assert total_rate == pytest.approx(80.0, rel=0.15)
+        for m in mets:
+            assert m.data_read_rate >= m.request_rate
+            assert 0.0 <= m.miss_ratios.index <= 1.0
+
+    def test_device_parameters_assembly(self, disk_profile):
+        from repro.calibration import DeviceOnlineMetrics
+        from repro.distributions import Degenerate
+
+        metrics = DeviceOnlineMetrics(
+            name="d0",
+            request_rate=25.0,
+            data_read_rate=27.0,
+            miss_ratios=CacheMissRatios(0.3, 0.3, 0.5),
+        )
+        params = device_parameters_from_metrics(
+            metrics, disk_profile, Degenerate(0.0005), 4
+        )
+        assert params.n_processes == 4
+        assert params.disk is disk_profile
+
+    def test_device_parameters_with_rescale(self, disk_profile):
+        from repro.calibration import DeviceOnlineMetrics
+        from repro.distributions import Degenerate
+
+        metrics = DeviceOnlineMetrics(
+            name="d0",
+            request_rate=25.0,
+            data_read_rate=27.0,
+            miss_ratios=CacheMissRatios(0.3, 0.3, 0.5),
+        )
+        total = disk_profile.index.mean + disk_profile.meta.mean + disk_profile.data.mean
+        proportions = (
+            disk_profile.index.mean / total,
+            disk_profile.meta.mean / total,
+            disk_profile.data.mean / total,
+        )
+        params = device_parameters_from_metrics(
+            metrics,
+            disk_profile,
+            Degenerate(0.0005),
+            1,
+            aggregate_disk_mean=0.02,
+            proportions=proportions,
+        )
+        # Rescaled profile keeps the proportion structure.
+        ratio = params.disk.index.mean / params.disk.meta.mean
+        assert ratio == pytest.approx(disk_profile.index.mean / disk_profile.meta.mean)

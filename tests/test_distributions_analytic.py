@@ -1,0 +1,223 @@
+"""Unit tests for the closed-form distribution families."""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.distributions import (
+    Degenerate,
+    DistributionError,
+    Erlang,
+    Exponential,
+    Gamma,
+    Hyperexponential,
+    Lognormal,
+    Normal,
+    Uniform,
+)
+
+
+class TestDegenerate:
+    def test_moments(self):
+        d = Degenerate(0.02)
+        assert d.mean == 0.02
+        assert d.second_moment == pytest.approx(4e-4)
+        assert d.variance == 0.0
+        assert d.scv == 0.0
+
+    def test_zero_atom(self):
+        assert Degenerate(0.0).atom_at_zero == 1.0
+        assert Degenerate(0.5).atom_at_zero == 0.0
+
+    def test_laplace_is_exponential_decay(self):
+        d = Degenerate(0.25)
+        s = np.array([0.0, 1.0, 4.0 + 2.0j])
+        assert np.allclose(d.laplace(s), np.exp(-s * 0.25))
+
+    def test_cdf_step(self):
+        d = Degenerate(1.0)
+        assert d.cdf(0.999) == 0.0
+        assert d.cdf(1.0) == 1.0
+        assert d.cdf(2.0) == 1.0
+
+    def test_sampling_constant(self, rng):
+        d = Degenerate(0.3)
+        assert np.all(d.sample(rng, size=10) == 0.3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(DistributionError):
+            Degenerate(-1.0)
+
+
+class TestExponential:
+    def test_moments(self):
+        e = Exponential(50.0)
+        assert e.mean == pytest.approx(0.02)
+        assert e.second_moment == pytest.approx(2.0 / 2500.0)
+        assert e.scv == pytest.approx(1.0)
+
+    def test_from_mean(self):
+        assert Exponential.from_mean(0.1).rate == pytest.approx(10.0)
+
+    def test_cdf_matches_scipy(self):
+        e = Exponential(3.0)
+        t = np.linspace(0.0, 2.0, 11)
+        assert np.allclose(e.cdf(t), sps.expon.cdf(t, scale=1 / 3.0))
+
+    def test_laplace_at_zero_is_one(self):
+        assert Exponential(7.0).laplace(0.0) == pytest.approx(1.0)
+
+    def test_sample_mean(self, rng):
+        e = Exponential(4.0)
+        s = e.sample(rng, size=40_000)
+        assert s.mean() == pytest.approx(0.25, rel=0.03)
+
+
+class TestGamma:
+    def test_paper_parameterisation(self):
+        """The paper: L[B](s) = l^k (s+l)^{-k}, mean k/l."""
+        g = Gamma(2.5, 300.0)
+        assert g.mean == pytest.approx(2.5 / 300.0)
+        s = np.array([10.0, 100.0 + 5.0j])
+        expected = (300.0**2.5) * (s + 300.0) ** -2.5
+        assert np.allclose(g.laplace(s), expected)
+
+    def test_second_moment(self):
+        g = Gamma(3.0, 10.0)
+        assert g.second_moment == pytest.approx(3.0 * 4.0 / 100.0)
+
+    def test_from_mean_scv(self):
+        g = Gamma.from_mean_scv(0.01, 0.5)
+        assert g.mean == pytest.approx(0.01)
+        assert g.scv == pytest.approx(0.5)
+
+    def test_cdf_matches_scipy(self):
+        g = Gamma(2.0, 100.0)
+        t = np.linspace(0.0, 0.2, 9)
+        assert np.allclose(g.cdf(t), sps.gamma.cdf(t, 2.0, scale=0.01))
+
+    def test_erlang_is_integer_gamma(self):
+        e = Erlang(3, 50.0)
+        g = Gamma(3.0, 50.0)
+        assert e.mean == g.mean
+        t = np.array([0.01, 0.1])
+        assert np.allclose(e.cdf(t), g.cdf(t))
+
+    def test_erlang_rejects_fractional_stages(self):
+        with pytest.raises(DistributionError):
+            Erlang(0, 1.0)
+
+
+class TestNormal:
+    def test_rejects_heavy_negative_mass(self):
+        with pytest.raises(DistributionError):
+            Normal(0.01, 0.01)  # P(X<0) ~ 16%
+
+    def test_moments(self):
+        n = Normal(0.1, 0.01)
+        assert n.mean == pytest.approx(0.1)
+        assert n.variance == pytest.approx(1e-4)
+
+    def test_laplace_is_mgf(self):
+        n = Normal(0.05, 0.005)
+        s = np.array([2.0, 10.0])
+        expected = np.exp(-0.05 * s + 0.5 * (0.005 * s) ** 2)
+        assert np.allclose(n.laplace(s), expected)
+
+    def test_samples_clipped_non_negative(self, rng):
+        n = Normal(0.05, 0.015)
+        assert np.all(n.sample(rng, size=1000) >= 0.0)
+
+
+class TestLognormal:
+    def test_no_laplace(self):
+        ln = Lognormal(-4.0, 1.0)
+        assert not ln.has_laplace
+        with pytest.raises(DistributionError):
+            ln.laplace(1.0)
+
+    def test_mean(self):
+        ln = Lognormal(0.0, 1.0)
+        assert ln.mean == pytest.approx(np.exp(0.5))
+
+    def test_from_mean_median(self):
+        ln = Lognormal.from_mean_median(32768.0, 12000.0)
+        assert ln.mean == pytest.approx(32768.0, rel=1e-9)
+        assert ln.cdf(12000.0) == pytest.approx(0.5, abs=1e-9)
+
+    def test_from_mean_median_requires_skew(self):
+        with pytest.raises(DistributionError):
+            Lognormal.from_mean_median(10.0, 10.0)
+
+
+class TestHyperexponential:
+    def test_two_moment_fit(self):
+        h = Hyperexponential.from_mean_scv(0.02, 4.0)
+        assert h.mean == pytest.approx(0.02)
+        assert h.scv == pytest.approx(4.0)
+
+    def test_fit_rejects_low_scv(self):
+        with pytest.raises(DistributionError):
+            Hyperexponential.from_mean_scv(1.0, 0.5)
+
+    def test_laplace_at_zero(self):
+        h = Hyperexponential([0.3, 0.7], [10.0, 100.0])
+        assert np.real(h.laplace(np.array([0.0]))[0]) == pytest.approx(1.0)
+
+    def test_cdf_mixture(self):
+        h = Hyperexponential([0.5, 0.5], [1.0, 10.0])
+        t = 0.3
+        expected = 0.5 * (1 - np.exp(-0.3)) + 0.5 * (1 - np.exp(-3.0))
+        assert h.cdf(t) == pytest.approx(expected)
+
+    def test_sample_mean(self, rng):
+        h = Hyperexponential.from_mean_scv(0.01, 2.0)
+        s = h.sample(rng, size=50_000)
+        assert s.mean() == pytest.approx(0.01, rel=0.05)
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(DistributionError):
+            Hyperexponential([0.5, 0.6], [1.0, 2.0])
+
+
+class TestUniform:
+    def test_moments(self):
+        u = Uniform(0.0, 2.0)
+        assert u.mean == pytest.approx(1.0)
+        assert u.variance == pytest.approx(4.0 / 12.0)
+
+    def test_laplace_small_s_limit(self):
+        u = Uniform(0.0, 1.0)
+        val = u.laplace(np.array([1e-12]))[0]
+        assert np.real(val) == pytest.approx(1.0, abs=1e-6)
+
+    def test_laplace_closed_form(self):
+        u = Uniform(1.0, 3.0)
+        s = np.array([0.7])
+        expected = (np.exp(-0.7) - np.exp(-2.1)) / (0.7 * 2.0)
+        assert np.allclose(u.laplace(s), expected)
+
+    def test_cdf(self):
+        u = Uniform(1.0, 2.0)
+        assert u.cdf(1.5) == pytest.approx(0.5)
+        assert u.cdf(0.0) == 0.0
+        assert u.cdf(5.0) == 1.0
+
+
+class TestQuantileInversion:
+    def test_quantile_matches_scipy(self):
+        g = Gamma(2.0, 100.0)
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert g.quantile(q) == pytest.approx(
+                sps.gamma.ppf(q, 2.0, scale=0.01), rel=1e-5
+            )
+
+    def test_quantile_below_atom_is_zero(self):
+        from repro.distributions import ZeroInflated
+
+        z = ZeroInflated(Exponential(1.0), 0.3)
+        assert z.quantile(0.5) == 0.0
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(DistributionError):
+            Exponential(1.0).quantile(1.0)

@@ -1,0 +1,122 @@
+"""Tests for the Section IV-A fitting pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    DistributionError,
+    Gamma,
+    fit_best,
+    fit_degenerate,
+    fit_exponential,
+    fit_gamma,
+    fit_lognormal,
+    fit_normal,
+    ks_statistic,
+)
+
+
+@pytest.fixture
+def gamma_samples(rng):
+    return rng.gamma(2.5, 0.004, size=4000)
+
+
+class TestIndividualFitters:
+    def test_gamma_recovers_parameters(self, gamma_samples):
+        fit = fit_gamma(gamma_samples)
+        assert fit.family == "gamma"
+        assert isinstance(fit.distribution, Gamma)
+        assert fit.distribution.shape == pytest.approx(2.5, rel=0.1)
+        assert fit.distribution.mean == pytest.approx(0.01, rel=0.05)
+        assert fit.ks_statistic < 0.03
+
+    def test_gamma_constant_data_fallback(self):
+        fit = fit_gamma(np.full(50, 0.002))
+        assert fit.distribution.mean == pytest.approx(0.002)
+
+    def test_exponential(self, rng):
+        samples = rng.exponential(0.01, size=4000)
+        fit = fit_exponential(samples)
+        assert fit.distribution.mean == pytest.approx(0.01, rel=0.05)
+        assert fit.ks_statistic < 0.03
+
+    def test_degenerate_on_constant(self):
+        fit = fit_degenerate(np.full(100, 0.0007))
+        assert fit.ks_statistic == 0.0
+        assert fit.distribution.mean == pytest.approx(0.0007)
+
+    def test_degenerate_tolerates_float_jitter(self):
+        base = 0.0012493440000000012
+        samples = np.full(64, base)
+        samples[::2] -= 2.8e-19
+        fit = fit_degenerate(samples)
+        assert fit.ks_statistic == 0.0
+
+    def test_normal(self, rng):
+        samples = rng.normal(0.05, 0.004, size=4000)
+        fit = fit_normal(samples)
+        assert fit.distribution.mean == pytest.approx(0.05, rel=0.02)
+
+    def test_normal_falls_back_when_mu_not_much_larger(self, rng):
+        samples = np.abs(rng.normal(0.001, 0.01, size=100))
+        fit = fit_normal(samples)  # must not raise
+        assert fit.family == "normal"
+
+    def test_lognormal(self, rng):
+        samples = rng.lognormal(-4.0, 0.5, size=4000)
+        fit = fit_lognormal(samples)
+        assert fit.distribution.mu == pytest.approx(-4.0, abs=0.05)
+
+    def test_too_few_samples(self):
+        with pytest.raises(DistributionError):
+            fit_gamma([1.0])
+
+
+class TestSelection:
+    def test_gamma_wins_on_gamma_data(self, gamma_samples):
+        ranked = fit_best(gamma_samples)
+        assert ranked[0].family == "gamma"
+        assert ranked == sorted(ranked, key=lambda r: r.ks_statistic)
+
+    def test_degenerate_wins_on_constant_data(self):
+        ranked = fit_best(np.full(64, 0.0004))
+        assert ranked[0].family == "degenerate"
+
+    def test_exponential_wins_on_exponential_data(self, rng):
+        # Gamma nests exponential, so allow either; exponential must be
+        # within noise of the top.
+        samples = rng.exponential(0.02, size=5000)
+        ranked = fit_best(samples)
+        families = [r.family for r in ranked[:2]]
+        assert "exponential" in families or ranked[0].family == "gamma"
+
+    def test_all_families_attempted(self, gamma_samples):
+        ranked = fit_best(gamma_samples)
+        assert {r.family for r in ranked} == {
+            "gamma",
+            "exponential",
+            "degenerate",
+            "normal",
+        }
+
+
+class TestKsStatistic:
+    def test_perfect_fit_small_ks(self, rng):
+        g = Gamma(2.0, 100.0)
+        samples = g.sample(rng, size=5000)
+        assert ks_statistic(samples, g) < 0.025
+
+    def test_bad_fit_large_ks(self, rng):
+        from repro.distributions import Exponential
+
+        samples = rng.gamma(20.0, 0.001, size=2000)  # nearly constant
+        assert ks_statistic(samples, Exponential(50.0)) > 0.3
+
+    def test_matches_scipy(self, rng):
+        from scipy import stats as sps
+
+        g = Gamma(2.0, 100.0)
+        samples = np.sort(rng.gamma(2.0, 0.01, size=500))
+        ours = ks_statistic(samples, g)
+        scipys = sps.kstest(samples, lambda t: g.cdf(t)).statistic
+        assert ours == pytest.approx(scipys, abs=1e-12)

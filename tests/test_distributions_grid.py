@@ -1,0 +1,145 @@
+"""Tests for the grid (lattice/FFT) engine and its agreement with the
+transform engine -- the cross-validation layer of DESIGN.md."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Convolution,
+    Degenerate,
+    DistributionError,
+    Exponential,
+    Gamma,
+    GridDistribution,
+    GridPMF,
+    Mixture,
+    PoissonCompound,
+    Shifted,
+    ZeroInflated,
+    convolve,
+    grid_of,
+)
+
+DT = 1e-4
+N = 4096
+TS = np.array([0.005, 0.02, 0.05, 0.1, 0.2])
+
+
+class TestGridPMF:
+    def test_validation(self):
+        with pytest.raises(DistributionError):
+            GridPMF(0.0, [1.0])
+        with pytest.raises(DistributionError):
+            GridPMF(1.0, [0.6, 0.6])
+
+    def test_mean(self):
+        g = GridPMF(0.5, [0.0, 0.5, 0.5])
+        assert g.mean == pytest.approx(0.5 * 0.5 + 1.0 * 0.5)
+
+    def test_cdf_and_quantile(self):
+        g = GridPMF(1.0, [0.25, 0.25, 0.5])
+        assert g.cdf(0.0) == pytest.approx(0.25)
+        assert g.cdf(1.0) == pytest.approx(0.5)
+        assert g.quantile(0.6) == pytest.approx(2.0)
+
+    def test_tail_mass(self):
+        g = GridPMF(1.0, [0.4, 0.4])
+        assert g.tail_mass == pytest.approx(0.2)
+
+    def test_convolve_point_masses(self):
+        a = GridPMF(1.0, [0.0, 1.0, 0.0, 0.0])  # mass at 1
+        b = GridPMF(1.0, [0.0, 0.0, 1.0, 0.0])  # mass at 2
+        c = a.convolve(b)
+        assert c.probs[3] == pytest.approx(1.0)
+
+    def test_mixture(self):
+        a = GridPMF(1.0, [1.0, 0.0])
+        b = GridPMF(1.0, [0.0, 1.0])
+        m = a.mixture(b, 0.3)
+        assert m.probs[0] == pytest.approx(0.3)
+        assert m.probs[1] == pytest.approx(0.7)
+
+    def test_zero_inflate(self):
+        g = GridPMF(1.0, [0.0, 1.0])
+        z = g.zero_inflate(0.4)
+        assert z.probs[0] == pytest.approx(0.6)
+        assert z.probs[1] == pytest.approx(0.4)
+
+    def test_poisson_compound_zero_rate(self):
+        g = GridPMF(1.0, [0.0, 1.0, 0.0, 0.0])
+        pc = g.poisson_compound(0.0)
+        assert pc.probs[0] == pytest.approx(1.0)
+
+    def test_incompatible_dt_rejected(self):
+        with pytest.raises(DistributionError):
+            GridPMF(1.0, [1.0]).convolve(GridPMF(0.5, [1.0]))
+
+
+class TestEngineAgreement:
+    """grid_of(...) CDF must track the transform-engine CDF."""
+
+    def check(self, dist, atol=5e-3):
+        grid = grid_of(dist, DT, N)
+        analytic = np.asarray(dist.cdf(TS), dtype=float)
+        lattice = np.asarray(grid.cdf(TS), dtype=float)
+        assert np.allclose(lattice, analytic, atol=atol), (lattice, analytic)
+
+    def test_gamma(self):
+        self.check(Gamma(2.0, 100.0))
+
+    def test_exponential(self):
+        self.check(Exponential(40.0))
+
+    def test_degenerate(self):
+        self.check(Degenerate(0.05))
+
+    def test_convolution(self):
+        self.check(convolve(Gamma(2.0, 150.0), Exponential(60.0), Degenerate(0.003)))
+
+    def test_zero_inflated(self):
+        self.check(ZeroInflated(Gamma(2.0, 80.0), 0.4))
+
+    def test_poisson_compound(self):
+        self.check(PoissonCompound(ZeroInflated(Gamma(2.0, 120.0), 0.5), 1.3))
+
+    def test_mixture(self):
+        self.check(
+            Mixture.rate_weighted(
+                [Gamma(2.0, 80.0), Exponential(25.0)], [3.0, 1.0]
+            )
+        )
+
+    def test_shifted(self):
+        self.check(Shifted(Exponential(50.0), 0.02))
+
+    def test_union_operation_composite(self, device):
+        """The actual model composite: parse*index*meta*data*extras."""
+        from repro.model import union_operation_service
+
+        self.check(union_operation_service(device), atol=8e-3)
+
+
+class TestGridDistribution:
+    def test_roundtrip_transform(self):
+        base = Gamma(2.0, 100.0)
+        gd = GridDistribution(grid_of(base, DT, N))
+        s = np.array([5.0, 20.0])
+        assert np.allclose(gd.laplace(s), base.laplace(s), atol=2e-3)
+
+    def test_mean_consistency(self):
+        base = Exponential(30.0)
+        gd = GridDistribution(grid_of(base, DT, N))
+        assert gd.mean == pytest.approx(base.mean, rel=0.01)
+
+    def test_sampling(self, rng):
+        base = Gamma(3.0, 200.0)
+        gd = GridDistribution(grid_of(base, DT, N))
+        s = gd.sample(rng, size=20_000)
+        assert s.mean() == pytest.approx(base.mean, rel=0.05)
+
+    def test_participates_in_convolution(self):
+        base = Exponential(50.0)
+        gd = GridDistribution(grid_of(base, DT, N))
+        conv = convolve(gd, Exponential(50.0))
+        ref = Gamma(2.0, 50.0)
+        assert conv.cdf(0.05) == pytest.approx(ref.cdf(0.05), abs=5e-3)

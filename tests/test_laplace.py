@@ -1,0 +1,165 @@
+"""Tests for the numerical Laplace-inversion algorithms.
+
+Ground truths are closed-form CDFs (gamma/exponential/Erlang) and the
+known M/M/1 sojourn law; the three algorithms must agree with them and
+with each other to their documented accuracies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    Degenerate,
+    Exponential,
+    Gamma,
+    ZeroInflated,
+    convolve,
+)
+from repro.laplace import (
+    euler_invert,
+    euler_nodes,
+    gaver_invert,
+    gaver_weights,
+    invert_cdf,
+    invert_pdf,
+    talbot_invert,
+    talbot_nodes,
+)
+
+T = np.array([0.002, 0.01, 0.05, 0.1, 0.5])
+
+
+class TestNodeGeneration:
+    def test_euler_nodes_shape(self):
+        beta, xi = euler_nodes(32)
+        assert beta.shape == xi.shape == (65,)
+        assert np.all(np.real(beta) > 0)
+
+    def test_euler_weights_sum(self):
+        # Inverting F(s) = 1/s (the CDF transform of delta at 0) at any t
+        # must give 1: sum of xi_k Re[1/beta_k] * 10^{m/3} == 1.
+        beta, xi = euler_nodes(24)
+        val = (10.0 ** (24 / 3.0)) * np.dot(xi, np.real(1.0 / beta))
+        assert val == pytest.approx(1.0, abs=1e-8)
+
+    def test_talbot_nodes_shape(self):
+        delta, gamma = talbot_nodes(24)
+        assert delta.shape == gamma.shape == (24,)
+
+    def test_gaver_weights_alternate_and_sum_zero(self):
+        zeta = gaver_weights(7)
+        assert zeta.size == 14
+        # Stehfest weights sum to 0 (inverts constants to 0 except 1/s).
+        assert np.sum(zeta) == pytest.approx(0.0, abs=1e-6)
+
+    def test_bad_term_counts_rejected(self):
+        with pytest.raises(ValueError):
+            euler_nodes(0)
+        with pytest.raises(ValueError):
+            talbot_nodes(1)
+        with pytest.raises(ValueError):
+            gaver_weights(11)
+
+
+class TestPdfInversion:
+    @pytest.mark.parametrize("invert", [euler_invert, talbot_invert])
+    def test_exponential_pdf(self, invert):
+        e = Exponential(10.0)
+        got = invert(e.laplace, T)
+        expected = 10.0 * np.exp(-10.0 * T)
+        assert np.allclose(got, expected, rtol=1e-6, atol=1e-8)
+
+    def test_gaver_pdf_moderate_accuracy(self):
+        e = Exponential(10.0)
+        got = gaver_invert(e.laplace, T)
+        expected = 10.0 * np.exp(-10.0 * T)
+        assert np.allclose(got, expected, rtol=1e-2)
+
+    @pytest.mark.parametrize("invert", [euler_invert, talbot_invert])
+    def test_gamma_pdf(self, invert):
+        from scipy import stats as sps
+
+        g = Gamma(2.5, 60.0)
+        got = invert(g.laplace, T)
+        expected = sps.gamma.pdf(T, 2.5, scale=1 / 60.0)
+        assert np.allclose(got, expected, rtol=1e-5, atol=1e-7)
+
+    def test_rejects_non_positive_times(self):
+        e = Exponential(1.0)
+        with pytest.raises(ValueError):
+            euler_invert(e.laplace, np.array([0.0, 1.0]))
+
+    def test_scalar_round_trip(self):
+        e = Exponential(2.0)
+        out = euler_invert(e.laplace, 0.3)
+        assert isinstance(out, float)
+        assert out == pytest.approx(2.0 * np.exp(-0.6))
+
+
+class TestCdfInversion:
+    @pytest.mark.parametrize("method", ["euler", "talbot", "gaver"])
+    def test_gamma_cdf(self, method):
+        g = Gamma(2.0, 100.0)
+        got = invert_cdf(g, T, method=method)
+        tol = 1e-6 if method != "gaver" else 5e-3
+        assert np.allclose(got, g.cdf(T), atol=tol)
+
+    def test_zero_and_negative_times(self):
+        z = ZeroInflated(Exponential(10.0), 0.4)
+        got = invert_cdf(z, np.array([-1.0, 0.0, 0.1]))
+        assert got[0] == 0.0
+        assert got[1] == pytest.approx(0.6)
+
+    def test_clipping_to_unit_interval(self):
+        g = Gamma(2.0, 100.0)
+        got = invert_cdf(g, np.array([10.0]))  # far tail
+        assert got[0] <= 1.0
+
+    def test_atom_floor_respected(self):
+        z = ZeroInflated(Gamma(2.0, 100.0), 0.5)
+        got = invert_cdf(z, np.array([1e-4]))
+        assert got[0] >= 0.5
+
+    def test_mollification_near_interior_atom(self):
+        """A point mass at 10 ms produces Gibbs ringing; mollification
+        keeps the CDF estimate monotone-ish and within bias bounds."""
+        d = convolve(Degenerate(0.01), Exponential(1000.0))
+        t = np.array([0.005, 0.0099, 0.0115, 0.02])
+        smooth = invert_cdf(d, t, mollify_width=2e-4)
+        assert smooth[0] < 0.05
+        assert smooth[-1] > 0.9
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            invert_cdf(Exponential(1.0), 1.0, method="fourier")
+
+    def test_invert_pdf_dispatch(self):
+        e = Exponential(5.0)
+        got = invert_pdf(e, np.array([0.1]), method="talbot")
+        assert got[0] == pytest.approx(5.0 * np.exp(-0.5), rel=1e-6)
+
+
+class TestQueueingGroundTruth:
+    def test_mm1_sojourn_via_pk_pipeline(self):
+        """P-K with exponential service inverted must equal the closed
+        M/M/1 sojourn law Exp(mu - lambda)."""
+        from repro.queueing import MG1Queue
+
+        lam, mu = 40.0, 90.0
+        soj = MG1Queue(lam, Exponential(mu)).sojourn_time()
+        expected = Exponential(mu - lam)
+        assert np.allclose(soj.cdf(T), expected.cdf(T), atol=1e-7)
+
+    def test_erlang_mixture_mm1k(self):
+        """M/M/1/K sojourn inverted must equal its Erlang-mixture form."""
+        from repro.queueing import MM1KQueue
+        from repro.distributions import Erlang, Mixture
+
+        q = MM1KQueue(50.0, 70.0, 4)
+        soj = q.sojourn_time()
+        probs = q.state_probabilities()
+        accepted = probs[:-1] / (1 - probs[-1])
+        mix = Mixture(
+            [Erlang(i + 1, 70.0) for i in range(4)], accepted
+        )
+        assert np.allclose(soj.cdf(T), mix.cdf(T), atol=1e-7)

@@ -1,0 +1,119 @@
+"""Mixed-fleet integration: heterogeneous devices through the whole stack.
+
+Equation 3's weighted mixture exists precisely because devices differ;
+this exercises it end to end with a degraded spindle (doubled seek time)
+in an otherwise uniform fleet: per-device calibration, per-device
+prediction, and agreement with the simulator's per-device observations.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.calibration import (
+    benchmark_disk,
+    benchmark_parse,
+    collect_device_metrics,
+    device_parameters_from_metrics,
+)
+from repro.model import (
+    FrontendParameters,
+    LatencyPercentileModel,
+    SystemParameters,
+    rank_devices,
+)
+from repro.simulator import Cluster, ClusterConfig, HddProfile
+from repro.workload import ObjectCatalog, OpenLoopDriver, WikipediaTraceGenerator
+
+DEGRADED_DEVICE = 2
+
+
+@pytest.fixture(scope="module")
+def fleet_point():
+    catalog = ObjectCatalog.synthetic(
+        25_000, mean_size=16_384.0, size_sigma=1.0, zipf_s=0.9,
+        rng=np.random.default_rng(42),
+    )
+    healthy = HddProfile()
+    degraded = dataclasses.replace(healthy, seek_mean=0.010)  # 2.5x seeks
+    config = ClusterConfig(
+        cache_bytes_per_server=24 << 20,
+        cache_split=(0.12, 0.28, 0.60),
+        hdd=healthy,
+        hdd_overrides=((DEGRADED_DEVICE, degraded),),
+        scanner_rate=400.0,
+    )
+    profiles = {
+        "healthy": benchmark_disk(healthy, catalog.sizes, n_objects=1000, seed=3),
+        "degraded": benchmark_disk(degraded, catalog.sizes, n_objects=1000, seed=4),
+    }
+    parse = benchmark_parse(config, catalog.sizes, n_requests=60, seed=5)
+    cluster = Cluster(config, catalog.sizes, seed=7)
+    gen = WikipediaTraceGenerator(catalog, rng=np.random.default_rng(1))
+    cluster.warm_caches(gen.warmup_accesses(100_000))
+    driver = OpenLoopDriver(cluster)
+    driver.run(gen.constant_rate(70.0, 6.0))
+    cluster.reset_window_counters()
+    t0 = cluster.sim.now
+    driver.run(gen.constant_rate(70.0, 30.0))
+    t1 = cluster.sim.now
+    metrics = collect_device_metrics(cluster.devices, t1 - t0)
+    cluster.run_until(t1 + 5.0)
+    table = cluster.metrics.requests().window(t0, t1)
+    devices = tuple(
+        device_parameters_from_metrics(
+            m,
+            profiles["degraded" if i == DEGRADED_DEVICE else "healthy"].latency_profile(),
+            parse.backend,
+            1,
+        )
+        for i, m in enumerate(metrics)
+    )
+    params = SystemParameters(FrontendParameters(12, parse.frontend), devices)
+    return table, params
+
+
+class TestMixedFleet:
+    def test_config_override_applied(self):
+        cfg = ClusterConfig(
+            hdd_overrides=((1, HddProfile(seek_mean=0.02)),)
+        )
+        assert cfg.hdd_for(1).seek_mean == 0.02
+        assert cfg.hdd_for(0).seek_mean == HddProfile().seek_mean
+
+    def test_override_index_validated(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(hdd_overrides=((9, HddProfile()),))
+
+    def test_degraded_device_observed_slower(self, fleet_point):
+        table, _params = fleet_point
+        means = {
+            d: table.for_device(d).response_latency.mean() for d in range(4)
+        }
+        assert means[DEGRADED_DEVICE] == max(means.values())
+
+    def test_model_identifies_degraded_device(self, fleet_point):
+        _table, params = fleet_point
+        ranked = rank_devices(params, 0.05)
+        assert ranked[0][0] == f"dev{DEGRADED_DEVICE}"
+
+    def test_per_device_prediction_tracks_observation(self, fleet_point):
+        table, params = fleet_point
+        model = LatencyPercentileModel(params)
+        for d in range(4):
+            sub = table.for_device(d)
+            if len(sub) < 100:
+                continue
+            obs = float((sub.response_latency <= 0.05).mean())
+            pred = model.device_sla_percentile(f"dev{d}", 0.05)
+            assert pred == pytest.approx(obs, abs=0.22)
+
+    def test_system_mixture_between_extremes(self, fleet_point):
+        _table, params = fleet_point
+        model = LatencyPercentileModel(params)
+        per_device = [
+            model.device_sla_percentile(d.name, 0.05) for d in params.devices
+        ]
+        system = model.sla_percentile(0.05)
+        assert min(per_device) <= system <= max(per_device)

@@ -1,0 +1,179 @@
+"""Integration: the analytic model against the simulated testbed.
+
+These are the reproduction's acceptance tests -- the qualitative claims
+of Section V on a single, fast operating point each:
+
+* the calibrated model tracks observed percentiles at moderate load
+  within the error magnitudes the harness reports;
+* the ODOPR baseline overestimates the percentile badly (the union
+  operation matters);
+* the accept()-wait exists and its observed distribution is
+  approximated by the backend waiting time (PASTA);
+* the S16 reduction produces sane predictions for multi-process devices.
+"""
+
+import numpy as np
+import pytest
+
+from repro.calibration import (
+    benchmark_disk,
+    benchmark_parse,
+    collect_device_metrics,
+    device_parameters_from_metrics,
+)
+from repro.model import (
+    FrontendParameters,
+    LatencyPercentileModel,
+    NoWtaModel,
+    OdoprModel,
+    SystemParameters,
+)
+from repro.simulator import Cluster, ClusterConfig
+from repro.workload import ObjectCatalog, OpenLoopDriver, WikipediaTraceGenerator
+
+RATE = 90.0
+WINDOW = 30.0
+SLAS = (0.01, 0.05, 0.1)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return ObjectCatalog.synthetic(
+        30_000,
+        mean_size=16_384.0,
+        size_sigma=1.0,
+        zipf_s=0.9,
+        rng=np.random.default_rng(42),
+    )
+
+
+def run_point(catalog, n_be: int, rate: float = RATE, seed: int = 7):
+    cfg = ClusterConfig(
+        cache_bytes_per_server=24 << 20,
+        cache_split=(0.12, 0.28, 0.60),
+        processes_per_device=n_be,
+        scanner_rate=400.0,
+    )
+    disk_bench = benchmark_disk(cfg.hdd, catalog.sizes, n_objects=1200, seed=seed)
+    parse_bench = benchmark_parse(cfg, catalog.sizes, n_requests=60, seed=seed + 1)
+    cluster = Cluster(cfg, catalog.sizes, seed=seed)
+    gen = WikipediaTraceGenerator(catalog, rng=np.random.default_rng(seed + 2))
+    cluster.warm_caches(gen.warmup_accesses(120_000))
+    driver = OpenLoopDriver(cluster)
+    driver.run(gen.constant_rate(rate, 6.0))
+    cluster.reset_window_counters()
+    t0 = cluster.sim.now
+    driver.run(gen.constant_rate(rate, WINDOW))
+    t1 = cluster.sim.now
+    metrics = collect_device_metrics(cluster.devices, t1 - t0)
+    cluster.run_until(t1 + 3.0)
+    table = cluster.metrics.requests().window(t0, t1)
+    params = SystemParameters(
+        FrontendParameters(cfg.n_frontend_processes, parse_bench.frontend),
+        tuple(
+            device_parameters_from_metrics(
+                m, disk_bench.latency_profile(), parse_bench.backend, n_be
+            )
+            for m in metrics
+        ),
+    )
+    return table, params
+
+
+@pytest.fixture(scope="module")
+def s1_point(catalog):
+    return run_point(catalog, n_be=1)
+
+
+@pytest.fixture(scope="module")
+def s16_point(catalog):
+    return run_point(catalog, n_be=16)
+
+
+class TestS1Accuracy:
+    def test_model_tracks_mid_slas(self, s1_point):
+        table, params = s1_point
+        model = LatencyPercentileModel(params)
+        for sla in (0.05, 0.1):
+            obs = float((table.response_latency <= sla).mean())
+            pred = model.sla_percentile(sla)
+            assert pred == pytest.approx(obs, abs=0.15)
+
+    def test_model_underestimates_like_the_paper(self, s1_point):
+        """The paper: 'our model almost always underestimates the
+        percentiles for the scenario S1'."""
+        table, params = s1_point
+        model = LatencyPercentileModel(params)
+        under = sum(
+            model.sla_percentile(s) <= float((table.response_latency <= s).mean())
+            for s in SLAS
+        )
+        assert under >= 2
+
+    def test_odopr_overestimates_badly(self, s1_point):
+        table, params = s1_point
+        ours = LatencyPercentileModel(params)
+        odopr = OdoprModel(params)
+        for sla in (0.01, 0.05):
+            obs = float((table.response_latency <= sla).mean())
+            assert abs(odopr.sla_percentile(sla) - obs) > abs(
+                ours.sla_percentile(sla) - obs
+            ) or odopr.sla_percentile(sla) > 0.99
+
+    def test_accept_wait_exists_and_matches_wbe_scale(self, s1_point):
+        """The paper's contribution 2: W_a is significant and its scale
+        is the backend queue waiting time."""
+        table, params = s1_point
+        model = LatencyPercentileModel(params)
+        obs_wait = float(table.accept_wait.mean())
+        model_wait = np.mean(
+            [model.backend(d.name).waiting_time.mean for d in params.devices]
+        )
+        assert obs_wait > 1e-4  # not negligible
+        assert obs_wait == pytest.approx(model_wait, rel=0.6)
+
+    def test_observed_backend_response_vs_model(self, s1_point):
+        table, params = s1_point
+        model = LatencyPercentileModel(params)
+        obs = float(table.backend_response.mean())
+        pred = np.mean(
+            [model.backend(d.name).response_time.mean for d in params.devices]
+        )
+        assert pred == pytest.approx(obs, rel=0.5)
+
+
+class TestS16Accuracy:
+    def test_predictions_in_range(self, s16_point):
+        table, params = s16_point
+        model = LatencyPercentileModel(params)
+        for sla in SLAS:
+            obs = float((table.response_latency <= sla).mean())
+            pred = model.sla_percentile(sla)
+            assert 0.0 <= pred <= 1.0
+            assert pred == pytest.approx(obs, abs=0.2)
+
+    def test_accept_wait_smaller_than_s1(self, s1_point, s16_point):
+        """The paper: 'the WTA itself decreases in the scenario S16 ...
+        16 processes accept()-ing connecting requests'."""
+        t1, _ = s1_point
+        t16, _ = s16_point
+        assert t16.accept_wait.mean() < t1.accept_wait.mean()
+
+    def test_disk_queue_models_bracket_observation(self, s16_point):
+        table, params = s16_point
+        obs = float((table.response_latency <= 0.05).mean())
+        preds = [
+            LatencyPercentileModel(params, disk_queue=dq).sla_percentile(0.05)
+            for dq in ("mm1k", "mg1k", "finite-source")
+        ]
+        assert max(preds) >= obs - 0.2
+        assert min(preds) <= obs + 0.2
+
+
+class TestBaselineOrdering:
+    def test_nowta_above_ours(self, s1_point):
+        _table, params = s1_point
+        ours = LatencyPercentileModel(params)
+        nowta = NoWtaModel(params)
+        for sla in SLAS:
+            assert nowta.sla_percentile(sla) >= ours.sla_percentile(sla) - 1e-9

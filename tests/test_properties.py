@@ -1,0 +1,314 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These sweep randomised parameter space for the algebraic identities the
+model relies on: transform normalisation, moment identities, engine
+agreement, queueing laws, cache behaviour and ring placement.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    Degenerate,
+    Exponential,
+    Gamma,
+    Hyperexponential,
+    Mixture,
+    PoissonCompound,
+    ZeroInflated,
+    convolve,
+    grid_of,
+)
+from repro.queueing import MG1Queue, MM1KQueue
+from repro.simulator import LruCache
+
+# Bounded, well-conditioned parameter ranges (latencies in seconds).
+rates = st.floats(min_value=5.0, max_value=5000.0)
+shapes = st.floats(min_value=0.3, max_value=30.0)
+probs = st.floats(min_value=0.0, max_value=1.0)
+small_rates = st.floats(min_value=0.0, max_value=4.0)
+
+
+def gammas():
+    return st.builds(Gamma, shapes, rates)
+
+
+def leaf_distributions():
+    return st.one_of(
+        gammas(),
+        st.builds(Exponential, rates),
+        st.builds(Degenerate, st.floats(min_value=0.0, max_value=0.2)),
+    )
+
+
+def composites():
+    leaf = leaf_distributions()
+    return st.one_of(
+        leaf,
+        st.builds(ZeroInflated, gammas(), probs),
+        st.builds(PoissonCompound, gammas(), small_rates),
+        st.builds(lambda a, b: convolve(a, b), leaf, leaf),
+    )
+
+
+class TestTransformInvariants:
+    @given(composites())
+    @settings(max_examples=80, deadline=None)
+    def test_laplace_at_zero_is_one(self, dist):
+        assert np.real(dist.laplace(np.array([0.0]))[0]) == pytest.approx(1.0)
+
+    @given(composites(), st.floats(min_value=0.1, max_value=500.0))
+    @settings(max_examples=80, deadline=None)
+    def test_laplace_bounded_by_one_on_positive_axis(self, dist, s):
+        val = np.real(dist.laplace(np.array([s]))[0])
+        assert -1e-9 <= val <= 1.0 + 1e-9
+
+    @given(composites())
+    @settings(max_examples=60, deadline=None)
+    def test_laplace_decreasing_on_positive_axis(self, dist):
+        s = np.array([1.0, 10.0, 100.0])
+        vals = np.real(dist.laplace(s))
+        assert vals[0] >= vals[1] - 1e-12 >= vals[2] - 2e-12
+
+    @given(composites())
+    @settings(max_examples=60, deadline=None)
+    def test_derivative_at_zero_is_minus_mean(self, dist):
+        # Step scaled against the *second* moment: the finite-difference
+        # bias is h * E[X^2] / 2, which for strongly zero-inflated laws
+        # dwarfs a mean-scaled step.
+        h = 2e-4 * max(dist.mean, 1e-9) / max(dist.second_moment, 1e-12)
+        l0, l1 = np.real(dist.laplace(np.array([0.0, h])))
+        numeric_mean = (l0 - l1) / h
+        assert numeric_mean == pytest.approx(dist.mean, rel=2e-3, abs=1e-9)
+
+    @given(composites())
+    @settings(max_examples=60, deadline=None)
+    def test_variance_non_negative(self, dist):
+        assert dist.variance >= 0.0
+
+    @given(st.builds(ZeroInflated, gammas(), probs))
+    @settings(max_examples=60, deadline=None)
+    def test_atom_plus_continuous_mass(self, dist):
+        """CDF at a huge time reaches ~1, at 0 equals the atom."""
+        assert dist.cdf(0.0) == pytest.approx(dist.atom_at_zero)
+        # Span the *base* law's scale: the mixture mean shrinks with the
+        # miss ratio but the continuous part's tail does not.
+        far = dist.base.mean * 100.0 + dist.mean * 10.0
+        assert dist.cdf(far) == pytest.approx(1.0, abs=1e-5)
+
+
+class TestMomentIdentities:
+    @given(leaf_distributions(), leaf_distributions())
+    @settings(max_examples=60, deadline=None)
+    def test_convolution_moments(self, a, b):
+        c = convolve(a, b)
+        assert c.mean == pytest.approx(a.mean + b.mean, rel=1e-12, abs=1e-15)
+        assert c.variance == pytest.approx(
+            a.variance + b.variance, rel=1e-9, abs=1e-15
+        )
+
+    @given(gammas(), small_rates)
+    @settings(max_examples=60, deadline=None)
+    def test_compound_poisson_moments(self, base, rate):
+        pc = PoissonCompound(base, rate)
+        assert pc.mean == pytest.approx(rate * base.mean)
+        assert pc.variance == pytest.approx(rate * base.second_moment, rel=1e-9)
+
+    @given(gammas(), probs)
+    @settings(max_examples=60, deadline=None)
+    def test_zero_inflated_moments(self, base, m):
+        z = ZeroInflated(base, m)
+        assert z.mean == pytest.approx(m * base.mean)
+        assert z.second_moment == pytest.approx(m * base.second_moment)
+
+
+class TestEngineAgreementProperty:
+    @given(composites(), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=40, deadline=None)
+    def test_grid_matches_transform_cdf(self, dist, k):
+        mean = dist.mean
+        assume(mean > 1e-5)
+        t = k * mean / 2.0
+        dt = max(mean / 400.0, 1e-7)
+        grid = grid_of(dist, dt, 4096)
+        assume(grid.tail_mass < 0.02)
+        # CDF comparison at (or next to) a Dirac atom is ill-posed: the
+        # numerical inversion reconstructs the jump's midpoint while the
+        # lattice quantises it into a bin.  Only compare where the local
+        # mass around t is small.
+        # ... and Euler inversion rings (Gibbs) in the vicinity of any
+        # steep rise, so also require the whole law to be atom-free at
+        # this resolution.
+        assume(float(grid.probs.max()) < 0.04)
+        idx = int(round(t / dt))
+        lo, hi = max(idx - 3, 0), min(idx + 4, grid.n)
+        assume(float(grid.probs[lo:hi].sum()) < 0.05)
+        analytic = float(dist.cdf(t))
+        lattice = float(grid.cdf(t))
+        assert lattice == pytest.approx(analytic, abs=0.03)
+
+
+class TestQueueingProperties:
+    @given(st.floats(min_value=1.0, max_value=40.0), gammas())
+    @settings(max_examples=60, deadline=None)
+    def test_pk_waiting_atom(self, lam, service):
+        assume(lam * service.mean < 0.95)
+        q = MG1Queue(lam, service)
+        w = q.waiting_time()
+        assert w.atom_at_zero == pytest.approx(1.0 - q.utilization)
+        assert w.mean >= 0.0
+
+    @given(
+        st.floats(min_value=1.0, max_value=200.0),
+        st.floats(min_value=1.0, max_value=200.0),
+        st.integers(min_value=1, max_value=32),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_mm1k_state_law(self, lam, mu, k):
+        q = MM1KQueue(lam, mu, k)
+        p = q.state_probabilities()
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(p >= 0.0)
+        assert 0.0 <= q.blocking_probability < 1.0
+        assert q.mean_number_in_system <= k + 1e-9
+
+    @given(
+        st.floats(min_value=1.0, max_value=60.0),
+        gammas(),
+        st.floats(min_value=1.05, max_value=2.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_waiting_grows_with_load(self, lam, service, factor):
+        assume(lam * factor * service.mean < 0.95)
+        lo = MG1Queue(lam, service)
+        hi = MG1Queue(lam * factor, service)
+        assert hi.mean_waiting_time >= lo.mean_waiting_time
+
+
+class TestCacheProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=30), st.integers(1, 40)),
+            min_size=1,
+            max_size=300,
+        ),
+        st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_capacity_never_exceeded(self, accesses, capacity):
+        cache = LruCache(capacity)
+        for key, size in accesses:
+            cache.access(key, size)
+            assert cache.used_bytes <= capacity
+        assert cache.hits + cache.misses == len(accesses)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10), min_size=1, max_size=100)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_infinite_cache_misses_equal_distinct_keys(self, keys):
+        cache = LruCache(10**9)
+        for key in keys:
+            cache.access(key, 1)
+        assert cache.misses == len(set(keys))
+
+
+class TestRingProperties:
+    @given(
+        st.integers(min_value=4, max_value=64),
+        st.integers(min_value=2, max_value=12),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_placement_invariants(self, n_partitions, n_devices, replicas, seed):
+        from repro.simulator import HashRing
+
+        assume(replicas <= n_devices)
+        ring = HashRing(n_partitions, n_devices, replicas, np.random.default_rng(seed))
+        assert ring.assignment.shape == (n_partitions, replicas)
+        for row in ring.assignment:
+            assert len(set(row.tolist())) == replicas
+        # Balance: each device's share within a factor of the ideal.
+        counts = np.bincount(ring.assignment.ravel(), minlength=n_devices)
+        # Least-loaded placement keeps every device within one partition
+        # of the ideal share (Swift's ring-builder guarantee).
+        assert counts.max() - counts.min() <= 1
+
+
+class TestTailDistributionProperties:
+    @given(
+        st.floats(min_value=0.5, max_value=4.0),
+        st.floats(min_value=1e-3, max_value=0.1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_weibull_transform_normalised(self, shape, scale):
+        from repro.distributions import Weibull
+
+        w = Weibull(shape, scale)
+        val = np.real(w.laplace(np.array([0.0]))[0])
+        assert val == pytest.approx(1.0, abs=1e-6)
+
+    @given(
+        st.floats(min_value=2.1, max_value=6.0),
+        st.floats(min_value=1e-3, max_value=0.1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_pareto_moments_vs_samples(self, alpha, sigma):
+        from repro.distributions import Pareto
+
+        p = Pareto(alpha, sigma)
+        rng = np.random.default_rng(0)
+        samples = p.sample(rng, size=40_000)
+        # Heavy tails need loose tolerance; the identity must still hold.
+        assert samples.mean() == pytest.approx(p.mean, rel=0.25)
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.05),
+        st.floats(min_value=20.0, max_value=2000.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_shifted_exponential_cdf_floor(self, floor, rate):
+        from repro.distributions import ShiftedExponential
+
+        se = ShiftedExponential(floor, rate)
+        assert se.cdf(floor * 0.99 - 1e-12) == 0.0
+        assert se.cdf(floor + 5.0 / rate) > 0.99
+
+
+class TestCheProperties:
+    @given(
+        st.integers(min_value=10, max_value=500),
+        st.floats(min_value=0.0, max_value=1.5),
+        st.integers(min_value=1, max_value=400),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_hit_probabilities_in_unit_interval(self, n, zipf_s, capacity):
+        from repro.calibration import lru_hit_probabilities
+
+        ranks = np.arange(1, n + 1, dtype=float)
+        weights = ranks**-zipf_s
+        hits = lru_hit_probabilities(weights, np.ones(n), float(capacity))
+        assert np.all((hits >= 0.0) & (hits <= 1.0 + 1e-12))
+        # More popular items are at least as resident.
+        order = np.argsort(weights)[::-1]
+        sorted_hits = hits[order]
+        assert np.all(np.diff(sorted_hits) <= 1e-9)
+
+    @given(
+        st.integers(min_value=20, max_value=300),
+        st.integers(min_value=1, max_value=100),
+        st.integers(min_value=1, max_value=100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_miss_ratio_monotone_in_capacity(self, n, cap_small, extra):
+        from repro.calibration import lru_miss_ratio
+
+        ranks = np.arange(1, n + 1, dtype=float)
+        weights = 1.0 / ranks
+        sizes = np.ones(n)
+        small = lru_miss_ratio(weights, sizes, float(cap_small))
+        big = lru_miss_ratio(weights, sizes, float(cap_small + extra))
+        assert big <= small + 1e-9

@@ -1,0 +1,233 @@
+"""Integration tests for the assembled cluster, ring, frontend, scanner."""
+
+import numpy as np
+import pytest
+
+from repro.simulator import Cluster, ClusterConfig, HashRing, RngStreams
+from repro.workload import ObjectCatalog, OpenLoopDriver, WikipediaTraceGenerator
+
+
+@pytest.fixture
+def cluster(small_catalog):
+    return Cluster(
+        ClusterConfig(cache_bytes_per_server=8 << 20, scanner_rate=200.0),
+        small_catalog.sizes,
+        seed=11,
+    )
+
+
+class TestHashRing:
+    def test_replicas_distinct_per_partition(self):
+        ring = HashRing(256, 8, 3, np.random.default_rng(0))
+        for part in range(256):
+            assert len(set(ring.assignment[part])) == 3
+
+    def test_balanced_assignment(self):
+        ring = HashRing(1024, 4, 3, np.random.default_rng(0))
+        counts = np.bincount(ring.assignment.ravel(), minlength=4)
+        assert counts.max() - counts.min() <= 6
+
+    def test_partition_stability(self):
+        ring = HashRing(1024, 4, 3, np.random.default_rng(0))
+        assert ring.partition_of(12345) == ring.partition_of(12345)
+
+    def test_pick_returns_replica(self):
+        ring = HashRing(64, 6, 3, np.random.default_rng(1))
+        rng = np.random.default_rng(2)
+        for obj in range(50):
+            assert ring.pick(obj, rng) in set(ring.devices_for(obj))
+
+    def test_load_share_sums_to_one(self):
+        ring = HashRing(512, 4, 3, np.random.default_rng(3))
+        pop = np.random.default_rng(4).random(1000)
+        shares = ring.device_load_share(pop / pop.sum())
+        assert shares.sum() == pytest.approx(1.0)
+        assert np.all(shares > 0.1)  # roughly balanced
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            HashRing(16, 2, 3, rng)
+        with pytest.raises(ValueError):
+            HashRing(0, 2, 1, rng)
+
+
+class TestClusterConfig:
+    def test_defaults_valid(self):
+        cfg = ClusterConfig()
+        assert cfg.n_backend_servers == 4
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(n_devices=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(n_devices=4, devices_per_server=3)
+        with pytest.raises(ValueError):
+            ClusterConfig(replicas=9, n_devices=4)
+        with pytest.raises(ValueError):
+            ClusterConfig(cache_split=(0.5, 0.6, 0.2))
+
+
+class TestClusterEndToEnd:
+    def test_conservation(self, cluster, small_catalog):
+        """Every scheduled request completes exactly once."""
+        gen = WikipediaTraceGenerator(small_catalog, rng=np.random.default_rng(5))
+        trace = gen.constant_rate(80.0, 10.0)
+        OpenLoopDriver(cluster).run(trace)
+        cluster.drain()
+        assert cluster.metrics.n_requests == len(trace)
+
+    def test_reproducibility(self, small_catalog):
+        def run(seed):
+            cl = Cluster(ClusterConfig(cache_bytes_per_server=8 << 20), small_catalog.sizes, seed=seed)
+            gen = WikipediaTraceGenerator(small_catalog, rng=np.random.default_rng(5))
+            OpenLoopDriver(cl).run(gen.constant_rate(50.0, 5.0))
+            cl.drain()
+            return cl.metrics.requests().response_latency
+
+        a, b, c = run(1), run(1), run(2)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_latencies_positive_and_ordered(self, cluster, small_catalog):
+        gen = WikipediaTraceGenerator(small_catalog, rng=np.random.default_rng(6))
+        OpenLoopDriver(cluster).run(gen.constant_rate(60.0, 8.0))
+        cluster.drain()
+        tab = cluster.metrics.requests()
+        assert np.all(tab.response_latency > 0.0)
+        assert np.all(tab.full_latency >= tab.response_latency - 1e-12)
+        assert np.all(tab.accept_wait >= 0.0)
+        assert np.all(tab.frontend_sojourn > 0.0)
+
+    def test_devices_all_receive_traffic(self, cluster, small_catalog):
+        gen = WikipediaTraceGenerator(small_catalog, rng=np.random.default_rng(7))
+        OpenLoopDriver(cluster).run(gen.constant_rate(100.0, 10.0))
+        cluster.drain()
+        tab = cluster.metrics.requests()
+        assert set(np.unique(tab.device_id)) == {0, 1, 2, 3}
+
+    def test_window_counter_reset(self, cluster, small_catalog):
+        gen = WikipediaTraceGenerator(small_catalog, rng=np.random.default_rng(8))
+        OpenLoopDriver(cluster).run(gen.constant_rate(50.0, 4.0))
+        cluster.reset_window_counters()
+        assert all(d.counters.requests == 0 for d in cluster.devices)
+
+    def test_warm_caches_improves_hit_ratio(self, small_catalog):
+        def run(warm):
+            cl = Cluster(
+                ClusterConfig(cache_bytes_per_server=16 << 20, scanner_rate=0.0),
+                small_catalog.sizes,
+                seed=4,
+            )
+            gen = WikipediaTraceGenerator(small_catalog, rng=np.random.default_rng(9))
+            if warm:
+                cl.warm_caches(gen.warmup_accesses(30_000))
+            OpenLoopDriver(cl).run(gen.constant_rate(40.0, 6.0))
+            cl.drain()
+            c = cl.devices[0].counters
+            return c.miss_ratio("data")
+
+        assert run(True) < run(False)
+
+    def test_higher_load_worse_latency(self, small_catalog):
+        def p95(rate):
+            cl = Cluster(
+                ClusterConfig(cache_bytes_per_server=8 << 20),
+                small_catalog.sizes,
+                seed=4,
+            )
+            gen = WikipediaTraceGenerator(small_catalog, rng=np.random.default_rng(10))
+            cl.warm_caches(gen.warmup_accesses(20_000))
+            OpenLoopDriver(cl).run(gen.constant_rate(rate, 15.0))
+            cl.drain()
+            return np.percentile(cl.metrics.requests().response_latency, 95)
+
+        assert p95(150.0) > p95(30.0)
+
+    def test_poisson_arrival_counts(self, cluster, small_catalog):
+        gen = WikipediaTraceGenerator(small_catalog, rng=np.random.default_rng(11))
+        trace = gen.constant_rate(200.0, 20.0)
+        # Counts over 1-second bins should be Poisson(200)-ish.
+        counts = np.bincount(trace.timestamps.astype(int), minlength=20)[:20]
+        assert counts.mean() == pytest.approx(200.0, rel=0.1)
+        assert counts.var() == pytest.approx(200.0, rel=0.4)
+
+
+class TestScanner:
+    def test_scanner_raises_miss_ratios(self, small_catalog):
+        def miss(scan_rate):
+            cl = Cluster(
+                ClusterConfig(
+                    cache_bytes_per_server=8 << 20, scanner_rate=scan_rate
+                ),
+                small_catalog.sizes,
+                seed=4,
+            )
+            gen = WikipediaTraceGenerator(small_catalog, rng=np.random.default_rng(12))
+            cl.warm_caches(gen.warmup_accesses(20_000))
+            OpenLoopDriver(cl).run(gen.constant_rate(60.0, 10.0))
+            cl.drain()
+            c = cl.devices[0].counters
+            return c.miss_ratio("index")
+
+        assert miss(2000.0) > miss(0.0)
+
+    def test_scanner_touch_accounting(self, small_catalog):
+        cl = Cluster(
+            ClusterConfig(cache_bytes_per_server=8 << 20, scanner_rate=500.0),
+            small_catalog.sizes,
+            seed=4,
+        )
+        gen = WikipediaTraceGenerator(small_catalog, rng=np.random.default_rng(13))
+        OpenLoopDriver(cl).run(gen.constant_rate(40.0, 10.0))
+        cl.drain()
+        scanner = cl.scanners[0]
+        # index walk at 500/s + meta at 0.85x + data at 0.5x over ~10 s.
+        expected = 500.0 * 10.0 * (1.0 + 0.85 + 0.5)
+        assert scanner.touches == pytest.approx(expected, rel=0.1)
+
+    def test_disabled_scanner(self, small_catalog):
+        cl = Cluster(
+            ClusterConfig(cache_bytes_per_server=8 << 20, scanner_rate=0.0),
+            small_catalog.sizes,
+            seed=4,
+        )
+        assert all(s is None for s in cl.scanners)
+
+
+class TestStateSummary:
+    def test_idle_state(self, small_catalog):
+        cl = Cluster(ClusterConfig(), small_catalog.sizes, seed=1)
+        state = cl.state_summary()
+        assert state["pending_events"] == 0
+        assert all(q == 0 for q in state["frontend_queue_lengths"])
+        for dev in state["devices"]:
+            assert dev["disk_backlog"] == 0
+            assert dev["pool_depth"] == 0
+            assert sum(dev["process_queue_lengths"]) == 0
+
+    def test_loaded_state_shows_backlog(self, small_catalog):
+        cl = Cluster(
+            ClusterConfig(cache_bytes_per_server=4 << 20),
+            small_catalog.sizes,
+            seed=1,
+        )
+        gen = WikipediaTraceGenerator(small_catalog, rng=np.random.default_rng(2))
+        OpenLoopDriver(cl).load(gen.constant_rate(400.0, 5.0))
+        cl.run_until(2.5)  # mid-burst
+        state = cl.state_summary()
+        busy = sum(
+            sum(d["process_queue_lengths"]) + d["disk_backlog"]
+            for d in state["devices"]
+        )
+        assert busy > 0
+        assert state["now"] == pytest.approx(2.5)
+        cl.drain()
+
+    def test_cache_fill_monotone_under_traffic(self, small_catalog):
+        cl = Cluster(ClusterConfig(scanner_rate=0.0), small_catalog.sizes, seed=1)
+        gen = WikipediaTraceGenerator(small_catalog, rng=np.random.default_rng(3))
+        OpenLoopDriver(cl).run(gen.constant_rate(100.0, 5.0))
+        cl.drain()
+        state = cl.state_summary()
+        assert all(d["cache_fill"]["data"] > 0 for d in state["devices"])

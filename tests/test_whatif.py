@@ -1,0 +1,116 @@
+"""Tests for the what-if analysis helpers (Section I applications)."""
+
+import dataclasses
+
+import pytest
+
+from repro.model import (
+    CacheMissRatios,
+    LatencyPercentileModel,
+    ParameterError,
+    admission_rate,
+    devices_needed,
+    min_devices_online,
+    rank_devices,
+    sla_met,
+)
+
+
+class TestSlaMet:
+    def test_true_at_light_load(self, system_params):
+        assert sla_met(system_params.scaled(0.3), 0.1, 0.95)
+
+    def test_false_when_saturated(self, system_params):
+        assert not sla_met(system_params.scaled(10.0), 0.1, 0.95)
+
+
+class TestDevicesNeeded:
+    def test_monotone_in_target(self, system_params):
+        easy = devices_needed(system_params, 0.1, 0.80)
+        hard = devices_needed(system_params, 0.1, 0.98)
+        assert easy is not None and hard is not None
+        assert hard >= easy
+
+    def test_monotone_in_workload(self, system_params):
+        base = devices_needed(system_params, 0.1, 0.95)
+        double = devices_needed(system_params.scaled(2.0), 0.1, 0.95)
+        assert double >= base
+
+    def test_result_is_minimal(self, system_params):
+        n = devices_needed(system_params, 0.1, 0.95)
+        from repro.model.whatif import _rebalanced
+
+        assert sla_met(_rebalanced(system_params, n), 0.1, 0.95)
+        if n > 1:
+            assert not sla_met(_rebalanced(system_params, n - 1), 0.1, 0.95)
+
+    def test_unattainable_returns_none(self, system_params):
+        # Disk service times put a hard floor well above 99% at 5 ms.
+        assert devices_needed(system_params, 0.005, 0.99) is None
+
+    def test_target_validation(self, system_params):
+        with pytest.raises(ParameterError):
+            devices_needed(system_params, 0.1, 1.0)
+
+
+class TestAdmissionRate:
+    def test_bracket_property(self, system_params):
+        rate = admission_rate(system_params, 0.1, 0.95)
+        assert rate > 0.0
+        scale = rate / system_params.total_request_rate
+        assert sla_met(system_params.scaled(scale * 0.99), 0.1, 0.95)
+        assert not sla_met(system_params.scaled(scale * 1.05), 0.1, 0.95)
+
+    def test_looser_sla_admits_more(self, system_params):
+        tight = admission_rate(system_params, 0.05, 0.95)
+        loose = admission_rate(system_params, 0.2, 0.95)
+        assert loose > tight
+
+    def test_impossible_target_returns_zero(self, system_params):
+        assert admission_rate(system_params, 0.001, 0.999) == 0.0
+
+
+class TestMinDevicesOnline:
+    def test_light_load_powers_down(self, system_params):
+        n = min_devices_online(system_params.scaled(0.3), 0.1, 0.95)
+        assert n is not None
+        assert n < len(system_params.devices)
+
+    def test_heavy_load_keeps_all(self, system_params):
+        # At a load where even the full fleet barely copes, nothing sleeps.
+        heavy = system_params.scaled(1.4)
+        n = min_devices_online(heavy, 0.1, 0.95)
+        assert n is None or n == len(heavy.devices)
+
+    def test_infeasible_returns_none(self, system_params):
+        assert min_devices_online(system_params.scaled(5.0), 0.05, 0.95) is None
+
+
+class TestRankDevices:
+    def test_orders_worst_first(self, system_params):
+        hot = dataclasses.replace(
+            system_params,
+            devices=(
+                system_params.devices[0].scaled(1.5),
+                *system_params.devices[1:],
+            ),
+        )
+        ranked = rank_devices(hot, 0.05)
+        assert ranked[0][0] == "dev0"
+        values = [v for _n, v in ranked]
+        assert values == sorted(values)
+
+    def test_cold_cache_device_ranks_badly(self, system_params):
+        cold = dataclasses.replace(
+            system_params.devices[-1], miss_ratios=CacheMissRatios(0.9, 0.95, 1.0)
+        )
+        params = dataclasses.replace(
+            system_params, devices=(*system_params.devices[:-1], cold)
+        )
+        ranked = rank_devices(params, 0.05)
+        assert ranked[0][0] == cold.name
+
+    def test_percentiles_match_model(self, system_params):
+        model = LatencyPercentileModel(system_params)
+        for name, pct in rank_devices(system_params, 0.05):
+            assert pct == pytest.approx(model.device_sla_percentile(name, 0.05))

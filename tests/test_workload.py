@@ -1,0 +1,302 @@
+"""Tests for catalogs, traces, arrival schedules and drivers."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    ClosedLoopDriver,
+    ObjectCatalog,
+    OpenLoopDriver,
+    RatePhase,
+    RateSchedule,
+    Trace,
+    WikipediaTraceGenerator,
+    poisson_arrivals,
+)
+
+
+class TestObjectCatalog:
+    def test_synthetic_mean_size(self, rng):
+        cat = ObjectCatalog.synthetic(40_000, mean_size=32_768.0, rng=rng)
+        assert cat.mean_size == pytest.approx(32_768.0, rel=0.05)
+
+    def test_popularity_is_probability_vector(self, small_catalog):
+        assert small_catalog.popularity.sum() == pytest.approx(1.0)
+        assert np.all(small_catalog.popularity >= 0.0)
+
+    def test_zipf_skew(self, rng):
+        cat = ObjectCatalog.synthetic(10_000, zipf_s=1.0, rng=rng)
+        top = np.sort(cat.popularity)[::-1]
+        # Top 1% of objects get a large share under Zipf(1).
+        assert top[:100].sum() > 0.25
+
+    def test_request_size_below_object_mean(self, rng):
+        """Popular objects skew small only by chance -- but weighted mean
+        must match the explicit dot product."""
+        cat = ObjectCatalog.synthetic(5_000, rng=rng)
+        assert cat.mean_request_size() == pytest.approx(
+            float(np.dot(cat.popularity, cat.sizes))
+        )
+
+    def test_mean_chunks_per_request(self, rng):
+        cat = ObjectCatalog.synthetic(5_000, mean_size=16_384.0, size_sigma=1.0, rng=rng)
+        val = cat.mean_chunks_per_request(65536)
+        assert 1.0 <= val < 1.5
+
+    def test_sampling_follows_popularity(self, rng, small_catalog):
+        draws = small_catalog.sample_objects(rng, 50_000)
+        top_obj = int(np.argmax(small_catalog.popularity))
+        expected = small_catalog.popularity[top_obj]
+        assert (draws == top_obj).mean() == pytest.approx(expected, rel=0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ObjectCatalog(np.array([0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            ObjectCatalog(np.array([100]), np.array([0.5]))
+        with pytest.raises(ValueError):
+            ObjectCatalog.synthetic(0)
+
+
+class TestPoissonArrivals:
+    def test_rate_recovered(self, rng):
+        times = poisson_arrivals(100.0, 0.0, 50.0, rng)
+        assert times.size == pytest.approx(5000, rel=0.05)
+        assert np.all((times >= 0.0) & (times < 50.0))
+        assert np.all(np.diff(times) > 0.0)
+
+    def test_exponential_gaps(self, rng):
+        times = poisson_arrivals(200.0, 0.0, 100.0, rng)
+        gaps = np.diff(times)
+        assert gaps.mean() == pytest.approx(1 / 200.0, rel=0.05)
+        assert gaps.std() == pytest.approx(1 / 200.0, rel=0.05)
+
+    def test_zero_rate(self, rng):
+        assert poisson_arrivals(0.0, 0.0, 10.0, rng).size == 0
+
+    def test_negative_rate_rejected(self, rng):
+        with pytest.raises(ValueError):
+            poisson_arrivals(-1.0, 0.0, 1.0, rng)
+
+
+class TestRateSchedule:
+    def test_paper_style_structure(self):
+        sched = RateSchedule.paper_style(
+            warmup_rate=300.0,
+            warmup_duration=3600.0,
+            bench_rates=[10.0, 15.0, 20.0],
+            bench_step_duration=300.0,
+        )
+        names = [p.name for p in sched.phases]
+        assert names[0] == "warmup"
+        assert names[1] == "transition"
+        assert len(sched.phases) == 5
+        assert sched.total_duration == pytest.approx(3600 + 3600 + 900)
+
+    def test_rate_at(self):
+        sched = RateSchedule(
+            (RatePhase("a", 10.0, 5.0), RatePhase("b", 20.0, 5.0))
+        )
+        assert sched.rate_at(2.0) == 10.0
+        assert sched.rate_at(7.0) == 20.0
+        with pytest.raises(ValueError):
+            sched.rate_at(11.0)
+
+    def test_arrival_times_span_schedule(self, rng):
+        sched = RateSchedule(
+            (RatePhase("a", 50.0, 10.0), RatePhase("b", 100.0, 10.0))
+        )
+        times = sched.arrival_times(rng)
+        first_half = (times < 10.0).sum()
+        second_half = (times >= 10.0).sum()
+        assert first_half == pytest.approx(500, rel=0.2)
+        assert second_half == pytest.approx(1000, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateSchedule(())
+        with pytest.raises(ValueError):
+            RatePhase("x", -1.0, 5.0)
+        with pytest.raises(ValueError):
+            RatePhase("x", 1.0, 0.0)
+
+
+class TestTrace:
+    def test_roundtrip_npz(self, tmp_path, rng, small_catalog):
+        gen = WikipediaTraceGenerator(small_catalog, rng=rng)
+        trace = gen.constant_rate(100.0, 5.0)
+        path = tmp_path / "trace.npz"
+        trace.save_npz(path)
+        loaded = Trace.load_npz(path)
+        assert np.array_equal(loaded.timestamps, trace.timestamps)
+        assert np.array_equal(loaded.object_ids, trace.object_ids)
+
+    def test_roundtrip_text(self, tmp_path, rng, small_catalog):
+        gen = WikipediaTraceGenerator(small_catalog, rng=rng)
+        trace = gen.constant_rate(50.0, 2.0)
+        path = tmp_path / "trace.txt"
+        trace.save_text(path)
+        loaded = Trace.load_text(path)
+        assert np.allclose(loaded.timestamps, trace.timestamps, atol=1e-6)
+        assert np.array_equal(loaded.object_ids, trace.object_ids)
+
+    def test_window(self):
+        t = Trace(np.array([0.5, 1.5, 2.5]), np.array([1, 2, 3]))
+        w = t.window(1.0, 2.0)
+        assert list(w.object_ids) == [2]
+
+    def test_rescaled_keeps_objects(self, rng):
+        t = Trace(np.linspace(0, 9, 10), np.arange(10))
+        r = t.rescaled(1000.0, rng)
+        assert np.array_equal(r.object_ids, t.object_ids)
+        assert r.duration < t.duration
+
+    def test_concatenated(self):
+        a = Trace(np.array([0.0, 1.0]), np.array([1, 2]))
+        b = Trace(np.array([0.5]), np.array([3]))
+        c = a.concatenated(b)
+        assert len(c) == 3
+        assert c.timestamps[-1] == pytest.approx(1.5)
+
+    def test_mean_rate(self):
+        t = Trace(np.linspace(0.0, 10.0, 101), np.zeros(101, dtype=int))
+        assert t.mean_rate == pytest.approx(10.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Trace(np.array([1.0, 0.5]), np.array([1, 2]))  # decreasing
+        with pytest.raises(ValueError):
+            Trace(np.array([1.0]), np.array([-1]))
+
+
+class TestDrivers:
+    def test_open_loop_respects_timestamps(self, small_catalog):
+        from repro.simulator import Cluster, ClusterConfig
+
+        cl = Cluster(ClusterConfig(), small_catalog.sizes, seed=1)
+        trace = Trace(np.array([1.0, 2.0, 3.0]), np.array([0, 1, 2]))
+        OpenLoopDriver(cl).load(trace, offset=0.0)
+        cl.drain()
+        tab = cl.metrics.requests()
+        assert np.allclose(np.sort(tab.arrival), [1.0, 2.0, 3.0])
+
+    def test_open_loop_rejects_past(self, small_catalog):
+        from repro.simulator import Cluster, ClusterConfig
+
+        cl = Cluster(ClusterConfig(), small_catalog.sizes, seed=1)
+        cl.run_until(10.0)
+        trace = Trace(np.array([1.0]), np.array([0]))
+        with pytest.raises(ValueError):
+            OpenLoopDriver(cl).load(trace, offset=0.0)
+
+    def test_closed_loop_one_outstanding(self, small_catalog):
+        from repro.simulator import Cluster, ClusterConfig
+
+        cl = Cluster(ClusterConfig(), small_catalog.sizes, seed=2)
+        driver = ClosedLoopDriver(cl)
+        completed = driver.run(np.zeros(10, dtype=np.int64))
+        assert len(completed) == 10
+        # Strictly sequential: each arrival after the previous completion.
+        for prev, nxt in zip(completed, completed[1:]):
+            assert nxt.arrival_time >= prev.completion_time - 1e-12
+
+    def test_closed_loop_think_time(self, small_catalog):
+        from repro.simulator import Cluster, ClusterConfig
+
+        cl = Cluster(ClusterConfig(), small_catalog.sizes, seed=2)
+        driver = ClosedLoopDriver(cl, think_time=0.5)
+        completed = driver.run(np.zeros(3, dtype=np.int64))
+        gaps = [
+            b.arrival_time - a.completion_time
+            for a, b in zip(completed, completed[1:])
+        ]
+        assert all(g >= 0.5 - 1e-9 for g in gaps)
+
+    def test_single_object_sequence(self, small_catalog):
+        gen = WikipediaTraceGenerator(small_catalog)
+        seq = gen.closed_loop_single_object(7, 25)
+        assert np.all(seq == 7)
+        with pytest.raises(ValueError):
+            gen.closed_loop_single_object(10**9, 5)
+
+
+class TestTraceWriteFlags:
+    def test_npz_roundtrip_preserves_writes(self, tmp_path, small_catalog):
+        gen = WikipediaTraceGenerator(small_catalog, rng=np.random.default_rng(9))
+        trace = gen.constant_rate(100.0, 5.0, write_fraction=0.2)
+        path = tmp_path / "w.npz"
+        trace.save_npz(path)
+        loaded = Trace.load_npz(path)
+        assert loaded.writes is not None
+        assert np.array_equal(loaded.writes, trace.writes)
+        assert loaded.write_fraction == pytest.approx(trace.write_fraction)
+
+    def test_text_roundtrip_preserves_writes(self, tmp_path, small_catalog):
+        gen = WikipediaTraceGenerator(small_catalog, rng=np.random.default_rng(10))
+        trace = gen.constant_rate(50.0, 3.0, write_fraction=0.3)
+        path = tmp_path / "w.txt"
+        trace.save_text(path)
+        loaded = Trace.load_text(path)
+        assert np.array_equal(loaded.writes, trace.writes)
+
+    def test_read_only_trace_loads_without_writes(self, tmp_path, small_catalog):
+        gen = WikipediaTraceGenerator(small_catalog, rng=np.random.default_rng(11))
+        trace = gen.constant_rate(50.0, 2.0)
+        path = tmp_path / "r.npz"
+        trace.save_npz(path)
+        assert Trace.load_npz(path).writes is None
+
+    def test_window_carries_writes(self, small_catalog):
+        gen = WikipediaTraceGenerator(small_catalog, rng=np.random.default_rng(12))
+        trace = gen.constant_rate(100.0, 10.0, write_fraction=0.25)
+        windowed = trace.window(2.0, 5.0)
+        assert windowed.writes is not None
+        assert windowed.writes.size == len(windowed)
+
+    def test_write_fraction_validation(self, small_catalog):
+        gen = WikipediaTraceGenerator(small_catalog)
+        with pytest.raises(ValueError):
+            gen.constant_rate(10.0, 1.0, write_fraction=1.5)
+
+
+class TestDiurnalSchedule:
+    def test_shape(self):
+        sched = RateSchedule.diurnal(
+            mean_rate=100.0, amplitude=0.5, period=240.0, n_steps=12
+        )
+        rates = [p.rate for p in sched.phases]
+        assert len(rates) == 12
+        assert np.mean(rates) == pytest.approx(100.0, rel=0.01)
+        assert max(rates) == pytest.approx(150.0, rel=0.05)
+        assert min(rates) == pytest.approx(50.0, rel=0.1)
+        # Peak lands at the configured phase (peak_at=0.5 -> midday).
+        assert int(np.argmax(rates)) in (5, 6)
+
+    def test_multiple_cycles(self):
+        sched = RateSchedule.diurnal(
+            mean_rate=50.0, amplitude=0.3, period=100.0, n_steps=10, cycles=2.0
+        )
+        assert len(sched.phases) == 20
+        assert sched.total_duration == pytest.approx(200.0)
+
+    def test_never_negative(self):
+        sched = RateSchedule.diurnal(mean_rate=10.0, amplitude=0.99, n_steps=24)
+        assert all(p.rate >= 0.0 for p in sched.phases)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateSchedule.diurnal(mean_rate=0.0, amplitude=0.5)
+        with pytest.raises(ValueError):
+            RateSchedule.diurnal(mean_rate=10.0, amplitude=1.2)
+
+    def test_drives_generator(self, small_catalog):
+        gen = WikipediaTraceGenerator(small_catalog, rng=np.random.default_rng(13))
+        sched = RateSchedule.diurnal(
+            mean_rate=80.0, amplitude=0.5, period=60.0, n_steps=6
+        )
+        trace = gen.from_schedule(sched)
+        # More arrivals in the peak half than the trough half.
+        mid = sched.total_duration / 2.0
+        first = (trace.timestamps < mid).sum()
+        second = (trace.timestamps >= mid).sum()
+        assert first > second

@@ -1,0 +1,141 @@
+"""Tests for trace-analysis utilities and the assumptions studies."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.workload import Trace, WikipediaTraceGenerator
+from repro.workload.analysis import (
+    arrival_rate_series,
+    fit_zipf_exponent,
+    interarrival_cv,
+    popularity_from_trace,
+    working_set_size,
+)
+
+
+class TestArrivalRateSeries:
+    def test_recovers_constant_rate(self, small_catalog):
+        gen = WikipediaTraceGenerator(small_catalog, rng=np.random.default_rng(3))
+        trace = gen.constant_rate(150.0, 30.0)
+        _times, rates = arrival_rate_series(trace, 5.0)
+        assert rates.mean() == pytest.approx(150.0, rel=0.1)
+
+    def test_bin_boundaries(self):
+        trace = Trace(np.array([0.0, 0.5, 1.5, 2.5]), np.zeros(4, dtype=int))
+        times, rates = arrival_rate_series(trace, 1.0)
+        assert list(rates) == [2.0, 1.0, 1.0]
+        assert times[0] == 0.0
+
+    def test_empty_trace(self):
+        trace = Trace(np.empty(0), np.empty(0, dtype=int))
+        times, rates = arrival_rate_series(trace, 1.0)
+        assert times.size == rates.size == 0
+
+    def test_validation(self, small_catalog):
+        gen = WikipediaTraceGenerator(small_catalog)
+        with pytest.raises(ValueError):
+            arrival_rate_series(gen.constant_rate(10.0, 1.0), 0.0)
+
+
+class TestPopularity:
+    def test_probability_vector(self, small_catalog):
+        gen = WikipediaTraceGenerator(small_catalog, rng=np.random.default_rng(4))
+        trace = gen.constant_rate(500.0, 60.0)
+        pop = popularity_from_trace(trace, small_catalog.n_objects)
+        assert pop.sum() == pytest.approx(1.0)
+        assert pop.size == small_catalog.n_objects
+
+    def test_tracks_catalog_head(self, small_catalog):
+        """The empirically hottest object is among the catalog's top few."""
+        gen = WikipediaTraceGenerator(small_catalog, rng=np.random.default_rng(5))
+        trace = gen.constant_rate(800.0, 60.0)
+        pop = popularity_from_trace(trace, small_catalog.n_objects)
+        top_measured = int(np.argmax(pop))
+        rank = int(np.argsort(small_catalog.popularity)[::-1].tolist().index(top_measured))
+        assert rank < 5
+
+    def test_n_objects_too_small_rejected(self):
+        trace = Trace(np.array([0.0, 1.0]), np.array([0, 9]))
+        with pytest.raises(ValueError):
+            popularity_from_trace(trace, 5)
+
+
+class TestZipfFit:
+    def test_recovers_known_exponent(self, rng):
+        n = 5000
+        ranks = np.arange(1, n + 1)
+        weights = ranks ** -0.9
+        probs = weights / weights.sum()
+        ids = rng.choice(n, size=200_000, p=probs)
+        trace = Trace(np.arange(ids.size, dtype=float) * 1e-3, ids)
+        s, r2 = fit_zipf_exponent(trace)
+        assert s == pytest.approx(0.9, abs=0.12)
+        assert r2 > 0.95
+
+    def test_uniform_trace_flat_exponent(self, rng):
+        ids = rng.integers(0, 200, size=50_000)
+        trace = Trace(np.arange(ids.size, dtype=float), ids)
+        s, _r2 = fit_zipf_exponent(trace)
+        assert abs(s) < 0.15
+
+    def test_too_small_rejected(self):
+        trace = Trace(np.array([0.0, 1.0]), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            fit_zipf_exponent(trace)
+
+
+class TestWorkingSetAndCv:
+    def test_working_set(self):
+        trace = Trace(
+            np.array([0.0, 1.0, 2.0, 10.0, 11.0]),
+            np.array([1, 2, 1, 3, 3]),
+        )
+        assert working_set_size(trace) == 3
+        assert working_set_size(trace, window_seconds=2.0) == 1
+
+    def test_poisson_cv_near_one(self, small_catalog):
+        gen = WikipediaTraceGenerator(small_catalog, rng=np.random.default_rng(6))
+        trace = gen.constant_rate(200.0, 60.0)
+        assert interarrival_cv(trace) == pytest.approx(1.0, abs=0.1)
+
+    def test_deterministic_cv_zero(self):
+        trace = Trace(np.arange(100, dtype=float), np.zeros(100, dtype=int))
+        assert interarrival_cv(trace) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestAssumptionStudies:
+    @pytest.fixture(scope="class")
+    def tiny_scenario(self):
+        from repro.experiments import scenario_s1
+
+        return dataclasses.replace(
+            scenario_s1(),
+            n_objects=12_000,
+            warm_accesses=30_000,
+            window_duration=12.0,
+            settle_duration=2.0,
+        )
+
+    def test_write_fraction_structure(self, tiny_scenario):
+        from repro.experiments import run_write_fraction_study
+
+        study = run_write_fraction_study(
+            tiny_scenario, rate=50.0, fractions=(0.0, 0.3), seed=1
+        )
+        assert study.conditions == ("0% writes", "30% writes")
+        for cond in study.conditions:
+            for sla in study.slas:
+                err = study.errors[cond][sla]
+                assert err != err or 0.0 <= err <= 1.0
+        assert "Assumption study" in study.render()
+
+    def test_timeout_structure(self, tiny_scenario):
+        from repro.experiments import run_timeout_study
+
+        study = run_timeout_study(
+            tiny_scenario, rate=110.0, timeouts=(None, 0.03), seed=1
+        )
+        assert study.diagnostics["no timeout"] == 0.0
+        assert study.diagnostics["timeout 30ms"] > 0.0

@@ -1,0 +1,160 @@
+"""Tests for the write path (PUT quorum) and timeout/retry mechanisms --
+the behaviours the paper's assumptions exclude, made measurable."""
+
+import numpy as np
+import pytest
+
+from repro.simulator import Cluster, ClusterConfig
+from repro.workload import ObjectCatalog, OpenLoopDriver, WikipediaTraceGenerator
+
+
+@pytest.fixture
+def catalog():
+    return ObjectCatalog.synthetic(
+        8_000, mean_size=16_384.0, size_sigma=1.0, rng=np.random.default_rng(2)
+    )
+
+
+def run(catalog, *, rate=40.0, duration=10.0, write_fraction=0.0, seed=3, **cfg):
+    cluster = Cluster(
+        ClusterConfig(cache_bytes_per_server=16 << 20, **cfg),
+        catalog.sizes,
+        seed=seed,
+    )
+    gen = WikipediaTraceGenerator(catalog, rng=np.random.default_rng(seed + 1))
+    trace = gen.constant_rate(rate, duration, write_fraction=write_fraction)
+    OpenLoopDriver(cluster).run(trace)
+    cluster.drain()
+    return cluster, trace
+
+
+class TestWritePath:
+    def test_conservation_with_writes(self, catalog):
+        cluster, trace = run(catalog, write_fraction=0.25)
+        assert cluster.metrics.n_requests == len(trace)
+
+    def test_write_fraction_recorded(self, catalog):
+        cluster, trace = run(catalog, write_fraction=0.25)
+        tab = cluster.metrics.requests()
+        assert tab.is_write.mean() == pytest.approx(trace.write_fraction, abs=1e-12)
+
+    def test_quorum_before_all_replicas(self, catalog):
+        """A write completes at 2/3 acks, before the slowest replica."""
+        cluster = Cluster(
+            ClusterConfig(cache_bytes_per_server=16 << 20), catalog.sizes, seed=9
+        )
+        req = cluster.dispatch(0, is_write=True)
+        cluster.drain()
+        assert req.write_quorum == 2
+        assert req.write_acks == 3  # all eventually ack
+        assert req.is_complete
+
+    def test_writes_hit_all_replicas(self, catalog):
+        cluster, _ = run(catalog, rate=20.0, write_fraction=1.0)
+        total_write_conns = sum(d.counters.write_requests for d in cluster.devices)
+        assert total_write_conns == cluster.metrics.n_requests * 3
+
+    def test_written_objects_read_back_from_cache(self, catalog):
+        cluster = Cluster(
+            ClusterConfig(cache_bytes_per_server=32 << 20, scanner_rate=0.0),
+            catalog.sizes,
+            seed=9,
+        )
+        cluster.dispatch(5, is_write=True)
+        cluster.drain()
+        before = cluster.total_disk_ops
+        # Read back: 2 of 3 replicas were written through their caches;
+        # repeat reads until one cached replica is chosen.
+        req = cluster.dispatch(5)
+        cluster.drain()
+        tab = cluster.metrics.requests()
+        assert len(tab) == 2
+        # Write-through caching means at least sometimes zero disk reads;
+        # structurally: the chosen replica's caches hold the entries iff
+        # it was one of the writers (all three are for 3-replica PUT).
+        assert cluster.total_disk_ops == before  # read fully from cache
+
+    def test_writes_slower_than_reads(self, catalog):
+        """Durable replicated writes cost more than single-replica reads
+        at matched (light) load."""
+        cluster, _ = run(catalog, rate=15.0, write_fraction=0.5, seed=11)
+        tab = cluster.metrics.requests()
+        w, r = tab.writes(), tab.reads()
+        assert len(w) and len(r)
+        assert w.response_latency.mean() > r.response_latency.mean()
+
+    def test_write_load_degrades_read_latency(self, catalog):
+        """The read-heavy assumption's cost: adding writes inflates read
+        latencies (3x replication + flush overheads congest the disks)."""
+
+        def read_p90(write_fraction):
+            cluster, _ = run(
+                catalog, rate=60.0, duration=15.0, write_fraction=write_fraction
+            )
+            reads = cluster.metrics.requests().reads()
+            return np.percentile(reads.response_latency, 90)
+
+        assert read_p90(0.3) > read_p90(0.0)
+
+
+class TestTimeouts:
+    def test_no_timeouts_in_normal_status(self, catalog):
+        cluster, _ = run(catalog, rate=30.0, request_timeout=2.0)
+        assert sum(fe.timeouts_fired for fe in cluster.frontends) == 0
+        tab = cluster.metrics.requests()
+        assert np.all(tab.retries == 0)
+
+    def test_tight_timeout_triggers_retries(self, catalog):
+        cluster, trace = run(
+            catalog, rate=80.0, request_timeout=0.03, max_retries=2, seed=5
+        )
+        assert sum(fe.timeouts_fired for fe in cluster.frontends) > 0
+        tab = cluster.metrics.requests()
+        assert (tab.retries > 0).any()
+        # Conservation still holds: every request completes exactly once.
+        assert len(tab) == len(trace)
+
+    def test_retry_goes_to_different_replica(self, catalog):
+        """Exercise the exclusion logic directly."""
+        cluster = Cluster(
+            ClusterConfig(
+                cache_bytes_per_server=16 << 20,
+                request_timeout=1e-4,  # fires before any disk op finishes
+                max_retries=1,
+            ),
+            catalog.sizes,
+            seed=6,
+        )
+        req = cluster.dispatch(3)
+        first_device = None
+
+        # Sample the device id right after the first connect.
+        def watch():
+            nonlocal first_device
+            if req.device_id >= 0 and first_device is None:
+                first_device = req.device_id
+            if not req.is_complete and cluster.sim.pending_events:
+                cluster.sim.schedule(5e-5, watch)
+
+        cluster.sim.schedule(2e-4, watch)
+        cluster.drain()
+        assert req.retries == 1
+        assert req.timed_out
+        assert first_device is not None
+        assert req.device_id != first_device  # retried elsewhere
+
+    def test_retries_bounded(self, catalog):
+        cluster, _ = run(
+            catalog, rate=60.0, request_timeout=1e-3, max_retries=2, seed=7
+        )
+        tab = cluster.metrics.requests()
+        assert tab.retries.max() <= 2
+
+    def test_first_byte_not_overwritten_by_stale_replica(self, catalog):
+        cluster, _ = run(
+            catalog, rate=60.0, request_timeout=0.02, max_retries=2, seed=8
+        )
+        tab = cluster.metrics.requests()
+        # Response latency must remain internally consistent.
+        assert np.all(tab.response_latency > 0.0)
+        assert np.all(tab.full_latency >= tab.response_latency - 1e-12)
