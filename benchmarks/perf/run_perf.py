@@ -1,0 +1,351 @@
+"""Performance regression harness.
+
+Times the fixed S1 + S16 benchmark sweep serially and with a worker
+pool, checks the two runs produce bit-identical ``SweepResult``s, and
+times three engine micro-kernels:
+
+* ``grid_cdf``      -- ``GridPMF.cdf`` with the cached cumulative vs a
+  per-call ``np.cumsum`` (the pre-optimisation behaviour);
+* ``convolve_chain``-- rFFT ``convolve_many`` vs the pairwise
+  ``np.convolve`` chain it replaced;
+* ``eval_cache``    -- repeated CDF inversion of a value-identical
+  latency transform with the evaluation cache cold vs warm.
+
+Results go to ``BENCH_perf.json`` at the repository root (override with
+``--out``).  ``--check BASELINE`` compares against a committed baseline
+and exits non-zero on a >2x wall-time regression in any tracked metric;
+``--quick`` shrinks the sweep for smoke runs.
+
+Run as::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py [--jobs 4] [--quick]
+    PYTHONPATH=src python benchmarks/perf/run_perf.py --quick --check BENCH_perf.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import math
+import os
+import pathlib
+import platform
+import sys
+import time
+
+import numpy as np
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.distributions import GridPMF, evalcache  # noqa: E402
+from repro.distributions.grid import convolve_many  # noqa: E402
+from repro.experiments import (  # noqa: E402
+    calibrate,
+    run_sweeps,
+    scenario_s1,
+    scenario_s16,
+)
+from repro.laplace import invert_cdf  # noqa: E402
+from repro.queueing import MG1Queue  # noqa: E402
+
+#: Fixed benchmark rate grids (mirrors ``benchmarks/conftest.py``).
+BENCH_RATES = {
+    "S1": (30.0, 70.0, 110.0, 150.0, 190.0),
+    "S16": (40.0, 94.0, 148.0, 202.0, 256.0),
+}
+QUICK_RATES = {"S1": (30.0, 110.0), "S16": (40.0, 148.0)}
+
+#: Serial wall time of the full (non-quick) benchmark sweep measured on
+#: the pre-optimisation tree (growth seed, commit 2c0fb6c) on the same
+#: single-core container that produced the committed baseline.  Gives
+#: every later run a fixed "speedup vs seed" reference without having to
+#: keep the old code around.
+SEED_SERIAL_S = 13.25
+
+#: Timing repetitions per sweep configuration; wall time is best-of-N
+#: (shared CI boxes jitter by ~1s run to run, and the minimum is the
+#: stablest estimator of the code's actual cost).
+TIMING_REPS = 2
+
+#: Metrics ``--check`` guards.  Sweep health is tracked as throughput
+#: (events simulated per wall second) so a ``--quick`` run remains
+#: comparable against a committed full-sweep baseline; kernel metrics
+#: run identical work in both modes and are tracked as wall time.
+CHECKED_METRICS = (
+    (("sweep", "events_per_sec_serial"), "higher"),
+    (("sweep", "events_per_sec_parallel"), "higher"),
+    (("kernels", "grid_cdf", "cached_s"), "lower"),
+    (("kernels", "convolve_chain", "fft_s"), "lower"),
+    (("kernels", "eval_cache", "warm_s"), "lower"),
+)
+
+
+def bench_scenarios(quick: bool):
+    rates = QUICK_RATES if quick else BENCH_RATES
+    return {
+        "S1": dataclasses.replace(scenario_s1(), rates=rates["S1"]),
+        "S16": dataclasses.replace(scenario_s16(), rates=rates["S16"]),
+    }
+
+
+def points_equal(a, b) -> bool:
+    """Field-wise SweepPoint equality treating NaN == NaN as equal."""
+
+    def num_eq(x, y):
+        x, y = float(x), float(y)
+        return (math.isnan(x) and math.isnan(y)) or x == y
+
+    if a.rate != b.rate or a.n_requests != b.n_requests:
+        return False
+    if not num_eq(a.max_utilization, b.max_utilization):
+        return False
+    if a.observed.keys() != b.observed.keys():
+        return False
+    if not all(num_eq(a.observed[k], b.observed[k]) for k in a.observed):
+        return False
+    if a.predicted.keys() != b.predicted.keys():
+        return False
+    for model in a.predicted:
+        pa, pb = a.predicted[model], b.predicted[model]
+        if pa.keys() != pb.keys():
+            return False
+        if not all(num_eq(pa[k], pb[k]) for k in pa):
+            return False
+    return True
+
+
+def sweeps_equal(a: dict, b: dict) -> bool:
+    if a.keys() != b.keys():
+        return False
+    for name in a:
+        ra, rb = a[name], b[name]
+        if (ra.scenario, ra.slas, ra.models) != (rb.scenario, rb.slas, rb.models):
+            return False
+        if len(ra.points) != len(rb.points):
+            return False
+        if not all(points_equal(pa, pb) for pa, pb in zip(ra.points, rb.points)):
+            return False
+    return True
+
+
+def bench_sweep(jobs: int, quick: bool) -> dict:
+    scenarios = bench_scenarios(quick)
+    calibrations = {name: calibrate(sc, seed=0) for name, sc in scenarios.items()}
+
+    def timed(run_jobs: int):
+        best, result = math.inf, None
+        for _ in range(TIMING_REPS):
+            t0 = time.perf_counter()
+            result = run_sweeps(scenarios, calibrations=calibrations, seed=0, jobs=run_jobs)
+            best = min(best, time.perf_counter() - t0)
+        return best, result
+
+    serial_s, serial = timed(1)
+    parallel_s, parallel = timed(jobs)
+
+    identical = sweeps_equal(serial, parallel)
+    events = sum(p.n_requests for r in serial.values() for p in r.points)
+    row = {
+        "jobs": jobs,
+        "quick": quick,
+        "rate_points": sum(len(sc.rates) for sc in scenarios.values()),
+        "events": events,
+        "timing_reps": TIMING_REPS,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s > 0 else None,
+        "events_per_sec_serial": round(events / serial_s, 1),
+        "events_per_sec_parallel": round(events / parallel_s, 1),
+        "bit_identical": identical,
+    }
+    if not quick:
+        row["seed_serial_s"] = SEED_SERIAL_S
+        row["speedup_vs_seed_serial"] = round(SEED_SERIAL_S / serial_s, 3)
+        row["speedup_vs_seed_parallel"] = round(SEED_SERIAL_S / parallel_s, 3)
+    return row
+
+
+def bench_grid_cdf(reps: int = 400) -> dict:
+    rng = np.random.default_rng(7)
+    probs = rng.random(16384)
+    probs /= probs.sum()
+    pmf = GridPMF(1e-4, probs)
+    t = np.linspace(0.0, pmf.horizon, 64)
+
+    # Pre-optimisation behaviour: cumulative sum rebuilt on every call.
+    def cdf_uncached(query):
+        cum = np.cumsum(pmf.probs)
+        idx = np.minimum(
+            np.floor(np.asarray(query) / pmf.dt).astype(int), pmf.n - 1
+        )
+        return np.where(np.asarray(query) < 0.0, 0.0, cum[idx])
+
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        cdf_uncached(t)
+    uncached_s = time.perf_counter() - t0
+
+    pmf.cdf(t)  # prime the lazy cumulative
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        pmf.cdf(t)
+    cached_s = time.perf_counter() - t0
+    return {
+        "reps": reps,
+        "uncached_s": round(uncached_s, 4),
+        "cached_s": round(cached_s, 4),
+        "speedup": round(uncached_s / cached_s, 2) if cached_s > 0 else None,
+    }
+
+
+def bench_convolve_chain(n_pmfs: int = 12, n: int = 4096, reps: int = 10) -> dict:
+    rng = np.random.default_rng(11)
+    pmfs = []
+    for _ in range(n_pmfs):
+        probs = rng.random(n)
+        probs /= probs.sum() * 1.02  # leave some tail mass, like real grids
+        pmfs.append(GridPMF(1e-4, probs))
+
+    def pairwise():
+        acc = pmfs[0]
+        for other in pmfs[1:]:
+            acc = acc.convolve(other, n=n)
+        return acc
+
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        pairwise()
+    pairwise_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        convolve_many(pmfs, n=n)
+    fft_s = time.perf_counter() - t0
+    return {
+        "n_pmfs": n_pmfs,
+        "grid_n": n,
+        "reps": reps,
+        "pairwise_s": round(pairwise_s, 4),
+        "fft_s": round(fft_s, 4),
+        "speedup": round(pairwise_s / fft_s, 2) if fft_s > 0 else None,
+    }
+
+
+def bench_eval_cache(reps: int = 60) -> dict:
+    from repro.distributions import Gamma
+
+    service = Gamma(shape=2.3, rate=180.0)
+    wait = MG1Queue(arrival_rate=55.0, service=service).waiting_time()
+    t = np.linspace(1e-3, 0.2, 48)
+
+    evalcache.clear()
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        evalcache.clear()
+        invert_cdf(wait, t)
+    cold_s = time.perf_counter() - t0
+
+    evalcache.clear()
+    invert_cdf(wait, t)  # warm the inversion memo
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        invert_cdf(wait, t)
+    warm_s = time.perf_counter() - t0
+    evalcache.clear()
+    return {
+        "reps": reps,
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup": round(cold_s / warm_s, 2) if warm_s > 0 else None,
+    }
+
+
+def dig(tree: dict, path: tuple[str, ...]):
+    node = tree
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def check_against(baseline_path: pathlib.Path, current: dict, factor: float = 2.0) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    for path, direction in CHECKED_METRICS:
+        base, now = dig(baseline, path), dig(current, path)
+        if base is None or now is None or base <= 0:
+            continue
+        if direction == "lower" and now > factor * base:
+            failures.append(f"{'.'.join(path)}: {now}s vs baseline {base}s (> {factor}x)")
+        elif direction == "higher" and now < base / factor:
+            failures.append(
+                f"{'.'.join(path)}: {now}/s vs baseline {base}/s (< 1/{factor}x)"
+            )
+    if not current["sweep"]["bit_identical"]:
+        failures.append("parallel sweep is not bit-identical to serial")
+    if failures:
+        print("PERF REGRESSION:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print(f"perf check OK against {baseline_path} (threshold {factor}x)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int, default=4, help="worker pool size (default 4)")
+    parser.add_argument("--quick", action="store_true", help="2 rate points per scenario")
+    parser.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="compare against a baseline BENCH_perf.json; exit 1 on >2x regression",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / "BENCH_perf.json"),
+        help="output path (default: repo-root BENCH_perf.json)",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"sweep: S1+S16 bench rates, serial vs jobs={args.jobs} ...", flush=True)
+    sweep = bench_sweep(args.jobs, args.quick)
+    print(
+        f"  serial {sweep['serial_s']}s, parallel {sweep['parallel_s']}s "
+        f"(speedup {sweep['speedup']}x, bit_identical={sweep['bit_identical']})"
+    )
+
+    print("micro-kernels ...", flush=True)
+    kernels = {
+        "grid_cdf": bench_grid_cdf(),
+        "convolve_chain": bench_convolve_chain(),
+        "eval_cache": bench_eval_cache(),
+    }
+    for name, row in kernels.items():
+        print(f"  {name}: speedup {row['speedup']}x")
+
+    result = {
+        "meta": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "sweep": sweep,
+        "kernels": kernels,
+    }
+
+    if args.check:
+        status = check_against(pathlib.Path(args.check), result)
+    else:
+        status = 0 if sweep["bit_identical"] else 1
+        pathlib.Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

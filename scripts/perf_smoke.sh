@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Perf regression smoke check.
+#
+# Runs the quick benchmark sweep + micro-kernels and compares wall times
+# against the committed baseline (BENCH_perf.json at the repo root),
+# failing on a >2x regression in any tracked metric or on a parallel
+# sweep that is not bit-identical to the serial one.
+#
+# Usage: scripts/perf_smoke.sh [baseline.json]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BASELINE="${1:-$REPO_ROOT/BENCH_perf.json}"
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "perf_smoke: baseline not found: $BASELINE" >&2
+    echo "perf_smoke: generate one with:" >&2
+    echo "  PYTHONPATH=src python benchmarks/perf/run_perf.py" >&2
+    exit 2
+fi
+
+exec env PYTHONPATH="$REPO_ROOT/src" \
+    python "$REPO_ROOT/benchmarks/perf/run_perf.py" --quick --check "$BASELINE"

@@ -87,21 +87,21 @@ def _cmd_fig5(args) -> int:
 def _cmd_fig6(args) -> int:
     from repro.experiments import run_fig6, scenario_s1
 
-    print(run_fig6(scenario_s1(args.scale), seed=args.seed).render_all())
+    print(run_fig6(scenario_s1(args.scale), seed=args.seed, jobs=args.jobs).render_all())
     return 0
 
 
 def _cmd_fig7(args) -> int:
     from repro.experiments import run_fig7, scenario_s16
 
-    print(run_fig7(scenario_s16(args.scale), seed=args.seed).render_all())
+    print(run_fig7(scenario_s16(args.scale), seed=args.seed, jobs=args.jobs).render_all())
     return 0
 
 
 def _cmd_tables(args) -> int:
     from repro.experiments import run_tables
 
-    t1, t2 = run_tables(seed=args.seed, scale=args.scale)
+    t1, t2 = run_tables(seed=args.seed, scale=args.scale, jobs=args.jobs)
     print(t1.render())
     print()
     print(t2.render())
@@ -127,9 +127,19 @@ def _cmd_ablations(args) -> int:
 def _cmd_reproduce(args) -> int:
     from repro.experiments.artifacts import generate_all
 
-    files = generate_all(args.out, scale=args.scale, seed=args.seed)
+    files = generate_all(args.out, scale=args.scale, seed=args.seed, jobs=args.jobs)
     print(f"wrote {len(files)} artifacts to {args.out}/")
     return 0
+
+
+def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for sweep rate points "
+        "(0 = all cores; default runs serially; results are identical)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -162,6 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="results")
     p.add_argument("--scale", default="ci", choices=["ci", "paper"])
     p.add_argument("--seed", type=int, default=0)
+    _add_jobs_arg(p)
     p.set_defaults(func=_cmd_reproduce)
 
     for name, func, help_text in (
@@ -174,6 +185,8 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=f"reproduce {help_text}")
         p.add_argument("--scale", default="ci", choices=["ci", "paper"])
         p.add_argument("--seed", type=int, default=0)
+        if name in ("fig6", "fig7", "tables"):
+            _add_jobs_arg(p)
         p.set_defaults(func=func)
     return parser
 

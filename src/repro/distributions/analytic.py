@@ -72,6 +72,9 @@ class Degenerate(Distribution):
     def atom_at_zero(self) -> float:
         return 1.0 if self.value == 0.0 else 0.0
 
+    def cache_token(self) -> tuple:
+        return ("deg", self.value)
+
     def laplace(self, s):
         return np.exp(-np.asarray(s, dtype=complex) * self.value)
 
@@ -108,6 +111,9 @@ class Exponential(Distribution):
     @property
     def second_moment(self) -> float:
         return 2.0 / self.rate**2
+
+    def cache_token(self) -> tuple:
+        return ("exp", self.rate)
 
     def laplace(self, s):
         s = np.asarray(s, dtype=complex)
@@ -153,6 +159,9 @@ class Gamma(Distribution):
     @property
     def second_moment(self) -> float:
         return self.shape * (self.shape + 1.0) / self.rate**2
+
+    def cache_token(self) -> tuple:
+        return ("gamma", self.shape, self.rate)
 
     def laplace(self, s):
         s = np.asarray(s, dtype=complex)
@@ -223,6 +232,9 @@ class Normal(Distribution):
     def second_moment(self) -> float:
         return self.mu**2 + self.sigma**2
 
+    def cache_token(self) -> tuple:
+        return ("norm", self.mu, self.sigma)
+
     def laplace(self, s):
         s = np.asarray(s, dtype=complex)
         return np.exp(-self.mu * s + 0.5 * (self.sigma * s) ** 2)
@@ -275,6 +287,9 @@ class Lognormal(Distribution):
     @property
     def second_moment(self) -> float:
         return math.exp(2.0 * self.mu + 2.0 * self.sigma**2)
+
+    def cache_token(self) -> tuple:
+        return ("lognorm", self.mu, self.sigma)
 
     def laplace(self, s):
         raise DistributionError("Lognormal has no closed-form Laplace transform")
@@ -331,6 +346,9 @@ class Hyperexponential(Distribution):
     def second_moment(self) -> float:
         return float(np.sum(2.0 * self.probs / self.rates**2))
 
+    def cache_token(self) -> tuple:
+        return ("hyperexp", tuple(self.probs.tolist()), tuple(self.rates.tolist()))
+
     def laplace(self, s):
         s = np.asarray(s, dtype=complex)
         out = np.zeros_like(s)
@@ -378,6 +396,9 @@ class Uniform(Distribution):
     def second_moment(self) -> float:
         a, b = self.low, self.high
         return (a * a + a * b + b * b) / 3.0
+
+    def cache_token(self) -> tuple:
+        return ("unif", self.low, self.high)
 
     def laplace(self, s):
         s = np.asarray(s, dtype=complex)

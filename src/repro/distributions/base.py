@@ -103,6 +103,18 @@ class Distribution(abc.ABC):
         """Probability mass exactly at zero (default: none)."""
         return 0.0
 
+    def cache_token(self) -> tuple | None:
+        """Hashable value-identity key for memoised evaluation.
+
+        Two distributions with equal tokens must denote the same law;
+        ``None`` (the default) marks the distribution as uncacheable and
+        every evaluation routed through
+        :mod:`repro.distributions.evalcache` falls through uncached.
+        Composites derive their token from their children's, so a single
+        ``None`` leaf disables caching for the whole subtree.
+        """
+        return None
+
     # ------------------------------------------------------------------
     # Time-domain evaluation
     # ------------------------------------------------------------------

@@ -35,6 +35,18 @@ from repro.distributions.base import (
     check_probability,
 )
 from repro.distributions.analytic import Degenerate
+from repro.distributions.evalcache import laplace_eval
+
+
+def _child_tokens(components) -> tuple | None:
+    """Tokens of every child, or ``None`` if any child is uncacheable."""
+    tokens = []
+    for c in components:
+        token = c.cache_token()
+        if token is None:
+            return None
+        tokens.append(token)
+    return tuple(tokens)
 
 __all__ = [
     "Mixture",
@@ -95,11 +107,17 @@ class Mixture(Distribution):
     def has_laplace(self) -> bool:  # type: ignore[override]
         return all(c.has_laplace for c in self.components)
 
+    def cache_token(self) -> tuple | None:
+        children = _child_tokens(self.components)
+        if children is None:
+            return None
+        return ("mix", tuple(self.weights.tolist()), children)
+
     def laplace(self, s):
         s = np.asarray(s, dtype=complex)
         out = np.zeros_like(s)
         for w, c in zip(self.weights, self.components):
-            out = out + w * c.laplace(s)
+            out = out + w * laplace_eval(c, s)
         return out
 
     def cdf(self, t, **kwargs):
@@ -157,9 +175,15 @@ class ZeroInflated(Distribution):
     def has_laplace(self) -> bool:  # type: ignore[override]
         return self.base.has_laplace
 
+    def cache_token(self) -> tuple | None:
+        base = self.base.cache_token()
+        if base is None:
+            return None
+        return ("zi", self.miss_ratio, base)
+
     def laplace(self, s):
         s = np.asarray(s, dtype=complex)
-        return self.miss_ratio * self.base.laplace(s) + (1.0 - self.miss_ratio)
+        return self.miss_ratio * laplace_eval(self.base, s) + (1.0 - self.miss_ratio)
 
     def cdf(self, t, **kwargs):
         t = np.asarray(t, dtype=float)
@@ -214,11 +238,17 @@ class Convolution(Distribution):
     def has_laplace(self) -> bool:  # type: ignore[override]
         return all(c.has_laplace for c in self.components)
 
+    def cache_token(self) -> tuple | None:
+        children = _child_tokens(self.components)
+        if children is None:
+            return None
+        return ("conv", children)
+
     def laplace(self, s):
         s = np.asarray(s, dtype=complex)
         out = np.ones_like(s)
         for c in self.components:
-            out = out * c.laplace(s)
+            out = out * laplace_eval(c, s)
         return out
 
     def sample(self, rng: np.random.Generator, size=None):
@@ -293,9 +323,15 @@ class PoissonCompound(Distribution):
     def has_laplace(self) -> bool:  # type: ignore[override]
         return self.base.has_laplace
 
+    def cache_token(self) -> tuple | None:
+        base = self.base.cache_token()
+        if base is None:
+            return None
+        return ("pois", self.rate, base)
+
     def laplace(self, s):
         s = np.asarray(s, dtype=complex)
-        return np.exp(self.rate * (self.base.laplace(s) - 1.0))
+        return np.exp(self.rate * (laplace_eval(self.base, s) - 1.0))
 
     def sample(self, rng: np.random.Generator, size=None):
         scalar = size is None
@@ -342,9 +378,15 @@ class Scaled(Distribution):
     def has_laplace(self) -> bool:  # type: ignore[override]
         return self.base.has_laplace
 
+    def cache_token(self) -> tuple | None:
+        base = self.base.cache_token()
+        if base is None:
+            return None
+        return ("scale", self.factor, base)
+
     def laplace(self, s):
         s = np.asarray(s, dtype=complex)
-        return self.base.laplace(self.factor * s)
+        return laplace_eval(self.base, self.factor * s)
 
     def cdf(self, t, **kwargs):
         t = np.asarray(t, dtype=float)
@@ -379,9 +421,15 @@ class Shifted(Distribution):
     def has_laplace(self) -> bool:  # type: ignore[override]
         return self.base.has_laplace
 
+    def cache_token(self) -> tuple | None:
+        base = self.base.cache_token()
+        if base is None:
+            return None
+        return ("shift", self.shift, base)
+
     def laplace(self, s):
         s = np.asarray(s, dtype=complex)
-        return np.exp(-s * self.shift) * self.base.laplace(s)
+        return np.exp(-s * self.shift) * laplace_eval(self.base, s)
 
     def cdf(self, t, **kwargs):
         t = np.asarray(t, dtype=float)
@@ -401,7 +449,7 @@ class TransformDistribution(Distribution):
     numerical inversion.
     """
 
-    __slots__ = ("_laplace", "_mean", "_second_moment", "_atom", "name")
+    __slots__ = ("_laplace", "_mean", "_second_moment", "_atom", "name", "_token")
 
     def __init__(
         self,
@@ -411,6 +459,7 @@ class TransformDistribution(Distribution):
         *,
         atom_at_zero: float = 0.0,
         name: str = "transform",
+        token: tuple | None = None,
     ) -> None:
         self._laplace = laplace
         self._mean = check_non_negative("mean", mean)
@@ -419,6 +468,10 @@ class TransformDistribution(Distribution):
         self._second_moment = check_non_negative("second_moment", second_moment)
         self._atom = check_probability("atom_at_zero", atom_at_zero)
         self.name = str(name)
+        # The wrapped closure is opaque, so value identity cannot be
+        # derived; producers (the queueing formulas) pass an explicit
+        # token built from their own parameters to opt into memoisation.
+        self._token = token
 
     @property
     def mean(self) -> float:
@@ -431,6 +484,9 @@ class TransformDistribution(Distribution):
     @property
     def atom_at_zero(self) -> float:
         return self._atom
+
+    def cache_token(self) -> tuple | None:
+        return self._token
 
     def laplace(self, s):
         return self._laplace(np.asarray(s, dtype=complex))
@@ -464,7 +520,7 @@ class Empirical(Distribution):
     an alternative to parametric fitting, and heavily in the tests.
     """
 
-    __slots__ = ("samples",)
+    __slots__ = ("samples", "_token")
 
     #: Beyond this many samples, ``laplace`` subsamples deterministically
     #: to bound cost (the transform of 4096 stratified order statistics
@@ -478,6 +534,14 @@ class Empirical(Distribution):
         if np.any(samples < 0.0) or not np.all(np.isfinite(samples)):
             raise DistributionError("samples must be finite and non-negative")
         self.samples = samples
+        self._token: tuple | None = None
+
+    def cache_token(self) -> tuple:
+        # Hash of the sorted sample bytes: computed lazily, once -- the
+        # samples array is never mutated after construction.
+        if self._token is None:
+            self._token = ("emp", self.samples.size, hash(self.samples.tobytes()))
+        return self._token
 
     @property
     def mean(self) -> float:

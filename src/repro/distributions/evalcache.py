@@ -1,0 +1,152 @@
+"""Memoised evaluation of repeated distribution composites.
+
+The model builders re-create structurally identical composites many
+times: the three model families share device-level sub-composites, every
+SLA evaluation re-inverts transforms at the same quadrature nodes, and
+the grid/Laplace cross-validation discretises the same objects twice.
+Distributions are immutable values, so evaluation results can be cached
+by *value identity*: each distribution exposes
+:meth:`~repro.distributions.base.Distribution.cache_token`, a hashable
+tuple that two instances share iff they denote the same law.  ``None``
+means "not cacheable" (e.g. a :class:`TransformDistribution` wrapping an
+opaque closure without an explicit token) and evaluation falls through
+uncached.
+
+Caches are bounded LRUs; cached arrays are returned read-only so a hit
+can be handed out without copying.  Determinism note: a cache hit
+returns exactly what the original evaluation produced, so memoisation
+can never change results -- which the parallel-vs-serial bit-identity
+test relies on.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = [
+    "laplace_eval",
+    "cached_grid",
+    "cached_inversion",
+    "clear",
+    "stats",
+    "set_enabled",
+]
+
+#: Per-cache entry bound.  Entries are small (arrays of quadrature-node
+#: values, grid PMFs of a few thousand floats), so the memory ceiling is
+#: a few tens of megabytes in the worst case.
+MAX_ENTRIES = 4096
+
+_enabled = True
+_laplace: OrderedDict[tuple, np.ndarray] = OrderedDict()
+_grids: OrderedDict[tuple, object] = OrderedDict()
+_inversions: OrderedDict[tuple, np.ndarray] = OrderedDict()
+_hits = 0
+_misses = 0
+
+
+def set_enabled(enabled: bool) -> None:
+    """Globally enable/disable memoisation (used by benchmarks/tests)."""
+    global _enabled
+    _enabled = bool(enabled)
+    if not _enabled:
+        clear()
+
+
+def clear() -> None:
+    """Drop every cached evaluation."""
+    global _hits, _misses
+    _laplace.clear()
+    _grids.clear()
+    _inversions.clear()
+    _hits = 0
+    _misses = 0
+
+
+def stats() -> dict:
+    """Hit/miss counters and cache sizes (for the perf harness)."""
+    return {
+        "hits": _hits,
+        "misses": _misses,
+        "laplace_entries": len(_laplace),
+        "grid_entries": len(_grids),
+        "inversion_entries": len(_inversions),
+    }
+
+
+def _lookup(cache: OrderedDict, key):
+    global _hits
+    value = cache.get(key)
+    if value is not None:
+        cache.move_to_end(key)
+        _hits += 1
+    return value
+
+
+def _store(cache: OrderedDict, key, value) -> None:
+    global _misses
+    _misses += 1
+    cache[key] = value
+    while len(cache) > MAX_ENTRIES:
+        cache.popitem(last=False)
+
+
+def laplace_eval(dist, s) -> np.ndarray:
+    """``dist.laplace(s)``, memoised on ``(cache_token, s)``.
+
+    Composites call this on their children, so a sub-composite shared by
+    several models (or evaluated at the same quadrature nodes twice) is
+    computed once.  The returned array is read-only.
+    """
+    s = np.asarray(s, dtype=complex)
+    token = dist.cache_token() if _enabled else None
+    if token is None:
+        return dist.laplace(s)
+    key = (token, s.shape, s.tobytes())
+    value = _lookup(_laplace, key)
+    if value is None:
+        value = np.asarray(dist.laplace(s))
+        if value.flags.writeable:
+            value.setflags(write=False)
+        _store(_laplace, key, value)
+    return value
+
+
+def cached_grid(dist, dt: float, n: int, compute):
+    """Memoise a grid discretisation on ``(cache_token, dt, n)``.
+
+    ``compute`` builds the :class:`~repro.distributions.grid.GridPMF`
+    on a miss.  Grid PMFs hold read-only probability arrays, so a shared
+    instance is safe to return.
+    """
+    token = dist.cache_token() if _enabled else None
+    if token is None:
+        return compute()
+    key = (token, float(dt), int(n))
+    value = _lookup(_grids, key)
+    if value is None:
+        value = compute()
+        _store(_grids, key, value)
+    return value
+
+
+def cached_inversion(dist, method: str, terms: int, mollify_width: float, t: np.ndarray, compute):
+    """Memoise a full CDF inversion result for one distribution.
+
+    Keyed on the distribution's value token plus every inversion knob
+    and the (flattened) evaluation times; returns a read-only array.
+    """
+    token = dist.cache_token() if _enabled else None
+    if token is None:
+        return compute()
+    t = np.ascontiguousarray(t, dtype=float)
+    key = (token, method, int(terms), float(mollify_width), t.shape, t.tobytes())
+    value = _lookup(_inversions, key)
+    if value is None:
+        value = np.asarray(compute(), dtype=float)
+        if value.flags.writeable:
+            value.setflags(write=False)
+        _store(_inversions, key, value)
+    return value

@@ -19,8 +19,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.distributions.base import Distribution, DistributionError
+from repro.distributions import evalcache
 
-__all__ = ["GridPMF", "GridDistribution", "grid_of"]
+__all__ = ["GridPMF", "GridDistribution", "grid_of", "convolve_many"]
 
 
 class GridPMF:
@@ -29,9 +30,14 @@ class GridPMF:
     ``probs[k]`` approximates ``P(X in ((k - 1/2) dt, (k + 1/2) dt])``
     with ``probs[0]`` additionally holding any atom at zero.  Mass beyond
     the grid (the truncated tail) is available as :attr:`tail_mass`.
+
+    Instances are immutable: ``probs`` is marked read-only so the
+    cumulative-sum array backing :meth:`cdf`/:meth:`quantile` can be
+    computed once and PMFs can be shared freely (e.g. from the
+    ``grid_of`` memo) without defensive copies.
     """
 
-    __slots__ = ("dt", "probs")
+    __slots__ = ("dt", "probs", "_cum")
 
     def __init__(self, dt: float, probs) -> None:
         if dt <= 0.0 or not np.isfinite(dt):
@@ -44,7 +50,22 @@ class GridPMF:
         if probs.sum() > 1.0 + 1e-9:
             raise DistributionError("probs must sum to at most 1")
         self.dt = float(dt)
-        self.probs = np.clip(probs, 0.0, None)
+        # np.clip allocates a fresh array, so freezing it cannot leak
+        # back into the caller's buffer.
+        probs = np.clip(probs, 0.0, None)
+        probs.setflags(write=False)
+        self.probs = probs
+        self._cum: np.ndarray | None = None
+
+    @property
+    def _cumulative(self) -> np.ndarray:
+        """Cached ``cumsum(probs)`` (probs is frozen, so always valid)."""
+        cum = self._cum
+        if cum is None:
+            cum = np.cumsum(self.probs)
+            cum.setflags(write=False)
+            self._cum = cum
+        return cum
 
     # ------------------------------------------------------------------
     @property
@@ -72,7 +93,7 @@ class GridPMF:
     def cdf(self, t):
         """CDF evaluated at arbitrary ``t`` (right-continuous step sums)."""
         t = np.asarray(t, dtype=float)
-        cum = np.cumsum(self.probs)
+        cum = self._cumulative
         idx = np.floor(t / self.dt + 0.5).astype(int)
         idx = np.clip(idx, -1, self.n - 1)
         out = np.where(idx >= 0, cum[np.maximum(idx, 0)], 0.0)
@@ -81,7 +102,7 @@ class GridPMF:
     def quantile(self, q: float) -> float:
         if not 0.0 <= q < 1.0:
             raise DistributionError(f"quantile level must be in [0, 1), got {q}")
-        cum = np.cumsum(self.probs)
+        cum = self._cumulative
         idx = int(np.searchsorted(cum, q, side="left"))
         if idx >= self.n:
             raise DistributionError("quantile beyond grid horizon; enlarge n")
@@ -101,6 +122,10 @@ class GridPMF:
         n = n if n is not None else max(self.n, other.n)
         out = full[:n]
         return GridPMF(self.dt, out)
+
+    def convolve_all(self, others, *, n: int | None = None) -> "GridPMF":
+        """Convolve with every grid in ``others`` (see :func:`convolve_many`)."""
+        return convolve_many([self, *others], n=n)
 
     def mixture(self, other: "GridPMF", weight_self: float) -> "GridPMF":
         """Two-component mixture on a common grid."""
@@ -161,6 +186,46 @@ class GridPMF:
         )
 
 
+def convolve_many(pmfs, *, n: int | None = None) -> GridPMF:
+    """Convolve any number of compatible grids with one padded rFFT.
+
+    A chain of pairwise ``np.convolve`` calls over ``k`` grids costs
+    ``O(k n^2)``; a single real FFT over a power-of-two padding of the
+    full linear-convolution length costs ``O(k m log m)`` and computes
+    the identical first ``n`` bins.  Equality with the truncated
+    pairwise chain holds because convolution is *causal*: output bin
+    ``j < n`` depends only on input bins ``<= j``, so mass the pairwise
+    chain truncates at each step (indices ``>= n``) can never have
+    influenced the bins that are kept.  Padding to at least the full
+    linear length prevents circular wrap-around entirely.
+    """
+    pmfs = list(pmfs)
+    if not pmfs:
+        raise DistributionError("convolve_many needs at least one grid")
+    first = pmfs[0]
+    for other in pmfs[1:]:
+        first._check_compatible(other)
+    if n is None:
+        n = max(p.n for p in pmfs)
+    if len(pmfs) == 1:
+        return first.truncate(n)
+    total = sum(p.n for p in pmfs) - len(pmfs) + 1
+    m = 1
+    while m < total:
+        m *= 2
+    acc = None
+    for p in pmfs:
+        f = np.fft.rfft(p.probs, m)
+        acc = f if acc is None else acc * f
+    out = np.fft.irfft(acc, m)[:n]
+    # FFT round-off can leave tiny negatives / a sum epsilon above 1.
+    out = np.clip(out, 0.0, None)
+    total_mass = out.sum()
+    if total_mass > 1.0:
+        out = out / total_mass
+    return GridPMF(first.dt, out)
+
+
 class GridDistribution(Distribution):
     """Adapter exposing a :class:`GridPMF` as a :class:`Distribution`.
 
@@ -170,10 +235,22 @@ class GridDistribution(Distribution):
     transform-domain composition.
     """
 
-    __slots__ = ("grid",)
+    __slots__ = ("grid", "_token")
 
     def __init__(self, grid: GridPMF) -> None:
         self.grid = grid
+        self._token: tuple | None = None
+
+    def cache_token(self) -> tuple:
+        # probs is frozen, so the hash is computed lazily exactly once.
+        if self._token is None:
+            self._token = (
+                "gridpmf",
+                self.grid.dt,
+                self.grid.n,
+                hash(self.grid.probs.tobytes()),
+            )
+        return self._token
 
     @property
     def mean(self) -> float:
@@ -223,7 +300,16 @@ def grid_of(dist: Distribution, dt: float, n: int) -> GridPMF:
     Composites are discretised *structurally* (convolving / mixing the
     grids of their parts) rather than by differencing an inverted CDF,
     which keeps the grid engine fully independent of the Laplace engine.
+
+    Results are memoised per ``(value token, dt, n)`` -- safe because
+    grid PMFs are immutable -- so repeated discretisations of the same
+    composite (cross-engine validation, exact accept-wait evaluation)
+    cost one traversal.
     """
+    return evalcache.cached_grid(dist, dt, n, lambda: _grid_of_uncached(dist, dt, n))
+
+
+def _grid_of_uncached(dist: Distribution, dt: float, n: int) -> GridPMF:
     # Imported here to avoid a cycle: composite.py does not know about grids.
     from repro.distributions.analytic import Degenerate
     from repro.distributions.composite import (
@@ -243,10 +329,7 @@ def grid_of(dist: Distribution, dt: float, n: int) -> GridPMF:
             probs[idx] = 1.0
         return GridPMF(dt, probs)
     if isinstance(dist, Convolution):
-        out = grid_of(dist.components[0], dt, n)
-        for c in dist.components[1:]:
-            out = out.convolve(grid_of(c, dt, n), n=n)
-        return out
+        return convolve_many([grid_of(c, dt, n) for c in dist.components], n=n)
     if isinstance(dist, Mixture):
         n_comp = len(dist.components)
         acc = np.zeros(n)

@@ -101,6 +101,9 @@ class Weibull(_LatticeTransformMixin, Distribution):
     def second_moment(self) -> float:
         return self.scale**2 * math.gamma(1.0 + 2.0 / self.shape)
 
+    def cache_token(self) -> tuple:
+        return ("weibull", self.shape, self.scale)
+
     def cdf(self, t, **kwargs):
         t = np.asarray(t, dtype=float)
         tt = np.maximum(t, 0.0)
@@ -152,6 +155,9 @@ class Pareto(_LatticeTransformMixin, Distribution):
             raise DistributionError("second moment diverges for alpha <= 2")
         return 2.0 * self.sigma**2 / ((self.alpha - 1.0) * (self.alpha - 2.0))
 
+    def cache_token(self) -> tuple:
+        return ("pareto", self.alpha, self.sigma)
+
     def cdf(self, t, **kwargs):
         t = np.asarray(t, dtype=float)
         tt = np.maximum(t, 0.0)
@@ -184,6 +190,9 @@ class ShiftedExponential(Distribution):
     def second_moment(self) -> float:
         variance = 1.0 / self.rate**2
         return variance + self.mean**2
+
+    def cache_token(self) -> tuple:
+        return ("shiftexp", self.floor, self.rate)
 
     def laplace(self, s):
         s = np.asarray(s, dtype=complex)

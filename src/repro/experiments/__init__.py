@@ -11,12 +11,14 @@
 """
 
 from repro.experiments.scenarios import SLAS, Scenario, scenario_s1, scenario_s16
+from repro.experiments.parallel import PointTask, SweepContext, resolve_jobs, run_point
 from repro.experiments.runner import (
     CalibrationBundle,
     SweepPoint,
     SweepResult,
     calibrate,
     run_sweep,
+    run_sweeps,
 )
 from repro.experiments.fig5 import Fig5Result, run_fig5
 from repro.experiments.figures67 import (
@@ -57,6 +59,11 @@ __all__ = [
     "SweepResult",
     "calibrate",
     "run_sweep",
+    "run_sweeps",
+    "PointTask",
+    "SweepContext",
+    "resolve_jobs",
+    "run_point",
     "Fig5Result",
     "run_fig5",
     "FigureResult",

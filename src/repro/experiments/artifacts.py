@@ -19,8 +19,18 @@ from pathlib import Path
 __all__ = ["generate_all", "main"]
 
 
-def generate_all(out_dir: str | os.PathLike, *, scale: str = "ci", seed: int = 0) -> list[str]:
-    """Run every experiment and write text artifacts; returns filenames."""
+def generate_all(
+    out_dir: str | os.PathLike,
+    *,
+    scale: str = "ci",
+    seed: int = 0,
+    jobs: int | None = None,
+) -> list[str]:
+    """Run every experiment and write text artifacts; returns filenames.
+
+    ``jobs`` parallelises the two scenario sweeps (the dominant cost)
+    over a process pool; results are identical for any value.
+    """
     from repro.experiments import (
         build_table1,
         build_table2,
@@ -30,7 +40,7 @@ def generate_all(out_dir: str | os.PathLike, *, scale: str = "ci", seed: int = 0
         run_disk_queue_ablation,
         run_fig5,
         run_inversion_ablation,
-        run_sweep,
+        run_sweeps,
         run_timeout_study,
         run_write_fraction_study,
         scenario_s1,
@@ -51,12 +61,10 @@ def generate_all(out_dir: str | os.PathLike, *, scale: str = "ci", seed: int = 0
 
     emit("fig5.txt", run_fig5(s1, seed=seed).render())
 
-    sweep_s1 = run_sweep(s1, seed=seed)
-    sweep_s16 = run_sweep(s16, seed=seed)
+    sweeps = run_sweeps({"S1": s1, "S16": s16}, seed=seed, jobs=jobs)
+    sweep_s1, sweep_s16 = sweeps["S1"], sweeps["S16"]
     emit("fig6.txt", figure_from_sweep("Fig 6 (S1)", sweep_s1).render_all())
     emit("fig7.txt", figure_from_sweep("Fig 7 (S16)", sweep_s16).render_all())
-
-    sweeps = {"S1": sweep_s1, "S16": sweep_s16}
     t1 = build_table1(sweeps)
     t2 = build_table2(sweeps)
     emit("table1.txt", t1.render())
@@ -108,8 +116,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--out", default="results", help="output directory")
     parser.add_argument("--scale", default="ci", choices=["ci", "paper"])
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the sweeps (0 = all cores, default serial)",
+    )
     args = parser.parse_args(argv)
-    files = generate_all(args.out, scale=args.scale, seed=args.seed)
+    files = generate_all(args.out, scale=args.scale, seed=args.seed, jobs=args.jobs)
     print(f"wrote {len(files)} artifacts to {args.out}/:")
     for name in files:
         print(f"  {name}")

@@ -14,29 +14,35 @@ percentiles.
 Rate points whose model composition is unstable (utilisation >= 1) are
 recorded with NaN predictions -- the analogue of the paper excluding
 timeout-affected points from analysis.
+
+Execution is delegated to :mod:`repro.experiments.parallel`: every rate
+point is an independent task seeded from one root ``SeedSequence``, the
+warm cache state is computed once per scenario and shared, and ``jobs``
+fans the tasks over a process pool.  ``jobs=1`` (the default) runs the
+same tasks inline and produces bit-identical results.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.calibration import (
-    benchmark_disk,
-    benchmark_parse,
-    collect_device_metrics,
-    device_parameters_from_metrics,
-)
-from repro.model import FrontendParameters, SystemParameters, build_model
-from repro.queueing import UnstableQueueError
-from repro.simulator.cluster import Cluster
-from repro.workload.ssbench import OpenLoopDriver
-from repro.workload.wikipedia import WikipediaTraceGenerator
+from repro.calibration import benchmark_disk, benchmark_parse
+from repro.experiments.parallel import PointTask, SweepContext, execute
 from repro.experiments.scenarios import Scenario
+from repro.simulator.cluster import Cluster
+from repro.workload.wikipedia import WikipediaTraceGenerator
 
-__all__ = ["SweepPoint", "SweepResult", "CalibrationBundle", "calibrate", "run_sweep"]
+__all__ = [
+    "SweepPoint",
+    "SweepResult",
+    "CalibrationBundle",
+    "calibrate",
+    "run_sweep",
+    "run_sweeps",
+]
 
 DEFAULT_MODELS = ("ours", "odopr", "nowta")
 
@@ -129,6 +135,68 @@ class SweepResult:
         return self.abs_error_stats(model, sla)[2]
 
 
+def _prepare_context(
+    scenario: Scenario,
+    *,
+    models: Sequence[str],
+    calibration: CalibrationBundle | None,
+    seed: int,
+    rescale_service: bool,
+) -> SweepContext:
+    """Calibrate, build the ring and warm the caches once per scenario."""
+    if calibration is None:
+        calibration = calibrate(scenario, seed=seed)
+    catalog = scenario.catalog()
+    warm_cluster = Cluster(scenario.cluster, catalog.sizes, seed=seed)
+    gen = WikipediaTraceGenerator(catalog, rng=np.random.default_rng(seed + 100))
+    warm_cluster.warm_caches(gen.warmup_accesses(scenario.warm_accesses))
+    return SweepContext(
+        scenario=scenario,
+        calibration=calibration,
+        models=tuple(models),
+        rescale_service=rescale_service,
+        ring_assignment=warm_cluster.ring.assignment,
+        cache_snapshot=warm_cluster.cache_state(),
+    )
+
+
+def _point_tasks(
+    key: str, scenario: Scenario, sweep_rates: tuple[float, ...], seed: int
+) -> list[PointTask]:
+    """Derive per-point seeds from one root sequence.
+
+    Each rate point spawns its own ``SeedSequence`` child by *index*, so
+    a point's randomness is identical whether points run serially, in a
+    pool, or interleaved with another scenario's tasks.
+    """
+    root = np.random.SeedSequence(seed)
+    children = root.spawn(len(sweep_rates))
+    tasks = []
+    for i, rate in enumerate(sweep_rates):
+        cluster_seed, trace_seed = children[i].spawn(2)
+        tasks.append(
+            PointTask(
+                context_key=key,
+                index=i,
+                rate=float(rate),
+                cluster_seed=cluster_seed,
+                trace_seed=trace_seed,
+            )
+        )
+    return tasks
+
+
+def _assemble(
+    scenario: Scenario, models: Sequence[str], results: Iterable[SweepPoint | None]
+) -> SweepResult:
+    return SweepResult(
+        scenario=scenario.name,
+        slas=tuple(scenario.slas),
+        models=tuple(models),
+        points=tuple(p for p in results if p is not None),
+    )
+
+
 def run_sweep(
     scenario: Scenario,
     *,
@@ -137,6 +205,7 @@ def run_sweep(
     seed: int = 0,
     rates: Iterable[float] | None = None,
     rescale_service: bool = False,
+    jobs: int | None = None,
 ) -> SweepResult:
     """Execute the full sweep for ``scenario``.
 
@@ -145,96 +214,60 @@ def run_sweep(
     benchmark-time distributions are used directly; the testbed disk
     does not drift, so both settings agree -- the knob exists for the
     calibration tests and the ablation bench).
+
+    ``jobs`` fans rate points over a process pool (``None``/``1`` =
+    serial, ``0`` = all cores).  Results are bit-identical for any
+    ``jobs`` value: every point's randomness derives from spawned
+    ``SeedSequence`` children, never from execution order.
     """
-    calibration = calibration if calibration is not None else calibrate(scenario, seed=seed)
-    profile = calibration.profile
-    proportions = calibration.proportions
-    parse_fe = calibration.parse_benchmark.frontend
-    parse_be = calibration.parse_benchmark.backend
-
-    catalog = scenario.catalog()
-    cluster = Cluster(
-        scenario.cluster,
-        catalog.sizes,
+    ctx = _prepare_context(
+        scenario,
+        models=models,
+        calibration=calibration,
         seed=seed,
-        record_disk_samples=rescale_service,
+        rescale_service=rescale_service,
     )
-    gen = WikipediaTraceGenerator(catalog, rng=np.random.default_rng(seed + 100))
-    cluster.warm_caches(gen.warmup_accesses(scenario.warm_accesses))
-    driver = OpenLoopDriver(cluster)
-    frontend = FrontendParameters(
-        scenario.cluster.n_frontend_processes, parse_fe
-    )
-    n_be = scenario.cluster.processes_per_device
-
-    points: list[SweepPoint] = []
     sweep_rates = tuple(rates) if rates is not None else scenario.rates
-    for rate in sweep_rates:
-        driver.run(gen.constant_rate(rate, scenario.settle_duration))
-        cluster.reset_window_counters()
-        disk_mark = cluster.metrics.disk_mark() if rescale_service else None
-        t0 = cluster.sim.now
-        driver.run(gen.constant_rate(rate, scenario.window_duration))
-        t1 = cluster.sim.now
-        metrics = collect_device_metrics(cluster.devices, t1 - t0)
-        # Let in-flight requests complete so the window's rows exist.
-        cluster.run_until(t1 + 5.0)
-        table = cluster.metrics.requests().window(t0, t1)
-        if len(table) == 0:
-            continue
-        observed = {
-            sla: float((table.response_latency <= sla).mean())
-            for sla in scenario.slas
-        }
+    tasks = _point_tasks(scenario.name, scenario, sweep_rates, seed)
+    results = execute({scenario.name: ctx}, tasks, jobs)
+    return _assemble(scenario, models, results)
 
-        aggregate_mean = None
-        if rescale_service:
-            since = cluster.metrics.disk_samples_since(disk_mark)
-            all_samples = np.concatenate(
-                [v for v in since.values() if v.size], axis=None
-            ) if any(v.size for v in since.values()) else np.empty(0)
-            if all_samples.size:
-                aggregate_mean = float(all_samples.mean())
 
-        device_params = tuple(
-            device_parameters_from_metrics(
-                m,
-                profile,
-                parse_be,
-                n_be,
-                aggregate_disk_mean=aggregate_mean,
-                proportions=proportions if aggregate_mean is not None else None,
-            )
-            for m in metrics
-            if m.request_rate > 0.0
+def run_sweeps(
+    scenarios: Mapping[str, Scenario],
+    *,
+    models: Sequence[str] = DEFAULT_MODELS,
+    calibrations: Mapping[str, CalibrationBundle] | None = None,
+    seed: int = 0,
+    rescale_service: bool = False,
+    jobs: int | None = None,
+) -> dict[str, SweepResult]:
+    """Run several scenario sweeps with all points in ONE worker pool.
+
+    The tables/figures drivers run S1 and S16 back to back; pooling the
+    two task lists keeps every worker busy through the tail of each
+    scenario.  Per-scenario results equal what :func:`run_sweep` would
+    return for the same seed (point seeds depend only on the scenario's
+    rate index, not on pooling).
+    """
+    contexts = {
+        key: _prepare_context(
+            scenario,
+            models=models,
+            calibration=calibrations.get(key) if calibrations else None,
+            seed=seed,
+            rescale_service=rescale_service,
         )
-        params = SystemParameters(frontend, device_params)
-
-        predicted: dict[str, dict[float, float]] = {}
-        max_util = float("nan")
-        for family in models:
-            try:
-                model = build_model(family, params)
-            except UnstableQueueError:
-                predicted[family] = {sla: float("nan") for sla in scenario.slas}
-                continue
-            predicted[family] = {
-                sla: model.sla_percentile(sla) for sla in scenario.slas
-            }
-            if family == "ours":
-                max_util = max(model.utilizations().values())
-        points.append(
-            SweepPoint(
-                rate=float(rate),
-                n_requests=len(table),
-                observed=observed,
-                predicted=predicted,
-                max_utilization=max_util,
-            )
-        )
-    return SweepResult(
-        scenario=scenario.name,
-        slas=tuple(scenario.slas),
-        models=tuple(models),
-        points=tuple(points),
-    )
+        for key, scenario in scenarios.items()
+    }
+    tasks: list[PointTask] = []
+    for key, scenario in scenarios.items():
+        tasks.extend(_point_tasks(key, scenario, tuple(scenario.rates), seed))
+    results = execute(contexts, tasks, jobs)
+    by_key: dict[str, list[SweepPoint | None]] = {key: [] for key in scenarios}
+    for task, result in zip(tasks, results):
+        by_key[task.context_key].append(result)
+    return {
+        key: _assemble(scenario, models, by_key[key])
+        for key, scenario in scenarios.items()
+    }

@@ -12,7 +12,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.experiments.reporting import format_percent, render_table
-from repro.experiments.runner import SweepResult, run_sweep
+from repro.experiments.runner import SweepResult, run_sweeps
 from repro.experiments.scenarios import scenario_s1, scenario_s16
 
 __all__ = ["Table1", "Table2", "build_table1", "build_table2", "run_tables"]
@@ -103,12 +103,19 @@ def build_table2(sweeps: dict[str, SweepResult]) -> Table2:
     return Table2(models, tuple(rows))
 
 
-def run_tables(*, seed: int = 0, scale: str = "ci") -> tuple[Table1, Table2]:
-    """Run both scenario sweeps and build Tables I and II."""
-    sweeps = {
-        "S1": run_sweep(scenario_s1(scale), seed=seed),
-        "S16": run_sweep(scenario_s16(scale), seed=seed),
-    }
+def run_tables(
+    *, seed: int = 0, scale: str = "ci", jobs: int | None = None
+) -> tuple[Table1, Table2]:
+    """Run both scenario sweeps and build Tables I and II.
+
+    With ``jobs > 1`` the S1 and S16 rate points interleave in one
+    worker pool (see :func:`~repro.experiments.runner.run_sweeps`).
+    """
+    sweeps = run_sweeps(
+        {"S1": scenario_s1(scale), "S16": scenario_s16(scale)},
+        seed=seed,
+        jobs=jobs,
+    )
     return build_table1(sweeps), build_table2(sweeps)
 
 

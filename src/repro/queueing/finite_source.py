@@ -147,4 +147,5 @@ class FiniteSourceQueue:
             mean,
             second,
             name=f"finite-source-sojourn(N={self.n_sources})",
+            token=("fs-sojourn", self.think_rate, mu, self.n_sources),
         )

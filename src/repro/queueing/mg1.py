@@ -29,6 +29,7 @@ import dataclasses
 import numpy as np
 
 from repro.distributions import Distribution, TransformDistribution, convolve
+from repro.distributions.evalcache import laplace_eval
 from repro.queueing.errors import QueueingError, UnstableQueueError
 
 __all__ = ["MG1Queue"]
@@ -84,20 +85,22 @@ class MG1Queue:
         """
         r = self.arrival_rate
         rho = self.utilization
-        service_laplace = self.service.laplace
+        service = self.service
 
         def transform(s):
             s = np.asarray(s, dtype=complex)
-            return ((1.0 - rho) * s) / (r * service_laplace(s) + s - r)
+            return ((1.0 - rho) * s) / (r * laplace_eval(service, s) + s - r)
 
         mean = self.mean_waiting_time
         second = self._waiting_second_moment(mean)
+        service_token = service.cache_token()
         return TransformDistribution(
             transform,
             mean,
             second,
             atom_at_zero=1.0 - rho,
             name=f"pk-waiting(r={r:.4g})",
+            token=None if service_token is None else ("pk-wait", r, service_token),
         )
 
     def _waiting_second_moment(self, mean_wait: float) -> float:

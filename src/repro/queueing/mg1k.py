@@ -39,6 +39,7 @@ import numpy as np
 from scipy import stats as _stats
 
 from repro.distributions import Distribution, TransformDistribution, grid_of
+from repro.distributions.evalcache import laplace_eval
 from repro.queueing.errors import QueueingError
 
 __all__ = ["MG1KQueue"]
@@ -144,12 +145,12 @@ class MG1KQueue:
         p = self.state_probabilities()
         q = p[:-1] / (1.0 - p[-1])
         b_mean = self.service.mean
-        service_laplace = self.service.laplace
+        service = self.service
         K = self.capacity
 
         def transform(s):
             s = np.asarray(s, dtype=complex)
-            lb = service_laplace(s)
+            lb = laplace_eval(service, s)
             # Equilibrium residual-service transform.  The limit at
             # s -> 0 is 1; substitute it where |s| underflows the ratio
             # (the moment stencil evaluates at s = 0 exactly).
@@ -168,8 +169,14 @@ class MG1KQueue:
         i = np.arange(K)
         means = np.where(i == 0, b_mean, res_mean + i * b_mean)
         mean = float(np.dot(q, means))
+        service_token = service.cache_token()
         return TransformDistribution(
             transform,
             mean,
             name=f"mg1k-sojourn(K={K})",
+            token=(
+                None
+                if service_token is None
+                else ("mg1k-sojourn", self.arrival_rate, K, service_token)
+            ),
         )

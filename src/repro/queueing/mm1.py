@@ -73,7 +73,12 @@ class MM1Queue:
         mean = rho / (mu - lam)
         second = 2.0 * rho / (mu - lam) ** 2
         return TransformDistribution(
-            transform, mean, second, atom_at_zero=1.0 - rho, name="mm1-waiting"
+            transform,
+            mean,
+            second,
+            atom_at_zero=1.0 - rho,
+            name="mm1-waiting",
+            token=("mm1-wait", lam, mu),
         )
 
     def queue_length_pmf(self, n_max: int) -> np.ndarray:

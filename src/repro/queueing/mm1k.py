@@ -125,6 +125,7 @@ class MM1KQueue:
             mean,
             second,
             name=f"mm1k-sojourn(K={self.capacity})",
+            token=("mm1k-sojourn", self.arrival_rate, mu, self.capacity),
         )
 
     def sojourn_laplace_closed_form(self, s):

@@ -69,6 +69,142 @@ class LruCache:
         entries[key] = size
         self.used_bytes += size
 
+    def access_many(self, keys, size: int) -> int:
+        """Touch ``keys`` in order, each charged ``size`` bytes.
+
+        Exactly equivalent to calling :meth:`access` per key (same final
+        resident set, LRU order and counters) with the per-call overhead
+        hoisted out of the loop; this is the maintenance-scan and warmup
+        hot path, where millions of uniform-size touches arrive in
+        batches.  Returns the number of hits.
+        """
+        size = int(size)
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        entries = self._entries
+        move = entries.move_to_end
+        pop = entries.popitem
+        cap = self.capacity_bytes
+        used = self.used_bytes
+        hits = 0
+        misses = 0
+        oversize = size > cap
+        for key in keys:
+            if key in entries:
+                move(key)
+                hits += 1
+            else:
+                misses += 1
+                if oversize:
+                    continue  # larger than memory: read-through
+                while used + size > cap:
+                    _old, old_size = pop(last=False)
+                    used -= old_size
+                entries[key] = size
+                used += size
+        self.used_bytes = used
+        self.hits += hits
+        self.misses += misses
+        return hits
+
+    def access_pairs(self, pairs) -> int:
+        """Touch ``(key, size)`` pairs in order; returns the hit count.
+
+        The variable-size sibling of :meth:`access_many`, used for
+        chunked data-cache traffic.
+        """
+        entries = self._entries
+        move = entries.move_to_end
+        pop = entries.popitem
+        cap = self.capacity_bytes
+        used = self.used_bytes
+        hits = 0
+        misses = 0
+        for key, size in pairs:
+            if key in entries:
+                move(key)
+                hits += 1
+                continue
+            misses += 1
+            if size > cap:
+                continue
+            if size < 0:
+                raise ValueError(f"size must be >= 0, got {size}")
+            while used + size > cap:
+                _old, old_size = pop(last=False)
+                used -= old_size
+            entries[key] = size
+            used += size
+        self.used_bytes = used
+        self.hits += hits
+        self.misses += misses
+        return hits
+
+    def install_tail_uniform(self, keys, size: int) -> None:
+        """Install the exact final state of replaying uniform-``size``
+        accesses to ``keys`` into an *empty* cache, without the replay.
+
+        LRU evicts strictly oldest-first, so the survivors of any replay
+        are a suffix of the distinct keys in last-access order: scan the
+        stream backwards, keep distinct keys while they fit, and stop at
+        the first key that does not (every older key was necessarily
+        evicted before it).  The scan usually terminates after a small
+        fraction of the stream -- the point of this method; the warmup
+        replay it serves is otherwise the single hottest loop of sweep
+        setup.  Counters are not updated (the warmup path resets them
+        immediately afterwards).
+        """
+        if self._entries:
+            raise ValueError("install_tail requires an empty cache")
+        size = int(size)
+        cap = self.capacity_bytes
+        if size > cap:  # read-through: nothing is ever admitted
+            return
+        limit = cap // size if size > 0 else None
+        seen = set()
+        add = seen.add
+        survivors = []  # most-recent-first
+        append = survivors.append
+        for key in reversed(keys):
+            if key in seen:
+                continue
+            add(key)
+            append(key)
+            if limit is not None and len(survivors) == limit:
+                break
+        self._entries = OrderedDict((k, size) for k in reversed(survivors))
+        self.used_bytes = len(survivors) * size
+
+    def install_tail_reversed(self, rev_pairs) -> None:
+        """Variable-size sibling of :meth:`install_tail_uniform`.
+
+        ``rev_pairs`` yields ``(key, size)`` in *reverse* access order
+        (so the caller can generate it lazily and benefit from the early
+        stop).  Requires an empty cache and a stable size per key, both
+        guaranteed by the warmup replay.  Oversize entries are never
+        admitted by LRU and are transparent here too.
+        """
+        if self._entries:
+            raise ValueError("install_tail requires an empty cache")
+        cap = self.capacity_bytes
+        seen = set()
+        add = seen.add
+        survivors = []  # most-recent-first
+        append = survivors.append
+        used = 0
+        for key, size in rev_pairs:
+            if key in seen:
+                continue
+            add(key)
+            if size > cap:
+                continue
+            if used + size > cap:
+                break
+            append((key, size))
+            used += size
+        self._entries = OrderedDict(reversed(survivors))
+        self.used_bytes = used
+
     def evict(self, key) -> bool:
         """Drop one entry (used by failure-injection tests)."""
         size = self._entries.pop(key, None)
@@ -82,6 +218,21 @@ class LruCache:
         self.used_bytes = 0
 
     def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # snapshot / restore (warm-state reuse by the parallel sweep engine)
+    # ------------------------------------------------------------------
+    def state(self) -> tuple:
+        """A picklable snapshot of the resident set, in LRU order."""
+        return (tuple(self._entries.items()), self.used_bytes)
+
+    def restore(self, state: tuple) -> None:
+        """Install a snapshot taken by :meth:`state` (counters reset)."""
+        entries, used_bytes = state
+        self._entries = OrderedDict(entries)
+        self.used_bytes = int(used_bytes)
         self.hits = 0
         self.misses = 0
 

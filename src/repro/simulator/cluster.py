@@ -15,7 +15,11 @@ import dataclasses
 import numpy as np
 
 from repro.distributions import Degenerate, Distribution
-from repro.simulator.backend import StorageDevice
+from repro.simulator.backend import (
+    INDEX_ENTRY_BYTES,
+    META_ENTRY_BYTES,
+    StorageDevice,
+)
 from repro.simulator.cache import LruCache
 from repro.simulator.core import Simulator
 from repro.simulator.disk import Disk, HddProfile
@@ -24,7 +28,7 @@ from repro.simulator.metrics import MetricsRecorder
 from repro.simulator.network import NetworkProfile
 from repro.simulator.request import Request
 from repro.simulator.ring import HashRing
-from repro.simulator.rng import RngStreams
+from repro.simulator.rng import BufferedIntegers, RngStreams
 
 __all__ = ["ClusterConfig", "Cluster"]
 
@@ -113,23 +117,36 @@ class Cluster:
         self,
         config: ClusterConfig,
         object_sizes: np.ndarray,
-        seed: int = 0,
+        seed: int | np.random.SeedSequence = 0,
         *,
         record_disk_samples: bool = False,
+        ring: HashRing | None = None,
     ) -> None:
         self.config = config
         self.object_sizes = np.asarray(object_sizes, dtype=np.int64)
+        self._sizes_list = self.object_sizes.tolist()
         if self.object_sizes.size == 0 or np.any(self.object_sizes <= 0):
             raise ValueError("object sizes must be positive")
         self.sim = Simulator()
         self.rng = RngStreams(seed)
         self.metrics = MetricsRecorder(record_disk_samples=record_disk_samples)
-        self.ring = HashRing(
-            config.n_partitions,
-            config.n_devices,
-            config.replicas,
-            self.rng.stream("ring"),
-        )
+        if ring is not None:
+            # An injected ring (the parallel sweep ships one placement to
+            # every worker) must match this cluster's geometry.
+            if (
+                ring.n_partitions != config.n_partitions
+                or ring.replicas != config.replicas
+                or ring.n_devices > config.n_devices
+            ):
+                raise ValueError("injected ring does not match cluster config")
+            self.ring = ring
+        else:
+            self.ring = HashRing(
+                config.n_partitions,
+                config.n_devices,
+                config.replicas,
+                self.rng.stream("ring"),
+            )
 
         # Backend: three cache budgets per server (index slab, xattr,
         # page cache), one disk + N_be processes per device.
@@ -142,6 +159,16 @@ class Cluster:
         ]
         from repro.simulator.scanner import MaintenanceScanner
 
+        if config.scanner_rate > 0.0:
+            scan_chunks = np.maximum(
+                1, -(-self.object_sizes // config.chunk_bytes)
+            )
+            scan_geometry = (
+                scan_chunks.tolist(),
+                (
+                    self.object_sizes - (scan_chunks - 1) * config.chunk_bytes
+                ).tolist(),
+            )
         self.scanners: list[MaintenanceScanner | None] = []
         for s in range(config.n_backend_servers):
             if config.scanner_rate > 0.0:
@@ -158,6 +185,7 @@ class Cluster:
                         phase=(s * self.object_sizes.size) // max(
                             config.n_backend_servers, 1
                         ),
+                        chunk_geometry=scan_geometry,
                     )
                 )
             else:
@@ -206,7 +234,9 @@ class Cluster:
             )
             for f in range(config.n_frontend_processes)
         ]
-        self._lb_rng = self.rng.stream("load-balancer")
+        self._lb = BufferedIntegers(
+            self.rng.stream("load-balancer"), len(self.frontends)
+        )
         self._next_rid = 0
 
     # ------------------------------------------------------------------
@@ -217,16 +247,17 @@ class Cluster:
     ) -> Request:
         """Inject one request now, via a uniformly random frontend
         process (ssbench's built-in load balancing)."""
+        object_id = int(object_id)
         req = Request(
             self._next_rid,
-            int(object_id),
-            int(self.object_sizes[int(object_id)]),
+            object_id,
+            self._sizes_list[object_id],
             self.config.chunk_bytes,
             is_write=is_write,
             is_delete=is_delete,
         )
         self._next_rid += 1
-        fe = self.frontends[self._lb_rng.integers(len(self.frontends))]
+        fe = self.frontends[self._lb.next()]
         fe.submit(req)
         return req
 
@@ -251,14 +282,16 @@ class Cluster:
         if times.shape != object_ids.shape:
             raise ValueError("times and object_ids must have matching shapes")
         if writes is None:
-            for t, obj in zip(times, object_ids):
-                self.sim.schedule_at(float(t), self.dispatch, int(obj))
+            for t, obj in zip(times.tolist(), object_ids.tolist()):
+                self.sim.schedule_at(t, self.dispatch, obj)
         else:
             writes = np.asarray(writes, dtype=bool)
             if writes.shape != times.shape:
                 raise ValueError("writes must match times in shape")
-            for t, obj, w in zip(times, object_ids, writes):
-                self.sim.schedule_at(float(t), self.dispatch, int(obj), bool(w))
+            for t, obj, w in zip(
+                times.tolist(), object_ids.tolist(), writes.tolist()
+            ):
+                self.sim.schedule_at(t, self.dispatch, obj, w)
 
     def run_until(self, t_end: float) -> None:
         self.sim.run_until(t_end)
@@ -273,14 +306,81 @@ class Cluster:
     def warm_caches(self, object_ids: np.ndarray) -> None:
         """Replay an access stream against the caches without simulating
         time (substitutes for the paper's 3-hour warmup phase).  Each
-        access warms one randomly chosen replica, like real GETs would."""
+        access warms one randomly chosen replica, like real GETs would.
+
+        Replica choices are drawn in one vectorised call (bit-identical
+        to the scalar loop) and the chunk geometry of every access is
+        computed up front, so the loop body is pure cache traffic.
+        """
+        object_ids = np.asarray(object_ids, dtype=np.int64)
+        if object_ids.size == 0:
+            return
         rng = self.rng.stream("warmup")
-        for obj in np.asarray(object_ids):
-            dev = self.devices[self.ring.pick(int(obj), rng)]
-            dev.warm(np.asarray([obj]))
+        dev_ids = self.ring.pick_many(object_ids, rng)
+        sizes = self.object_sizes[object_ids]
+        chunk_bytes = self.config.chunk_bytes
+        n_chunks = np.maximum(1, -(-sizes // chunk_bytes))
+        last_bytes = sizes - (n_chunks - 1) * chunk_bytes
+        # Caches are shared per *server*; group the stream per server in
+        # access order.  Per cache this preserves the exact access
+        # subsequence the scalar warm_one loop would produce.  Fresh
+        # (empty) caches take the O(resident-set) tail-install shortcut;
+        # already-populated caches fall back to the full batched replay.
+        servers = dev_ids // self.config.devices_per_server
+
+        def rev_data_pairs(objs, ncs, lasts):
+            for obj, nc, last in zip(reversed(objs), reversed(ncs), reversed(lasts)):
+                yield (obj, nc - 1), last
+                for idx in range(nc - 2, -1, -1):
+                    yield (obj, idx), chunk_bytes
+
+        for server, (idx_cache, meta_cache, data_cache) in enumerate(self.caches):
+            sel = np.flatnonzero(servers == server)
+            objs = object_ids[sel].tolist()
+            ncs = n_chunks[sel].tolist()
+            lasts = last_bytes[sel].tolist()
+            if len(idx_cache) == 0:
+                idx_cache.install_tail_uniform(objs, INDEX_ENTRY_BYTES)
+            else:
+                idx_cache.access_many(objs, INDEX_ENTRY_BYTES)
+            if len(meta_cache) == 0:
+                meta_cache.install_tail_uniform(objs, META_ENTRY_BYTES)
+            else:
+                meta_cache.access_many(objs, META_ENTRY_BYTES)
+            if len(data_cache) == 0:
+                data_cache.install_tail_reversed(rev_data_pairs(objs, ncs, lasts))
+            else:
+                data_cache.access_pairs(
+                    [
+                        ((obj, idx), chunk_bytes if idx + 1 < nc else last)
+                        for obj, nc, last in zip(objs, ncs, lasts)
+                        for idx in range(nc)
+                    ]
+                )
         for server_caches in self.caches:
             for cache in server_caches:
                 cache.reset_counters()
+
+    def cache_state(self) -> tuple:
+        """Picklable snapshot of every server's cache contents.
+
+        Together with :meth:`HashRing.from_assignment` this lets the
+        parallel sweep warm the caches once in the parent and restore
+        the warm state in each worker instead of replaying the (much
+        slower) warmup access stream per rate point.
+        """
+        return tuple(
+            tuple(cache.state() for cache in server_caches)
+            for server_caches in self.caches
+        )
+
+    def restore_cache_state(self, state: tuple) -> None:
+        """Install a snapshot taken by :meth:`cache_state`."""
+        if len(state) != len(self.caches):
+            raise ValueError("cache snapshot does not match cluster shape")
+        for server_caches, server_state in zip(self.caches, state):
+            for cache, cache_state in zip(server_caches, server_state):
+                cache.restore(cache_state)
 
     def reset_window_counters(self) -> None:
         for dev in self.devices:

@@ -114,8 +114,8 @@ class FrontendProcess:
     # reads: one replica, optional timeout + retry on another
     # ------------------------------------------------------------------
     def _send_read(self, req: Request, exclude: int) -> None:
-        replicas = self.ring.devices_for(req.object_id)
-        candidates = [int(d) for d in replicas if int(d) != exclude]
+        row = self.ring.replica_row(req.object_id)
+        candidates = row if exclude < 0 else [d for d in row if d != exclude]
         device = self.devices[candidates[self._rng.integers(len(candidates))]]
         self.sim.schedule(self.network.latency, device.connect, Connection(req, self))
         if self.timeout is not None:

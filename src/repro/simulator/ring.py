@@ -21,7 +21,7 @@ _HASH_MULT = 2654435761
 class HashRing:
     """Partition-to-device assignment with replica placement."""
 
-    __slots__ = ("n_partitions", "n_devices", "replicas", "assignment")
+    __slots__ = ("n_partitions", "n_devices", "replicas", "assignment", "_rows")
 
     def __init__(
         self,
@@ -40,6 +40,27 @@ class HashRing:
         self.n_devices = n_devices
         self.replicas = replicas
         self.assignment = self._build(rng)
+        self._rows = None
+
+    @classmethod
+    def from_assignment(cls, assignment: np.ndarray) -> "HashRing":
+        """Rebuild a ring from a previously built assignment table.
+
+        The parallel sweep engine builds the ring once in the parent and
+        ships the ``(n_partitions, replicas)`` table to workers, so every
+        rate point sees the identical placement without re-running (or
+        re-seeding) the balanced builder.
+        """
+        assignment = np.asarray(assignment, dtype=np.int32)
+        if assignment.ndim != 2 or assignment.size == 0:
+            raise ValueError("assignment must be a non-empty 2-D table")
+        ring = cls.__new__(cls)
+        ring.n_partitions = assignment.shape[0]
+        ring.n_devices = int(assignment.max()) + 1
+        ring.replicas = assignment.shape[1]
+        ring.assignment = assignment
+        ring._rows = None
+        return ring
 
     def _build(self, rng: np.random.Generator) -> np.ndarray:
         """(n_partitions, replicas) device indices, balanced and distinct.
@@ -74,10 +95,34 @@ class HashRing:
         """All replica device indices for an object."""
         return self.assignment[self.partition_of(object_id)]
 
+    def replica_row(self, object_id: int) -> list[int]:
+        """Replica device indices as plain ints (request hot path).
+
+        Same row as :meth:`devices_for` without per-request numpy
+        indexing and scalar conversion; the table is materialised once.
+        """
+        rows = self._rows
+        if rows is None:
+            rows = self._rows = self.assignment.tolist()
+        return rows[(object_id * _HASH_MULT) % self.n_partitions]
+
     def pick(self, object_id: int, rng: np.random.Generator) -> int:
         """Random-replica GET routing (Swift behaviour)."""
         devices = self.devices_for(object_id)
         return int(devices[rng.integers(devices.size)])
+
+    def pick_many(self, object_ids: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Vectorised :meth:`pick` over a batch of objects.
+
+        One ``integers`` call replaces one Generator call per object and
+        consumes the stream identically (numpy draws bounded integers
+        element-wise in stream order), so the chosen device sequence is
+        bit-identical to a scalar ``pick`` loop.
+        """
+        object_ids = np.asarray(object_ids, dtype=np.int64)
+        parts = (object_ids * _HASH_MULT) % self.n_partitions
+        ranks = rng.integers(self.replicas, size=object_ids.size)
+        return self.assignment[parts, ranks]
 
     def device_load_share(self, popularity: np.ndarray) -> np.ndarray:
         """Expected request-rate share per device for a popularity vector.

@@ -44,6 +44,14 @@ from repro.simulator.backend import INDEX_ENTRY_BYTES, META_ENTRY_BYTES
 #: long idle gap; after a full cache turnover more touches are moot).
 _MAX_BATCH = 20_000
 
+#: Lower bound on accrued touches before a lazy advance applies them.
+#: The scan is already an interleaving approximation (touches land at
+#: request arrivals, not at their true clock times); deferring tiny
+#: batches keeps the aggregate touch count exact while amortising the
+#: per-advance overhead over a useful batch.  At testbed scan rates this
+#: quantum spans a few tens of milliseconds of simulated time.
+_MIN_ADVANCE = 128.0
+
 
 def _coprime_stride(n: int, fraction: float) -> int:
     """A stride near ``fraction * n`` that is coprime with ``n`` (so the
@@ -77,6 +85,41 @@ class _Walk:
         self.pos = (self.pos + self.stride) % self.n
         return out
 
+    def steps(self, count: int) -> list[int]:
+        """The next ``count`` positions in one batched draw.
+
+        Identical to ``count`` successive :meth:`step` calls, without
+        the per-touch Python call.  Typical batches are a few dozen
+        touches, where a plain loop with a conditional wrap beats numpy
+        setup cost; big catch-up batches go through ``arange``.
+        """
+        pos, stride, n = self.pos, self.stride, self.n
+        if stride == 1:
+            # Sequential walk: one or two C-level ranges.
+            end = pos + count
+            self.pos = end % n
+            if end <= n:
+                return list(range(pos, end))
+            out = list(range(pos, n))
+            whole, extra = divmod(end - n, n)
+            for _ in range(whole):
+                out.extend(range(n))
+            out.extend(range(extra))
+            return out
+        if count > 2048:
+            out = ((pos + stride * np.arange(count, dtype=np.int64)) % n).tolist()
+            self.pos = int((pos + stride * count) % n)
+            return out
+        out = []
+        append = out.append
+        for _ in range(count):
+            append(pos)
+            pos += stride
+            if pos >= n:
+                pos -= n
+        self.pos = pos
+        return out
+
 
 class MaintenanceScanner:
     """Uniform cyclic cache-touch process for one backend server."""
@@ -92,6 +135,8 @@ class MaintenanceScanner:
         "_index_walk",
         "_meta_walk",
         "_data_walk",
+        "_n_chunks",
+        "_last_chunk",
         "_last_time",
         "touches",
     )
@@ -108,6 +153,7 @@ class MaintenanceScanner:
         data_rate_fraction: float = 0.5,
         start_time: float = 0.0,
         phase: int = 0,
+        chunk_geometry: tuple[list[int], list[int]] | None = None,
     ) -> None:
         if rate < 0.0:
             raise ValueError(f"rate must be >= 0, got {rate}")
@@ -129,6 +175,18 @@ class MaintenanceScanner:
         self._data_walk = _Walk(
             n, _coprime_stride(n, 0.3819660113), phase, data_rate_fraction
         )
+        # Chunk geometry depends only on object size; precompute it once
+        # so the data walk is pure list indexing.  A cluster hosts one
+        # scanner per server over the same namespace -- it computes the
+        # geometry once and shares it via ``chunk_geometry``.
+        if chunk_geometry is None:
+            sizes = object_sizes.astype(np.int64, copy=False)
+            n_chunks = np.maximum(1, -(-sizes // chunk_bytes))
+            chunk_geometry = (
+                n_chunks.tolist(),
+                (sizes - (n_chunks - 1) * chunk_bytes).tolist(),
+            )
+        self._n_chunks, self._last_chunk = chunk_geometry
         self._last_time = start_time
         self.touches = 0
 
@@ -137,35 +195,35 @@ class MaintenanceScanner:
         if self.rate == 0.0 or now <= self._last_time:
             return
         budget = (now - self._last_time) * self.rate
+        if budget < _MIN_ADVANCE:
+            return  # keep accruing; a later advance applies the backlog
         self._last_time = now
 
         walk = self._index_walk
-        cache = self.index_cache
         count = walk.take(budget)
-        for _ in range(count):
-            cache.access(walk.step(), INDEX_ENTRY_BYTES)
-        self.touches += count
+        if count:
+            self.index_cache.access_many(walk.steps(count), INDEX_ENTRY_BYTES)
+            self.touches += count
 
         walk = self._meta_walk
-        cache = self.meta_cache
         count = walk.take(budget)
-        for _ in range(count):
-            cache.access(walk.step(), META_ENTRY_BYTES)
-        self.touches += count
+        if count:
+            self.meta_cache.access_many(walk.steps(count), META_ENTRY_BYTES)
+            self.touches += count
 
         if self.data_cache is not None:
             walk = self._data_walk
-            cache = self.data_cache
-            sizes = self.object_sizes
-            chunk = self.chunk_bytes
             count = walk.take(budget)
-            for _ in range(count):
-                obj = walk.step()
-                size = int(sizes[obj])
-                n_chunks = max(1, -(-size // chunk))
-                for idx in range(n_chunks):
-                    nbytes = (
-                        chunk if idx + 1 < n_chunks else size - (n_chunks - 1) * chunk
-                    )
-                    cache.access((obj, idx), nbytes)
-            self.touches += count
+            if count:
+                chunk = self.chunk_bytes
+                n_chunks = self._n_chunks
+                last = self._last_chunk
+                pairs = []
+                append = pairs.append
+                for obj in walk.steps(count):
+                    nc = n_chunks[obj]
+                    for idx in range(nc - 1):
+                        append(((obj, idx), chunk))
+                    append(((obj, nc - 1), last[obj]))
+                self.data_cache.access_pairs(pairs)
+                self.touches += count

@@ -19,6 +19,7 @@ from repro.distributions import (
     convolve,
     grid_of,
 )
+from repro.distributions.grid import convolve_many
 
 DT = 1e-4
 N = 4096
@@ -143,3 +144,47 @@ class TestGridDistribution:
         conv = convolve(gd, Exponential(50.0))
         ref = Gamma(2.0, 50.0)
         assert conv.cdf(0.05) == pytest.approx(ref.cdf(0.05), abs=5e-3)
+
+
+class TestGridPerfPaths:
+    """The evaluation-caching contracts of the perf work: the cumulative
+    array is built lazily once and reused, and the rFFT multi-convolve
+    agrees with the pairwise chain it replaced."""
+
+    def test_cdf_cumulative_built_once_and_reused(self):
+        rng = np.random.default_rng(3)
+        probs = rng.random(512)
+        probs /= probs.sum()
+        g = GridPMF(DT, probs)
+        assert g._cum is None  # lazy: nothing built at construction
+        t = np.array([0.0, 10 * DT, 100 * DT, 511 * DT])
+        first = g.cdf(t)
+        cached = g._cum
+        assert cached is not None
+        np.testing.assert_allclose(cached, np.cumsum(g.probs), rtol=0, atol=0)
+        second = g.cdf(t)
+        assert g._cum is cached  # reused, not rebuilt
+        np.testing.assert_array_equal(first, second)
+
+    def test_quantile_shares_the_cached_cumulative(self):
+        g = GridPMF(1.0, [0.25, 0.25, 0.5])
+        g.quantile(0.3)
+        cached = g._cum
+        assert cached is not None
+        g.cdf(1.0)
+        assert g._cum is cached
+
+    def test_convolve_many_matches_pairwise_chain(self):
+        rng = np.random.default_rng(5)
+        pmfs = []
+        for _ in range(5):
+            probs = rng.random(256)
+            probs /= probs.sum() * 1.05  # keep some tail mass
+            pmfs.append(GridPMF(DT, probs))
+        pairwise = pmfs[0]
+        for other in pmfs[1:]:
+            pairwise = pairwise.convolve(other, n=1024)
+        fft = convolve_many(pmfs, n=1024)
+        assert fft.dt == pairwise.dt
+        assert fft.n == pairwise.n
+        np.testing.assert_allclose(fft.probs, pairwise.probs, atol=1e-12)
