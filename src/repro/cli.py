@@ -10,6 +10,11 @@ Subcommands:
 ``fig5`` / ``fig6`` / ``fig7`` / ``tables`` / ``ablations``
     Regenerate the paper's artifacts at the chosen scale.
 
+``faults --scenario slow-disk --sla 100ms``
+    Run one fault-injection scenario (fault episode + control episode),
+    print the per-phase model-vs-simulation table and write the JSON
+    comparison artifact (see docs/FAULTS.md).
+
 The JSON schema mirrors :class:`~repro.model.SystemParameters`::
 
     {
@@ -132,6 +137,51 @@ def _cmd_reproduce(args) -> int:
     return 0
 
 
+def _parse_sla(text: str) -> float:
+    """Parse an SLA duration: ``100ms``, ``0.1s`` or plain seconds."""
+    t = text.strip().lower()
+    try:
+        if t.endswith("ms"):
+            return float(t[:-2]) / 1e3
+        if t.endswith("s"):
+            return float(t[:-1])
+        return float(t)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"cannot parse SLA {text!r}; use e.g. '100ms', '0.1s' or '0.1'"
+        ) from None
+
+
+def _cmd_faults(args) -> int:
+    from repro.experiments.faults import (
+        FAULT_SCENARIOS,
+        run_fault_scenario,
+        write_artifact,
+    )
+
+    if args.scenario not in FAULT_SCENARIOS:
+        print(
+            f"unknown scenario {args.scenario!r}; "
+            f"choose from {', '.join(sorted(FAULT_SCENARIOS))}",
+            file=sys.stderr,
+        )
+        return 2
+    result = run_fault_scenario(
+        args.scenario,
+        args.workload,
+        rate=args.rate,
+        sla=args.sla,
+        seed=args.seed,
+        scale=args.scale,
+        factor=args.factor,
+    )
+    print(result.render())
+    out = args.out or f"faults-{args.scenario}-{args.workload}.json"
+    write_artifact(result, out)
+    print(f"\nwrote {out}")
+    return 0
+
+
 def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--jobs",
@@ -174,6 +224,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     _add_jobs_arg(p)
     p.set_defaults(func=_cmd_reproduce)
+
+    p = sub.add_parser(
+        "faults", help="fault-injection scenario: degraded model vs simulation"
+    )
+    p.add_argument(
+        "--scenario",
+        default="slow-disk",
+        help="fault scenario: slow-disk, fail-stop, cache-flush or stall",
+    )
+    p.add_argument("--workload", default="s1", choices=["s1", "s16"])
+    p.add_argument(
+        "--sla",
+        type=_parse_sla,
+        default=0.100,
+        help="SLA to evaluate, e.g. '100ms' or '0.05s' (default 100ms)",
+    )
+    p.add_argument("--rate", type=float, default=None, help="arrival rate (req/s)")
+    p.add_argument(
+        "--factor", type=float, default=2.0, help="slowdown factor for slow-disk"
+    )
+    p.add_argument("--scale", default="ci", choices=["ci", "paper"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, help="JSON artifact path")
+    p.set_defaults(func=_cmd_faults)
 
     for name, func, help_text in (
         ("fig5", _cmd_fig5, "disk service-time fits"),

@@ -533,12 +533,16 @@ class Empirical(Distribution):
             raise DistributionError("need at least one sample")
         if np.any(samples < 0.0) or not np.all(np.isfinite(samples)):
             raise DistributionError("samples must be finite and non-negative")
+        # Frozen: the lazy cache token below hashes the sample bytes, so
+        # an in-place mutation after the token is computed would silently
+        # alias cached results of the *old* samples.  Writing raises.
+        samples.setflags(write=False)
         self.samples = samples
         self._token: tuple | None = None
 
     def cache_token(self) -> tuple:
         # Hash of the sorted sample bytes: computed lazily, once -- the
-        # samples array is never mutated after construction.
+        # samples array is read-only after construction.
         if self._token is None:
             self._token = ("emp", self.samples.size, hash(self.samples.tobytes()))
         return self._token

@@ -76,6 +76,26 @@ def stats() -> dict:
     }
 
 
+def _validate_token(dist, token) -> None:
+    """Fail loudly on tokens that would corrupt or crash the cache.
+
+    A ``cache_token()`` that returns an unhashable value (a list, a bare
+    ndarray, ...) would otherwise surface as an anonymous ``TypeError``
+    deep inside ``OrderedDict.get`` -- or worse, a token built from a
+    *mutable* object could hash differently between store and lookup and
+    silently serve stale results.  Name the offending distribution type
+    so the bug is attributable at the call site.
+    """
+    try:
+        hash(token)
+    except TypeError as exc:
+        raise TypeError(
+            f"cache_token() of {type(dist).__name__} returned an unhashable "
+            f"value {token!r}; tokens must be immutable value identities "
+            "(return None to opt out of caching)"
+        ) from exc
+
+
 def _lookup(cache: OrderedDict, key):
     global _hits
     value = cache.get(key)
@@ -104,6 +124,7 @@ def laplace_eval(dist, s) -> np.ndarray:
     token = dist.cache_token() if _enabled else None
     if token is None:
         return dist.laplace(s)
+    _validate_token(dist, token)
     key = (token, s.shape, s.tobytes())
     value = _lookup(_laplace, key)
     if value is None:
@@ -124,6 +145,7 @@ def cached_grid(dist, dt: float, n: int, compute):
     token = dist.cache_token() if _enabled else None
     if token is None:
         return compute()
+    _validate_token(dist, token)
     key = (token, float(dt), int(n))
     value = _lookup(_grids, key)
     if value is None:
@@ -141,6 +163,7 @@ def cached_inversion(dist, method: str, terms: int, mollify_width: float, t: np.
     token = dist.cache_token() if _enabled else None
     if token is None:
         return compute()
+    _validate_token(dist, token)
     t = np.ascontiguousarray(t, dtype=float)
     key = (token, method, int(terms), float(mollify_width), t.shape, t.tobytes())
     value = _lookup(_inversions, key)

@@ -41,6 +41,15 @@ from repro.experiments.ablations import (
     run_inversion_ablation,
 )
 from repro.experiments.artifacts import generate_all
+from repro.experiments.faults import (
+    FAULT_SCENARIOS,
+    FaultRunResult,
+    PhaseComparison,
+    estimate_cold_fill_times,
+    fault_schedule_for,
+    run_fault_matrix,
+    run_fault_scenario,
+)
 from repro.experiments.cdf_validation import CdfValidation, run_cdf_validation
 from repro.experiments.assumptions import (
     AssumptionStudy,
@@ -80,6 +89,13 @@ __all__ = [
     "run_disk_queue_ablation",
     "run_inversion_ablation",
     "generate_all",
+    "FAULT_SCENARIOS",
+    "FaultRunResult",
+    "PhaseComparison",
+    "estimate_cold_fill_times",
+    "fault_schedule_for",
+    "run_fault_matrix",
+    "run_fault_scenario",
     "CdfValidation",
     "run_cdf_validation",
     "AssumptionStudy",

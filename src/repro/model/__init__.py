@@ -28,7 +28,13 @@ from repro.model.frontend import (
     device_response,
     frontend_queueing_latency,
 )
-from repro.model.system import LatencyPercentileModel, PredictionBreakdown
+from repro.model.system import (
+    DegradedLatencyModel,
+    DeviceClass,
+    LatencyPercentileModel,
+    PredictionBreakdown,
+    degraded_device_classes,
+)
 from repro.model.serialization import (
     distribution_from_spec,
     distribution_to_spec,
@@ -41,10 +47,14 @@ from repro.model.sensitivity import (
     sla_sensitivities,
 )
 from repro.model.whatif import (
+    FaultImpact,
     admission_rate,
+    degraded_sla_percentile,
     devices_needed,
+    fault_impact,
     min_devices_online,
     rank_devices,
+    rank_faults,
     sla_met,
 )
 from repro.model.baselines import (
@@ -75,6 +85,9 @@ __all__ = [
     "frontend_queueing_latency",
     "LatencyPercentileModel",
     "PredictionBreakdown",
+    "DegradedLatencyModel",
+    "DeviceClass",
+    "degraded_device_classes",
     "MODEL_FAMILIES",
     "MM1Model",
     "NoWtaModel",
@@ -86,6 +99,10 @@ __all__ = [
     "min_devices_online",
     "rank_devices",
     "sla_met",
+    "FaultImpact",
+    "degraded_sla_percentile",
+    "fault_impact",
+    "rank_faults",
     "distribution_from_spec",
     "distribution_to_spec",
     "system_from_doc",

@@ -17,13 +17,24 @@ from typing import Iterable, Mapping
 
 import numpy as np
 
-from repro.distributions import Distribution, Mixture
+from repro.distributions import Distribution, Mixture, Uniform, convolve
 from repro.model.backend import BackendModel
 from repro.model.frontend import device_response
-from repro.model.parameters import ParameterError, SystemParameters
+from repro.model.parameters import (
+    CacheMissRatios,
+    DeviceParameters,
+    ParameterError,
+    SystemParameters,
+)
 from repro.queueing import UnstableQueueError
 
-__all__ = ["LatencyPercentileModel", "PredictionBreakdown"]
+__all__ = [
+    "LatencyPercentileModel",
+    "PredictionBreakdown",
+    "DeviceClass",
+    "degraded_device_classes",
+    "DegradedLatencyModel",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -209,3 +220,303 @@ class LatencyPercentileModel:
         except UnstableQueueError:
             return False
         return True
+
+
+# ----------------------------------------------------------------------
+# Degraded-mode predictor (fault windows; see docs/FAULTS.md)
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceClass:
+    """One homogeneous slice of the degraded fleet mixture.
+
+    ``params`` describes the device *as its queue sees it during this
+    class's share of the window* (rates, miss ratios, disk profile);
+    ``weight`` is the class's share of served requests (rate x time
+    fraction), which is what the Equation-3 mixture weighs by;
+    ``extra_delay`` is an additive response-time penalty outside the
+    queueing composition (used for stall residuals).
+    """
+
+    params: DeviceParameters
+    weight: float
+    extra_delay: Distribution | None = None
+
+
+def _scaled_disk(profile, factor: float):
+    from repro.distributions import Scaled
+    from repro.model.parameters import DiskLatencyProfile
+
+    if abs(factor - 1.0) < 1e-12:
+        return profile
+    return DiskLatencyProfile(
+        index=Scaled(profile.index, factor),
+        meta=Scaled(profile.meta, factor),
+        data=Scaled(profile.data, factor),
+    )
+
+
+def _cold_miss_ratios(m: CacheMissRatios, coldness: tuple[float, float, float]):
+    """Miss ratios pushed toward 1 by the post-flush refill transient:
+    ``m' = m + (1 - m) * g`` per kind, ``g`` the average coldness."""
+
+    def lift(miss: float, g: float) -> float:
+        return min(1.0, miss + (1.0 - miss) * g)
+
+    g_i, g_m, g_d = coldness
+    return CacheMissRatios(
+        index=lift(m.index, g_i), meta=lift(m.meta, g_m), data=lift(m.data, g_d)
+    )
+
+
+def _avg_coldness(span: float, fill_time: float | None) -> float:
+    """Average of the linear refill transient ``max(0, 1 - u/tau)`` over
+    ``[0, span]``.  ``fill_time=None`` (unknown) assumes the cache stays
+    cold for the whole span (the conservative upper bound)."""
+    if fill_time is None:
+        return 1.0
+    if fill_time <= 0.0:
+        return 0.0
+    if span >= fill_time:
+        return fill_time / (2.0 * span)
+    return 1.0 - span / (2.0 * fill_time)
+
+
+def degraded_device_classes(
+    params: SystemParameters,
+    schedule,
+    window: tuple[float, float],
+    *,
+    devices_per_server: int = 1,
+    cold_fill_times: tuple[float, float, float] | None = None,
+) -> tuple[DeviceClass, ...]:
+    """Split the fleet into per-device-class parameters for a window.
+
+    ``params`` is the *healthy* baseline (devices in simulator index
+    order); ``schedule`` a :class:`repro.simulator.faults.FaultSchedule`;
+    ``window`` the analysis span ``(t0, t1)`` in the schedule's time
+    base.  Each fault splits its device's window into a degraded and a
+    healthy slice, weighted by time-fraction x rate:
+
+    * **disk slowdown** -- degraded slice uses the benchmarked profile
+      scaled by the slowdown factor;
+    * **fail-stop** -- the failed device only contributes its alive
+      slice; each survivor gains the failed device's load (split evenly)
+      during the failure, i.e. runs at ``r x D/(D-k)``-adjusted load;
+    * **cache flush** -- devices of the flushed server run with miss
+      ratios lifted toward the LRU refill transient
+      (``cold_fill_times`` gives the per-kind fill times; ``None``
+      assumes fully cold, the upper bound);
+    * **backend stall** -- requests arriving during the stall carry an
+      additive ``Uniform(0, stall)`` residual delay on top of the
+      healthy response.
+
+    At most one fault may touch any given device within the window
+    (superposed faults on one device are not modelled); otherwise
+    :class:`ParameterError` is raised.
+    """
+    from repro.simulator.faults import (
+        BackendStall,
+        CacheFlush,
+        DeviceFailStop,
+        DiskSlowdown,
+    )
+
+    t0, t1 = window
+    if t1 <= t0:
+        raise ParameterError(f"need t1 > t0, got window {window}")
+    span = t1 - t0
+    devices = params.devices
+    n = len(devices)
+
+    def overlap(a: float, b: float) -> float:
+        return max(0.0, min(b, t1) - max(a, t0)) / span
+
+    # Per-device primary effect: (kind, fraction, payload)
+    effects: dict[int, tuple] = {}
+    # Per-device extra load fraction pairs from fail-stops elsewhere:
+    # (fraction, d_request_rate, d_data_rate)
+    boosts: dict[int, list[tuple[float, float, float]]] = {}
+
+    def claim(idx: int, effect: tuple) -> None:
+        if not 0 <= idx < n:
+            raise ParameterError(
+                f"fault targets device {idx}, parameters describe {n} devices"
+            )
+        if idx in effects:
+            raise ParameterError(
+                f"superposed faults on device {idx} are not supported by the "
+                "degraded predictor; split the analysis window per fault"
+            )
+        effects[idx] = effect
+
+    for fault in schedule:
+        if isinstance(fault, DiskSlowdown):
+            frac = overlap(fault.start, fault.end)
+            if frac > 0.0:
+                claim(fault.device, ("slow", frac, fault.factor))
+        elif isinstance(fault, DeviceFailStop):
+            frac = overlap(fault.start, fault.end)
+            if frac > 0.0:
+                claim(fault.device, ("fail", frac, None))
+                dead = devices[fault.device]
+                survivors = [i for i in range(n) if i != fault.device]
+                if not survivors:
+                    raise ParameterError("cannot fail-stop the only device")
+                dr = dead.request_rate / len(survivors)
+                dd = dead.data_read_rate / len(survivors)
+                for i in survivors:
+                    boosts.setdefault(i, []).append((frac, dr, dd))
+        elif isinstance(fault, BackendStall):
+            a, b = fault.active_window
+            frac = overlap(a, b)
+            if frac > 0.0:
+                claim(fault.device, ("stall", frac, min(b, t1) - max(a, t0)))
+        elif isinstance(fault, CacheFlush):
+            lo = fault.server * devices_per_server
+            cold_span = min(max(t1 - max(fault.at, t0), 0.0), span)
+            if fault.at < t1 and cold_span > 0.0:
+                frac = cold_span / span
+                fills = cold_fill_times or (None, None, None)
+                coldness = tuple(_avg_coldness(cold_span, f) for f in fills)
+                for idx in range(lo, min(lo + devices_per_server, n)):
+                    claim(idx, ("cold", frac, coldness))
+        else:  # pragma: no cover - FaultSchedule already validates types
+            raise ParameterError(f"unknown fault type {type(fault).__name__}")
+
+    for idx in boosts:
+        if idx in effects:
+            raise ParameterError(
+                f"device {idx} both carries handed-off load and has its own "
+                "fault; superposed degradations are not supported"
+            )
+
+    classes: list[DeviceClass] = []
+
+    def add(dev: DeviceParameters, weight: float, extra=None, tag=None) -> None:
+        if weight <= 1e-12:
+            return
+        if tag is not None:
+            dev = dataclasses.replace(dev, name=f"{dev.name}#{tag}")
+        classes.append(DeviceClass(params=dev, weight=weight, extra_delay=extra))
+
+    for idx, dev in enumerate(devices):
+        r = dev.request_rate
+        effect = effects.get(idx)
+        if effect is None and idx not in boosts:
+            add(dev, r)
+            continue
+        if idx in boosts:
+            # Survivor of a fail-stop: boosted during the failure window.
+            if len(boosts[idx]) > 1:
+                raise ParameterError(
+                    "multiple simultaneous fail-stops are not supported"
+                )
+            frac, dr, dd = boosts[idx][0]
+            boosted = dataclasses.replace(
+                dev,
+                request_rate=r + dr,
+                data_read_rate=dev.data_read_rate + dd,
+            )
+            add(boosted, (r + dr) * frac, tag="boost")
+            add(dev, r * (1.0 - frac))
+            continue
+        kind, frac, payload = effect
+        if kind == "slow":
+            slowed = dataclasses.replace(dev, disk=_scaled_disk(dev.disk, payload))
+            add(slowed, r * frac, tag="slow")
+            add(dev, r * (1.0 - frac))
+        elif kind == "fail":
+            add(dev, r * (1.0 - frac))
+        elif kind == "stall":
+            add(dev, r * frac, extra=Uniform(0.0, payload), tag="stall")
+            add(dev, r * (1.0 - frac))
+        elif kind == "cold":
+            cold = dataclasses.replace(
+                dev, miss_ratios=_cold_miss_ratios(dev.miss_ratios, payload)
+            )
+            add(cold, r * frac, tag="cold")
+            add(dev, r * (1.0 - frac))
+
+    if not classes:
+        raise ParameterError("no device class carries load in the window")
+    return tuple(classes)
+
+
+class DegradedLatencyModel:
+    """Mixed-fleet SLA predictor for fault windows.
+
+    The cluster CDF is the request-weighted mixture of per-device-class
+    response CDFs produced by :func:`degraded_device_classes` -- the
+    Equation-3 mixture generalised from per-device to per-(device,
+    health-state) terms.  With an empty schedule this reduces *exactly*
+    to :class:`LatencyPercentileModel`: same classes, same composition,
+    same floating-point results.
+
+    ``params`` must be the healthy baseline (e.g. online metrics from a
+    pre-fault window); the frontend tier keeps seeing the full arrival
+    stream, so its M/G/1 term uses the baseline total rate throughout.
+    """
+
+    def __init__(
+        self,
+        params: SystemParameters,
+        schedule,
+        window: tuple[float, float],
+        *,
+        accept_mode: str = "paper",
+        disk_queue: str = "mm1k",
+        inversion: str = "euler",
+        devices_per_server: int = 1,
+        cold_fill_times: tuple[float, float, float] | None = None,
+    ) -> None:
+        self.params = params
+        self.schedule = schedule
+        self.window = (float(window[0]), float(window[1]))
+        self.inversion = inversion
+        self.classes = degraded_device_classes(
+            params,
+            schedule,
+            self.window,
+            devices_per_server=devices_per_server,
+            cold_fill_times=cold_fill_times,
+        )
+        total = params.total_request_rate
+        self._backends: dict[str, BackendModel] = {}
+        components: list[Distribution] = []
+        weights: list[float] = []
+        for cls in self.classes:
+            backend = BackendModel.solve(cls.params, disk_queue=disk_queue)
+            self._backends[cls.params.name] = backend
+            latency = device_response(
+                params.frontend, total, backend, accept_mode=accept_mode
+            )
+            if cls.extra_delay is not None:
+                latency = convolve(latency, cls.extra_delay)
+            components.append(latency)
+            weights.append(cls.weight)
+        self._system = Mixture.rate_weighted(components, weights)
+
+    @property
+    def system_latency(self) -> Distribution:
+        return self._system
+
+    def sla_percentile(self, sla_seconds: float) -> float:
+        """Predicted fraction of the window's requests meeting the SLA."""
+        return float(self._system.cdf(sla_seconds, method=self.inversion))
+
+    def sla_percentiles(self, slas: Iterable[float]) -> np.ndarray:
+        slas = np.asarray(list(slas), dtype=float)
+        return np.asarray(self._system.cdf(slas, method=self.inversion), dtype=float)
+
+    def latency_quantile(self, q: float) -> float:
+        return self._system.quantile(q, method=self.inversion)
+
+    @property
+    def mean_latency(self) -> float:
+        return self._system.mean
+
+    def utilizations(self) -> Mapping[str, float]:
+        """Per-class union-operation utilisation (``name#tag`` keys)."""
+        return {name: be.utilization for name, be in self._backends.items()}

@@ -15,6 +15,16 @@ turns each into a one-call API over :class:`LatencyPercentileModel`:
 * :func:`rank_devices` -- **bottleneck identification**: devices ordered
   by their predicted SLA percentile, worst first.
 
+Plus the degraded-mode what-ifs layered on
+:class:`~repro.model.system.DegradedLatencyModel` (docs/FAULTS.md):
+
+* :func:`degraded_sla_percentile` -- the predicted percentile during a
+  fault window;
+* :func:`fault_impact` -- healthy-vs-degraded comparison for one fault
+  schedule (the "what does losing this disk cost us" question);
+* :func:`rank_faults` -- candidate fault scenarios ordered by predicted
+  SLA damage, worst first (which failure should we engineer against?).
+
 All helpers treat the supplied :class:`SystemParameters` as the template
 deployment and rescale/rebalance it analytically; nothing is simulated.
 """
@@ -24,8 +34,10 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable
 
+from typing import Mapping
+
 from repro.model.parameters import ParameterError, SystemParameters
-from repro.model.system import LatencyPercentileModel
+from repro.model.system import DegradedLatencyModel, LatencyPercentileModel
 from repro.queueing import UnstableQueueError
 
 __all__ = [
@@ -34,6 +46,10 @@ __all__ = [
     "admission_rate",
     "min_devices_online",
     "rank_devices",
+    "degraded_sla_percentile",
+    "FaultImpact",
+    "fault_impact",
+    "rank_faults",
 ]
 
 
@@ -172,4 +188,89 @@ def rank_devices(
         for dev in params.devices
     ]
     ranked.sort(key=lambda pair: pair[1])
+    return ranked
+
+
+# ----------------------------------------------------------------------
+# degraded-mode what-ifs
+# ----------------------------------------------------------------------
+
+
+def degraded_sla_percentile(
+    params: SystemParameters,
+    schedule,
+    window: tuple[float, float],
+    sla_seconds: float,
+    **model_kwargs,
+) -> float:
+    """Predicted SLA percentile for a fault window.
+
+    ``NaN`` when the degraded composition saturates (e.g. the surviving
+    devices cannot absorb a failed device's load) -- the same convention
+    the sweep runner uses for unstable points.
+    """
+    try:
+        model = DegradedLatencyModel(params, schedule, window, **model_kwargs)
+    except UnstableQueueError:
+        return float("nan")
+    return model.sla_percentile(sla_seconds)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultImpact:
+    """Healthy-vs-degraded prediction for one fault schedule."""
+
+    healthy: float
+    degraded: float
+
+    @property
+    def delta(self) -> float:
+        """Predicted SLA-percentile loss (positive = fault hurts)."""
+        return self.healthy - self.degraded
+
+
+def fault_impact(
+    params: SystemParameters,
+    schedule,
+    window: tuple[float, float],
+    sla_seconds: float,
+    **model_kwargs,
+) -> FaultImpact:
+    """What does this fault cost?  Both numbers use the same composition
+    machinery, so the delta isolates the fault's effect."""
+    inversion = model_kwargs.get("inversion", "euler")
+    healthy = LatencyPercentileModel(
+        params,
+        accept_mode=model_kwargs.get("accept_mode", "paper"),
+        disk_queue=model_kwargs.get("disk_queue", "mm1k"),
+        inversion=inversion,
+    ).sla_percentile(sla_seconds)
+    degraded = degraded_sla_percentile(
+        params, schedule, window, sla_seconds, **model_kwargs
+    )
+    return FaultImpact(healthy=healthy, degraded=degraded)
+
+
+def rank_faults(
+    params: SystemParameters,
+    schedules: Mapping[str, object],
+    window: tuple[float, float],
+    sla_seconds: float,
+    **model_kwargs,
+) -> list[tuple[str, float]]:
+    """Rank candidate fault scenarios by predicted SLA percentile,
+    worst first (NaN -- saturated -- scenarios sort first: they are the
+    worst possible outcome)."""
+    import math
+
+    ranked = [
+        (
+            name,
+            degraded_sla_percentile(
+                params, schedule, window, sla_seconds, **model_kwargs
+            ),
+        )
+        for name, schedule in schedules.items()
+    ]
+    ranked.sort(key=lambda pair: (-1.0 if math.isnan(pair[1]) else pair[1]))
     return ranked

@@ -16,10 +16,20 @@ from repro.simulator.cache import LruCache
 from repro.simulator.cluster import Cluster, ClusterConfig
 from repro.simulator.core import SimulationError, Simulator
 from repro.simulator.disk import OP_DATA, OP_INDEX, OP_META, Disk, HddProfile
+from repro.simulator.faults import (
+    BackendStall,
+    CacheFlush,
+    DeviceFailStop,
+    DiskSlowdown,
+    FaultSchedule,
+    Phase,
+)
 from repro.simulator.frontend import FrontendProcess
 from repro.simulator.metrics import (
     MetricsRecorder,
+    PhaseStats,
     RequestTable,
+    phase_attribution,
     sla_percentile,
     sla_percentile_ci,
 )
@@ -44,9 +54,17 @@ __all__ = [
     "OP_META",
     "Disk",
     "HddProfile",
+    "BackendStall",
+    "CacheFlush",
+    "DeviceFailStop",
+    "DiskSlowdown",
+    "FaultSchedule",
+    "Phase",
     "FrontendProcess",
     "MetricsRecorder",
+    "PhaseStats",
     "RequestTable",
+    "phase_attribution",
     "sla_percentile",
     "sla_percentile_ci",
     "NetworkProfile",

@@ -272,6 +272,7 @@ class StorageDevice:
         "on_complete",
         "on_write_ack",
         "scanner",
+        "failed",
         "_rng",
         "_rr",
     )
@@ -317,6 +318,10 @@ class StorageDevice:
         self.on_complete = None  # wired by the cluster to the recorder
         self.on_write_ack = None  # wired by the cluster (quorum handling)
         self.scanner = None  # optional MaintenanceScanner (set by the cluster)
+        #: Fail-stop flag: a failed device is skipped by fault-aware
+        #: frontend routing.  In-flight work still completes, and the
+        #: caches survive to recovery (warm restart).
+        self.failed = False
         self._rng = rng
         self._rr = 0
 

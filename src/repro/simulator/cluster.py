@@ -238,6 +238,43 @@ class Cluster:
             self.rng.stream("load-balancer"), len(self.frontends)
         )
         self._next_rid = 0
+        self.fault_schedule = None
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def inject_faults(self, schedule) -> None:
+        """Install a :class:`~repro.simulator.faults.FaultSchedule`.
+
+        Must be called before the run reaches the first fault time; the
+        events then fire from the kernel at their absolute times.  An
+        empty schedule is a no-op and leaves the run bit-identical to an
+        uninjected one; a schedule containing a fail-stop switches the
+        frontends' routing filter on from this point (which is stream-
+        neutral until a device actually fails).
+        """
+        if self.fault_schedule is not None:
+            raise ValueError("a fault schedule is already installed")
+        schedule.validate_against(
+            self.config.n_devices, self.config.n_backend_servers
+        )
+        self.fault_schedule = schedule
+        if schedule.needs_routing_filter:
+            for fe in self.frontends:
+                fe.fault_filter = True
+        schedule.install(self)
+
+    def set_device_failed(self, device_index: int, failed: bool) -> None:
+        """Fault hook: flip one device's fail-stop flag."""
+        self.devices[device_index].failed = failed
+
+    def flush_server_caches(self, server: int, kinds: tuple[str, ...]) -> None:
+        """Fault hook: drop the selected LRU contents of one server."""
+        from repro.simulator.faults import CACHE_KINDS
+
+        for kind, cache in zip(CACHE_KINDS, self.caches[server]):
+            if kind in kinds:
+                cache.clear()
 
     # ------------------------------------------------------------------
     # driving

@@ -207,6 +207,8 @@ class Disk:
         "_busy",
         "recorder",
         "ops_served",
+        "slowdown",
+        "_stall_until",
     )
 
     def __init__(
@@ -224,6 +226,9 @@ class Disk:
         self._busy = False
         self.recorder = recorder
         self.ops_served = 0
+        #: Fault-injection service-time multiplier (1.0 = healthy).
+        self.slowdown = 1.0
+        self._stall_until = 0.0
 
     @property
     def queue_length(self) -> int:
@@ -234,6 +239,24 @@ class Disk:
     def busy(self) -> bool:
         return self._busy
 
+    def set_slowdown(self, factor: float) -> None:
+        """Fault hook: multiply subsequent service times by ``factor``."""
+        if factor <= 0.0:
+            raise ValueError(f"slowdown factor must be positive, got {factor}")
+        self.slowdown = float(factor)
+
+    def stall(self, duration: float) -> None:
+        """Fault hook: freeze the disk for ``duration`` seconds from now.
+
+        The operation in service (and every queued one) completes only
+        after the stall lifts; overlapping stalls extend, never shorten.
+        """
+        if duration <= 0.0:
+            raise ValueError(f"stall duration must be positive, got {duration}")
+        until = self.sim.now + duration
+        if until > self._stall_until:
+            self._stall_until = until
+
     def submit(self, kind: str, nbytes: int, done: Callable) -> None:
         if self._busy:
             self._queue.append((kind, nbytes, done))
@@ -243,9 +266,16 @@ class Disk:
     def _start(self, kind: str, nbytes: int, done: Callable) -> None:
         self._busy = True
         service = self.sampler.sample(kind, nbytes)
+        if self.slowdown != 1.0:
+            service *= self.slowdown
         if self.recorder is not None:
             self.recorder.record_disk_op(kind, service)
-        self.sim.schedule(service, self._complete, done)
+        delay = service
+        if self._stall_until > self.sim.now:
+            # Frozen controller: the operation occupies the disk for the
+            # remaining stall on top of its own service time.
+            delay += self._stall_until - self.sim.now
+        self.sim.schedule(delay, self._complete, done)
 
     def _complete(self, done: Callable) -> None:
         self.ops_served += 1

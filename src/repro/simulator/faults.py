@@ -1,0 +1,330 @@
+"""Fault injection: timed degradation events for a running cluster.
+
+The paper's model (and its testbed) assume a healthy, homogeneous fleet
+("normal status", Section II).  This module provides the schedule API
+that breaks that assumption on purpose: a :class:`FaultSchedule` is a
+set of timed fault events installed into a :class:`~repro.simulator
+.cluster.Cluster` *before* the run, executed by the event kernel at
+their absolute firing times.  Four fault types are supported:
+
+* :class:`DiskSlowdown` -- one device's spindle serves every operation
+  ``factor``x slower for a time window (a dying disk, a RAID rebuild, a
+  noisy neighbour on shared storage);
+* :class:`DeviceFailStop` -- one device stops being selected by the
+  ring for a window: frontends hand reads off to the surviving replicas
+  and exclude the device from write fan-outs (Swift's error-limiting
+  behaviour).  In-flight work on the device still completes, and its
+  caches survive to recovery -- compose with :class:`CacheFlush` at the
+  recovery time to model a cold restart;
+* :class:`CacheFlush` -- one backend server's LRU contents are dropped
+  instantaneously (a daemon restart, a page-cache drop, a failover to a
+  cold standby), after which the caches refill organically;
+* :class:`BackendStall` -- one device's disk freezes for ``duration``
+  seconds (controller reset, SMR garbage collection, firmware hiccup):
+  operations queue behind the stall and drain afterwards.
+
+Determinism contract: installing a schedule must not perturb the random
+streams of any event before the first fault fires, and installing an
+*empty* schedule is bit-identical to installing none.  Slowdowns and
+stalls touch no RNG at all; the fail-stop routing filter is only
+switched on when a schedule actually contains a fail-stop, and until
+the failure fires it builds candidate lists with identical contents, so
+every frontend draw consumes the same stream values.
+
+The same fault dataclasses parameterise the analytic degraded-mode
+predictor (:class:`repro.model.system.DegradedLatencyModel`), so one
+schedule drives both the simulated ground truth and the prediction.
+See ``docs/FAULTS.md``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Iterable, Union
+
+__all__ = [
+    "DiskSlowdown",
+    "DeviceFailStop",
+    "CacheFlush",
+    "BackendStall",
+    "Fault",
+    "FaultSchedule",
+    "Phase",
+    "CACHE_KINDS",
+]
+
+#: Cache kinds addressable by :class:`CacheFlush`, in the server's
+#: cache-tuple order.
+CACHE_KINDS = ("index", "meta", "data")
+
+
+@dataclasses.dataclass(frozen=True)
+class DiskSlowdown:
+    """Multiply one device's disk service times by ``factor`` during
+    ``[start, end)``."""
+
+    device: int
+    start: float
+    end: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.end)
+        if self.factor <= 0.0 or not math.isfinite(self.factor):
+            raise ValueError(f"slowdown factor must be positive, got {self.factor}")
+
+    @property
+    def active_window(self) -> tuple[float, float]:
+        return (self.start, self.end)
+
+
+@dataclasses.dataclass(frozen=True)
+class DeviceFailStop:
+    """Remove one device from ring routing during ``[start, end)``.
+
+    ``end=inf`` means the device never recovers.  Reads hand off to the
+    remaining replicas of each partition; writes fan out to the alive
+    replicas only (quorum over the alive set).  The device's caches are
+    untouched, so a recovered device is warm.
+    """
+
+    device: int
+    start: float
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.end, allow_inf=True)
+
+    @property
+    def active_window(self) -> tuple[float, float]:
+        return (self.start, self.end)
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheFlush:
+    """Drop one backend server's LRU contents at time ``at``.
+
+    ``kinds`` selects which of the three per-server caches to clear
+    (default: all).  The *event* is instantaneous; the degradation is
+    the refill transient that follows.
+    """
+
+    server: int
+    at: float
+    kinds: tuple[str, ...] = CACHE_KINDS
+
+    def __post_init__(self) -> None:
+        if self.at < 0.0 or not math.isfinite(self.at):
+            raise ValueError(f"flush time must be finite and >= 0, got {self.at}")
+        if not self.kinds:
+            raise ValueError("need at least one cache kind to flush")
+        for kind in self.kinds:
+            if kind not in CACHE_KINDS:
+                raise ValueError(f"unknown cache kind {kind!r}; use {CACHE_KINDS}")
+
+    @property
+    def active_window(self) -> tuple[float, float]:
+        # Zero-length: the lingering effect is attributed to recovery.
+        return (self.at, self.at)
+
+
+@dataclasses.dataclass(frozen=True)
+class BackendStall:
+    """Freeze one device's disk for ``duration`` seconds from ``start``.
+
+    Operations submitted (or already queued) during the stall complete
+    only after it lifts; the backlog then drains at normal speed.
+    """
+
+    device: int
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0.0 or not math.isfinite(self.start):
+            raise ValueError(f"stall start must be finite and >= 0, got {self.start}")
+        if self.duration <= 0.0 or not math.isfinite(self.duration):
+            raise ValueError(f"stall duration must be positive, got {self.duration}")
+
+    @property
+    def active_window(self) -> tuple[float, float]:
+        return (self.start, self.start + self.duration)
+
+
+Fault = Union[DiskSlowdown, DeviceFailStop, CacheFlush, BackendStall]
+
+
+@dataclasses.dataclass(frozen=True)
+class Phase:
+    """One named span of an experiment timeline (see :meth:`FaultSchedule.phases`)."""
+
+    name: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def _check_window(start: float, end: float, *, allow_inf: bool = False) -> None:
+    if start < 0.0 or not math.isfinite(start):
+        raise ValueError(f"fault start must be finite and >= 0, got {start}")
+    if end <= start:
+        raise ValueError(f"fault window must have end > start, got [{start}, {end}]")
+    if not allow_inf and not math.isfinite(end):
+        raise ValueError(f"fault end must be finite, got {end}")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable set of fault events for one run.
+
+    Build it once, pass it to :meth:`Cluster.inject_faults
+    <repro.simulator.cluster.Cluster.inject_faults>` before driving the
+    run, and (for predictions) to the degraded-mode model.  The empty
+    schedule is valid and a no-op.
+    """
+
+    faults: tuple[Fault, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for fault in self.faults:
+            if not isinstance(
+                fault, (DiskSlowdown, DeviceFailStop, CacheFlush, BackendStall)
+            ):
+                raise TypeError(f"not a fault event: {fault!r}")
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    # ------------------------------------------------------------------
+    @property
+    def needs_routing_filter(self) -> bool:
+        """Whether frontends must consult device liveness when routing."""
+        return any(isinstance(f, DeviceFailStop) for f in self.faults)
+
+    def device_indices(self) -> set[int]:
+        """Every device index a fault targets directly (flushes map to
+        all devices of the flushed server at install time)."""
+        return {
+            f.device
+            for f in self.faults
+            if isinstance(f, (DiskSlowdown, DeviceFailStop, BackendStall))
+        }
+
+    def validate_against(self, n_devices: int, n_servers: int) -> None:
+        """Range-check every target index against a cluster shape."""
+        for f in self.faults:
+            if isinstance(f, CacheFlush):
+                if not 0 <= f.server < n_servers:
+                    raise ValueError(
+                        f"flush targets server {f.server}, cluster has {n_servers}"
+                    )
+            elif not 0 <= f.device < n_devices:
+                raise ValueError(
+                    f"fault targets device {f.device}, cluster has {n_devices}"
+                )
+        failed = [f for f in self.faults if isinstance(f, DeviceFailStop)]
+        if failed and len({f.device for f in failed}) >= n_devices:
+            raise ValueError("schedule fail-stops every device in the cluster")
+
+    # ------------------------------------------------------------------
+    def install(self, cluster) -> None:
+        """Schedule the fault events into ``cluster``'s event kernel.
+
+        Called by :meth:`Cluster.inject_faults`; events fire at their
+        absolute times as the run progresses.
+        """
+        sim = cluster.sim
+        for f in self.faults:
+            if sim.now > f.active_window[0]:
+                raise ValueError(
+                    f"fault at t={f.active_window[0]} is in the past (now={sim.now})"
+                )
+            if isinstance(f, DiskSlowdown):
+                disk = cluster.devices[f.device].disk
+                sim.schedule_at(f.start, disk.set_slowdown, f.factor)
+                sim.schedule_at(f.end, disk.set_slowdown, 1.0)
+            elif isinstance(f, DeviceFailStop):
+                sim.schedule_at(f.start, cluster.set_device_failed, f.device, True)
+                if math.isfinite(f.end):
+                    sim.schedule_at(f.end, cluster.set_device_failed, f.device, False)
+            elif isinstance(f, CacheFlush):
+                sim.schedule_at(f.at, cluster.flush_server_caches, f.server, f.kinds)
+            elif isinstance(f, BackendStall):
+                disk = cluster.devices[f.device].disk
+                sim.schedule_at(f.start, disk.stall, f.duration)
+
+    # ------------------------------------------------------------------
+    def fault_window(self) -> tuple[float, float] | None:
+        """Hull of every fault's active window; ``None`` when empty.
+
+        Instantaneous events (cache flushes) contribute a zero-length
+        window at their firing time.
+        """
+        if not self.faults:
+            return None
+        starts, ends = zip(*(f.active_window for f in self.faults))
+        return (min(starts), max(ends))
+
+    def phases(self, t_start: float, t_end: float) -> tuple[Phase, ...]:
+        """Partition ``[t_start, t_end)`` into before/fault/recovery.
+
+        ``before`` runs until the first fault fires, ``fault`` spans the
+        hull of the active windows (clipped to the span), ``recovery``
+        is whatever remains after the last fault lifts.  Phases outside
+        the span, and zero-length phases, are omitted -- a flush-only
+        schedule yields ``before`` + ``recovery``, a never-recovering
+        fail-stop yields ``before`` + ``fault``.
+        """
+        if t_end <= t_start:
+            raise ValueError(f"need t_end > t_start, got [{t_start}, {t_end}]")
+        hull = self.fault_window()
+        if hull is None:
+            return (Phase("all", t_start, t_end),)
+        w0 = min(max(hull[0], t_start), t_end)
+        w1 = min(max(hull[1], t_start), t_end)
+        out = []
+        if w0 > t_start:
+            out.append(Phase("before", t_start, w0))
+        if w1 > w0:
+            out.append(Phase("fault", w0, w1))
+        if t_end > w1:
+            out.append(Phase("recovery", w1, t_end))
+        return tuple(out)
+
+    # ------------------------------------------------------------------
+    def overlap_fraction(self, fault: Fault, t_start: float, t_end: float) -> float:
+        """Fraction of ``[t_start, t_end)`` a fault's window covers."""
+        a, b = fault.active_window
+        covered = min(b, t_end) - max(a, t_start)
+        return max(0.0, covered) / (t_end - t_start)
+
+    def shifted(self, offset: float) -> "FaultSchedule":
+        """Every fault time translated by ``offset`` (building schedules
+        relative to a window start)."""
+        out: list[Fault] = []
+        for f in self.faults:
+            if isinstance(f, CacheFlush):
+                out.append(dataclasses.replace(f, at=f.at + offset))
+            elif isinstance(f, DeviceFailStop):
+                end = f.end + offset if math.isfinite(f.end) else f.end
+                out.append(dataclasses.replace(f, start=f.start + offset, end=end))
+            elif isinstance(f, BackendStall):
+                out.append(dataclasses.replace(f, start=f.start + offset))
+            else:
+                out.append(
+                    dataclasses.replace(f, start=f.start + offset, end=f.end + offset)
+                )
+        return FaultSchedule(tuple(out))
+
+
+def schedule_of(faults: Iterable[Fault]) -> FaultSchedule:
+    """Convenience constructor accepting any iterable of fault events."""
+    return FaultSchedule(tuple(faults))

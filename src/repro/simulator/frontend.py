@@ -51,6 +51,7 @@ class FrontendProcess:
         "timeout",
         "max_retries",
         "timeouts_fired",
+        "fault_filter",
         "_rng",
     )
 
@@ -82,6 +83,10 @@ class FrontendProcess:
         self.timeout = timeout
         self.max_retries = max_retries
         self.timeouts_fired = 0
+        # Switched on by Cluster.inject_faults when a schedule contains
+        # a fail-stop; off, routing never inspects device liveness (and
+        # consumes exactly the same RNG stream as before faults existed).
+        self.fault_filter = False
         self._rng = rng
 
     # ------------------------------------------------------------------
@@ -115,7 +120,17 @@ class FrontendProcess:
     # ------------------------------------------------------------------
     def _send_read(self, req: Request, exclude: int) -> None:
         row = self.ring.replica_row(req.object_id)
+        if self.fault_filter:
+            # Ring handoff: skip fail-stopped replicas.  With no device
+            # down the filtered list has identical contents, so the same
+            # stream draw picks the same replica.  If every replica is
+            # down the read falls through to the full row (it will be
+            # served whenever that device recovers).
+            devices = self.devices
+            row = [d for d in row if not devices[d].failed] or row
         candidates = row if exclude < 0 else [d for d in row if d != exclude]
+        if not candidates:
+            candidates = row  # the only alive replica just timed out
         device = self.devices[candidates[self._rng.integers(len(candidates))]]
         self.sim.schedule(self.network.latency, device.connect, Connection(req, self))
         if self.timeout is not None:
@@ -137,10 +152,16 @@ class FrontendProcess:
     # writes: fan out to every replica, majority quorum
     # ------------------------------------------------------------------
     def _send_write(self, req: Request) -> None:
-        replicas = self.ring.devices_for(req.object_id)
+        replicas = [int(d) for d in self.ring.devices_for(req.object_id)]
+        if self.fault_filter:
+            # Fan out to alive replicas only; the quorum shrinks with
+            # the alive set (Swift writes to reachable nodes).  All
+            # replicas down degenerates to the full set, as for reads.
+            devices = self.devices
+            replicas = [d for d in replicas if not devices[d].failed] or replicas
         req.write_quorum = len(replicas) // 2 + 1
         for dev_idx in replicas:
-            device = self.devices[int(dev_idx)]
+            device = self.devices[dev_idx]
             self.sim.schedule(
                 self.network.latency, device.connect, Connection(req, self)
             )

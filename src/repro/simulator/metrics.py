@@ -20,7 +20,14 @@ import numpy as np
 
 from repro.simulator.request import Request
 
-__all__ = ["MetricsRecorder", "RequestTable", "sla_percentile", "sla_percentile_ci"]
+__all__ = [
+    "MetricsRecorder",
+    "RequestTable",
+    "PhaseStats",
+    "sla_percentile",
+    "sla_percentile_ci",
+    "phase_attribution",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -96,6 +103,72 @@ def sla_percentile_ci(
     centre = (p + z * z / (2 * n)) / denom
     half = (z / denom) * np.sqrt(p * (1 - p) / n + z * z / (4 * n * n))
     return p, max(0.0, centre - half), min(1.0, centre + half)
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseStats:
+    """Per-phase observation summary (fault-injection attribution).
+
+    One row per experiment phase (before/fault/recovery): the observed
+    SLA percentile with its Wilson interval, plus the mean per-stage
+    latency decomposition, so a fault's cost can be attributed to the
+    stage it actually hits (accept-wait for stalls, backend response for
+    slow disks, ...).  Empty phases carry NaN statistics.
+    """
+
+    phase: str
+    t_start: float
+    t_end: float
+    n_requests: int
+    sla_percentile: float
+    ci_lower: float
+    ci_upper: float
+    mean_response_latency: float
+    mean_accept_wait: float
+    mean_frontend_sojourn: float
+    mean_backend_response: float
+
+
+def phase_attribution(
+    table: RequestTable, phases, sla_seconds: float
+) -> tuple[PhaseStats, ...]:
+    """Summarise a request table over named time phases.
+
+    ``phases`` is an iterable of ``(name, t_start, t_end)`` triples (or
+    objects with those attributes, e.g. :class:`repro.simulator.faults
+    .Phase`); rows are assigned by arrival time, matching the paper's
+    per-window accounting.
+    """
+    out = []
+    for phase in phases:
+        if isinstance(phase, tuple):
+            name, t0, t1 = phase
+        else:
+            name, t0, t1 = phase.name, phase.start, phase.end
+        win = table.window(t0, t1)
+        if len(win) == 0:
+            nan = float("nan")
+            out.append(
+                PhaseStats(name, t0, t1, 0, nan, nan, nan, nan, nan, nan, nan)
+            )
+            continue
+        est, lo, hi = sla_percentile_ci(win.response_latency, sla_seconds)
+        out.append(
+            PhaseStats(
+                phase=name,
+                t_start=t0,
+                t_end=t1,
+                n_requests=len(win),
+                sla_percentile=est,
+                ci_lower=lo,
+                ci_upper=hi,
+                mean_response_latency=float(win.response_latency.mean()),
+                mean_accept_wait=float(win.accept_wait.mean()),
+                mean_frontend_sojourn=float(win.frontend_sojourn.mean()),
+                mean_backend_response=float(win.backend_response.mean()),
+            )
+        )
+    return tuple(out)
 
 
 class MetricsRecorder:

@@ -16,6 +16,21 @@ from repro.model import (
 from repro.workload import ObjectCatalog
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="regenerate the golden files under tests/goldens/ instead of "
+        "comparing against them",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_goldens(request: pytest.FixtureRequest) -> bool:
+    return bool(request.config.getoption("--update-goldens"))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

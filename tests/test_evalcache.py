@@ -1,0 +1,106 @@
+"""Regression tests for the evaluation cache's failure modes.
+
+The cache keys on ``cache_token()`` value identities.  Two ways that
+contract can be broken used to fail silently or cryptically:
+
+* a token containing an unhashable object surfaced as an anonymous
+  ``TypeError: unhashable type`` from inside ``OrderedDict`` with no
+  hint of which distribution produced it;
+* mutating an :class:`Empirical`'s sample array after its lazy token was
+  computed would leave the token stale, so later evaluations could be
+  served from cache entries describing the *old* samples.
+
+Both must now fail loudly at the point of the bug.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import Empirical, Gamma, evalcache
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    evalcache.clear()
+    yield
+    evalcache.clear()
+
+
+class _BadTokenDist:
+    """Distribution stub whose token embeds an unhashable object."""
+
+    def cache_token(self):
+        return ("bad", [1, 2, 3])
+
+    def laplace(self, s):
+        return np.exp(-np.asarray(s, dtype=complex))
+
+
+class _UncachedDist:
+    def cache_token(self):
+        return None
+
+    def laplace(self, s):
+        return np.exp(-np.asarray(s, dtype=complex))
+
+
+class TestUnhashableTokens:
+    def test_laplace_eval_names_the_offender(self):
+        with pytest.raises(TypeError, match=r"_BadTokenDist.*unhashable"):
+            evalcache.laplace_eval(_BadTokenDist(), np.array([1.0, 2.0]))
+
+    def test_cached_grid_names_the_offender(self):
+        with pytest.raises(TypeError, match=r"_BadTokenDist.*unhashable"):
+            evalcache.cached_grid(_BadTokenDist(), 1e-3, 64, lambda: object())
+
+    def test_cached_inversion_names_the_offender(self):
+        with pytest.raises(TypeError, match=r"_BadTokenDist.*unhashable"):
+            evalcache.cached_inversion(
+                _BadTokenDist(),
+                "euler",
+                32,
+                0.0,
+                np.array([0.1]),
+                lambda: np.array([0.5]),
+            )
+
+    def test_none_token_still_falls_through_uncached(self):
+        s = np.array([1.0, 3.0])
+        out = evalcache.laplace_eval(_UncachedDist(), s)
+        np.testing.assert_allclose(out, np.exp(-s))
+        assert evalcache.stats()["laplace_entries"] == 0
+
+
+class TestEmpiricalTokenIntegrity:
+    def test_samples_are_frozen_after_construction(self):
+        emp = Empirical([1.0, 2.0, 3.0])
+        emp.cache_token()
+        with pytest.raises(ValueError):
+            emp.samples[0] = 99.0
+
+    def test_freezing_does_not_alias_caller_array(self):
+        raw = np.array([3.0, 1.0, 2.0])
+        Empirical(raw)
+        raw[0] = 7.0  # caller's array stays writable and independent
+
+    def test_equal_samples_share_token_distinct_samples_do_not(self):
+        a = Empirical([1.0, 2.0])
+        b = Empirical([2.0, 1.0])  # same sorted law
+        c = Empirical([1.0, 2.5])
+        assert a.cache_token() == b.cache_token()
+        assert a.cache_token() != c.cache_token()
+
+
+class TestCacheHitSemantics:
+    def test_hit_returns_readonly_identical_array(self):
+        dist = Gamma(2.0, 100.0)
+        s = np.array([0.5, 5.0], dtype=complex)
+        first = evalcache.laplace_eval(dist, s)
+        before = evalcache.stats()["hits"]
+        second = evalcache.laplace_eval(dist, s)
+        assert evalcache.stats()["hits"] == before + 1
+        assert second is first
+        assert not second.flags.writeable
+        np.testing.assert_array_equal(first, dist.laplace(s))

@@ -1,0 +1,171 @@
+"""Golden-file regression tests for the paper's headline artifacts.
+
+Table I, Table II and Fig 5 are re-derived at a fixed seed on a
+scaled-down grid and compared field-by-field against JSON goldens at an
+absolute tolerance of 1e-9 -- tight enough that any change to the
+model composition, the simulator's event ordering, the calibration
+pipeline or the RNG stream layout shows up as a diff, while still
+tolerating libm-level jitter across platforms.
+
+After an *intentional* behaviour change, regenerate with::
+
+    pytest tests/test_goldens.py --update-goldens
+
+and commit the resulting diff under ``tests/goldens/`` -- the diff is
+the review artifact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import pathlib
+
+import pytest
+
+from repro.experiments import (
+    build_table1,
+    build_table2,
+    calibrate,
+    run_fig5,
+    run_sweeps,
+    scenario_s1,
+    scenario_s16,
+)
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent / "goldens"
+SEED = 7
+ATOL = 1e-9
+
+
+def _small(scenario, rates):
+    return dataclasses.replace(
+        scenario,
+        n_objects=15_000,
+        warm_accesses=40_000,
+        rates=rates,
+        window_duration=10.0,
+        settle_duration=2.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    scenarios = {
+        "S1": _small(scenario_s1(), (40.0, 100.0, 160.0)),
+        "S16": _small(scenario_s16(), (60.0, 140.0, 220.0)),
+    }
+    calibrations = {
+        key: calibrate(s, disk_objects=800, parse_requests=50, seed=3)
+        for key, s in scenarios.items()
+    }
+    return run_sweeps(scenarios, calibrations=calibrations, seed=SEED)
+
+
+# ----------------------------------------------------------------------
+# golden plumbing
+# ----------------------------------------------------------------------
+
+
+def _sanitize(value):
+    """JSON-encodable mirror of a result doc; non-finite floats become
+    tagged strings so they compare exactly (NaN != NaN otherwise)."""
+    if isinstance(value, dict):
+        return {str(k): _sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v) for v in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return f"non-finite:{value!r}"
+    return value
+
+
+def _assert_matches(doc, golden, path: str = "$") -> None:
+    if isinstance(golden, dict):
+        assert isinstance(doc, dict) and sorted(doc) == sorted(golden), path
+        for k in golden:
+            _assert_matches(doc[k], golden[k], f"{path}.{k}")
+    elif isinstance(golden, list):
+        assert isinstance(doc, list) and len(doc) == len(golden), path
+        for i, (d, g) in enumerate(zip(doc, golden)):
+            _assert_matches(d, g, f"{path}[{i}]")
+    elif isinstance(golden, float):
+        assert isinstance(doc, (int, float)), path
+        assert abs(doc - golden) <= ATOL, (
+            f"{path}: {doc!r} deviates from golden {golden!r} by "
+            f"{abs(doc - golden):.3e} (> {ATOL})"
+        )
+    else:
+        assert doc == golden, f"{path}: {doc!r} != golden {golden!r}"
+
+
+def _check_golden(name: str, doc, update: bool) -> None:
+    doc = _sanitize(doc)
+    path = GOLDEN_DIR / name
+    if update:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated {path.name}")
+    if not path.exists():
+        pytest.fail(
+            f"golden {path} missing; run with --update-goldens to create it"
+        )
+    _assert_matches(doc, json.loads(path.read_text()))
+
+
+# ----------------------------------------------------------------------
+# the goldens
+# ----------------------------------------------------------------------
+
+
+def test_table1_golden(sweeps, update_goldens):
+    table = build_table1(sweeps)
+    doc = {"rows": [list(row) for row in table.rows]}
+    _check_golden("table1.json", doc, update_goldens)
+
+
+def test_table2_golden(sweeps, update_goldens):
+    table = build_table2(sweeps)
+    doc = {
+        "models": list(table.models),
+        "rows": [[scen, sla, errs] for scen, sla, errs in table.rows],
+    }
+    _check_golden("table2.json", doc, update_goldens)
+
+
+def test_sweep_series_golden(sweeps, update_goldens):
+    """Pin the raw per-point observed/predicted series, not just the
+    table aggregates -- a compensating pair of errors would leave the
+    means unchanged but shows up here."""
+    doc = {}
+    for key, sweep in sweeps.items():
+        doc[key] = {
+            "rates": [p.rate for p in sweep.points],
+            "n_requests": [p.n_requests for p in sweep.points],
+            "observed": [
+                {f"{sla:g}": p.observed[sla] for sla in sweep.slas}
+                for p in sweep.points
+            ],
+            "predicted": [
+                {
+                    m: {f"{sla:g}": p.predicted[m][sla] for sla in sweep.slas}
+                    for m in sweep.models
+                }
+                for p in sweep.points
+            ],
+        }
+    _check_golden("sweep_series.json", doc, update_goldens)
+
+
+def test_fig5_golden(update_goldens):
+    fig = run_fig5(
+        _small(scenario_s1(), (40.0,)), n_objects=800, seed=SEED
+    )
+    doc = {
+        "grid_ms": [float(x) for x in fig.grid_ms],
+        "recorded": {k: [float(x) for x in v] for k, v in fig.recorded.items()},
+        "fitted": {k: [float(x) for x in v] for k, v in fig.fitted.items()},
+        "winners": dict(fig.winners),
+        "ks": {k: float(v) for k, v in fig.ks.items()},
+    }
+    _check_golden("fig5.json", doc, update_goldens)

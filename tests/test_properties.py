@@ -21,7 +21,13 @@ from repro.distributions import (
     convolve,
     grid_of,
 )
-from repro.queueing import MG1Queue, MM1KQueue
+from repro.queueing import (
+    FiniteSourceQueue,
+    MG1KQueue,
+    MG1Queue,
+    MM1KQueue,
+    MM1Queue,
+)
 from repro.simulator import LruCache
 
 # Bounded, well-conditioned parameter ranges (latencies in seconds).
@@ -185,6 +191,116 @@ class TestQueueingProperties:
         lo = MG1Queue(lam, service)
         hi = MG1Queue(lam * factor, service)
         assert hi.mean_waiting_time >= lo.mean_waiting_time
+
+
+def _assert_proper_transform(dist, expected_mean: float) -> None:
+    """A queueing transform must be a proper LST of a non-negative law:
+    ``L(0) = 1``, monotone decreasing along the positive real axis, and
+    ``-L'(0)`` must reproduce the queue's closed-form mean (for M/G/1,
+    the Pollaczek--Khinchine mean).
+
+    Evaluation is at ``0+``, not 0: the P--K transform is a 0/0 at the
+    origin (removable singularity), so the normalisation property is a
+    limit from the right.
+    """
+    s0 = 1e-7 / max(expected_mean, 1e-3)
+    s_grid = np.array([s0, 0.5, 2.0, 10.0, 50.0, 250.0])
+    vals = np.real(dist.laplace(s_grid))
+    assert vals[0] == pytest.approx(1.0, abs=2e-5)
+    assert np.all(np.diff(vals) <= 1e-12)
+    assert np.all(vals >= -1e-9)
+    # Numeric -L'(0+).  The P--K transform carries up to ~1e-6 absolute
+    # noise near the origin (0/0 cancellation in float64), so the step
+    # keeps 1 - L(h) three decades above that noise, and the known
+    # first-order bias h E[X^2]/2 is added back exactly from the
+    # distribution's closed-form second moment.
+    # The step shrinks for strongly skewed laws (second-moment cap)
+    # where the higher-order truncation would otherwise dominate.
+    m = max(expected_mean, 1e-9)
+    h = min(1e-3 / m, 0.05 * m / max(dist.second_moment, 1e-12))
+    l0, lh = np.real(dist.laplace(np.array([s0, s0 + h])))
+    est = (l0 - lh) / h + h * dist.second_moment / 2.0
+    assert est == pytest.approx(expected_mean, rel=5e-3, abs=1e-9)
+
+
+class TestQueueingTransformProperties:
+    """Satellite sweep over (rate, service moments): every queueing
+    transform the backend model composes is a proper LST whose
+    derivative at zero matches the closed-form mean."""
+
+    @given(st.floats(min_value=1.0, max_value=60.0), gammas())
+    @settings(max_examples=50, deadline=None)
+    def test_mg1_waiting_transform(self, lam, service):
+        assume(lam * service.mean < 0.9)
+        q = MG1Queue(lam, service)
+        _assert_proper_transform(q.waiting_time(), q.mean_waiting_time)
+
+    @given(st.floats(min_value=1.0, max_value=60.0), gammas())
+    @settings(max_examples=40, deadline=None)
+    def test_mg1_sojourn_transform(self, lam, service):
+        assume(lam * service.mean < 0.9)
+        q = MG1Queue(lam, service)
+        _assert_proper_transform(q.sojourn_time(), q.mean_sojourn_time)
+
+    @given(
+        st.floats(min_value=0.05, max_value=1.5),
+        st.floats(min_value=5.0, max_value=500.0),
+        st.integers(min_value=1, max_value=24),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mm1k_sojourn_transform(self, u, mu, k):
+        q = MM1KQueue(u * mu, mu, k)
+        _assert_proper_transform(q.sojourn_time(), q.mean_sojourn_time)
+
+    @given(
+        st.floats(min_value=0.05, max_value=1.3),
+        gammas(),
+        st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_mg1k_sojourn_transform(self, u, service, k):
+        q = MG1KQueue(u / service.mean, service, k)
+        sojourn = q.sojourn_time()
+        # The M/G/1/K sojourn is a residual-service approximation: its
+        # transform's exact mean is the mixture's own closed form, which
+        # agrees with the Little's-law mean only approximately.
+        _assert_proper_transform(sojourn, sojourn.mean)
+        assert sojourn.mean == pytest.approx(q.mean_sojourn_time, rel=0.25, abs=1e-6)
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.7),
+        st.floats(min_value=5.0, max_value=500.0),
+        st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_finite_source_sojourn_transform(self, u, mu, n):
+        q = FiniteSourceQueue.from_offered_rate(u * mu, mu, n)
+        _assert_proper_transform(q.sojourn_time(), q.mean_sojourn_time)
+
+    @given(
+        st.floats(min_value=0.05, max_value=0.8),
+        st.floats(min_value=5.0, max_value=500.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mm1k_sojourn_converges_to_mm1(self, u, mu):
+        """As K grows, the truncated queue's sojourn law approaches the
+        open M/M/1 law (blocking mass ~ u^K vanishes geometrically)."""
+        lam = u * mu
+        open_q = MM1Queue(lam, mu)
+        s = np.array([0.5, 5.0, 50.0])
+        target = np.real(open_q.sojourn_time().laplace(s))
+
+        def distance(k: int) -> float:
+            trunc = MM1KQueue(lam, mu, k)
+            vals = np.real(trunc.sojourn_time().laplace(s))
+            return float(np.max(np.abs(vals - target)))
+
+        assert distance(96) <= 1e-6
+        assert distance(32) <= distance(8) + 1e-12
+        big = MM1KQueue(lam, mu, 96)
+        assert big.mean_sojourn_time == pytest.approx(
+            open_q.mean_sojourn_time, rel=1e-6
+        )
 
 
 class TestCacheProperties:
