@@ -9,7 +9,13 @@ times three engine micro-kernels:
 * ``convolve_chain``-- rFFT ``convolve_many`` vs the pairwise
   ``np.convolve`` chain it replaced;
 * ``eval_cache``    -- repeated CDF inversion of a value-identical
-  latency transform with the evaluation cache cold vs warm.
+  latency transform with the evaluation cache cold vs warm;
+* ``metrics_store`` -- exact per-request row list vs the streaming
+  :class:`~repro.obs.hist.LatencyHistogram` store (wall time, resident
+  bytes, p99 agreement);
+* ``trace_overhead``-- one small cluster episode with tracing off vs
+  on (off must stay within noise of the pre-trace-layer cost; the
+  hooks are single ``is not None`` checks).
 
 Results go to ``BENCH_perf.json`` at the repository root (override with
 ``--out``).  ``--check BASELINE`` compares against a committed baseline
@@ -79,6 +85,8 @@ CHECKED_METRICS = (
     (("kernels", "grid_cdf", "cached_s"), "lower"),
     (("kernels", "convolve_chain", "fft_s"), "lower"),
     (("kernels", "eval_cache", "warm_s"), "lower"),
+    (("kernels", "metrics_store", "hist_s"), "lower"),
+    (("kernels", "trace_overhead", "off_s"), "lower"),
 )
 
 
@@ -262,6 +270,105 @@ def bench_eval_cache(reps: int = 60) -> dict:
     }
 
 
+def bench_metrics_store(n: int = 200_000) -> dict:
+    """Exact row list vs streaming histogram as the latency accumulator.
+
+    The exact store appends one python float per request and reduces
+    with ``np.quantile`` at the end; the histogram store pays a log10
+    per record but holds a fixed few-KB bucket array no matter how many
+    requests complete.  Reports both costs plus the p99 disagreement,
+    which must stay inside the histogram's bucket-width bound.
+    """
+    import sys as _sys
+
+    from repro.obs.hist import LatencyHistogram
+
+    rng = np.random.default_rng(13)
+    values = rng.gamma(2.0, 0.01, size=n).tolist()
+
+    t0 = time.perf_counter()
+    rows: list[float] = []
+    append = rows.append
+    for v in values:
+        append(v)
+    exact_p99 = float(np.quantile(np.asarray(rows), 0.99, method="inverted_cdf"))
+    list_s = time.perf_counter() - t0
+    # list slots + one float object per row (CPython: 8 + ~24 bytes).
+    list_bytes = _sys.getsizeof(rows) + n * _sys.getsizeof(values[0])
+
+    t0 = time.perf_counter()
+    hist = LatencyHistogram()
+    record = hist.record
+    for v in values:
+        record(v)
+    hist_p99 = hist.quantile(0.99)
+    hist_s = time.perf_counter() - t0
+    hist_bytes = hist._counts.nbytes
+
+    return {
+        "n": n,
+        "list_s": round(list_s, 4),
+        "hist_s": round(hist_s, 4),
+        "list_bytes": list_bytes,
+        "hist_bytes": hist_bytes,
+        "memory_ratio": round(list_bytes / hist_bytes, 1),
+        "p99_rel_delta": round(abs(hist_p99 - exact_p99) / exact_p99, 5),
+        "p99_bound": round(hist.relative_error_bound, 5),
+    }
+
+
+def bench_trace_overhead(reps: int = 3) -> dict:
+    """One small cluster episode with tracing off vs on.
+
+    The "off" time is the number the ≤5% acceptance bound guards: every
+    hook site is a single ``is not None`` check, so the trace layer must
+    cost nothing when no tracer is installed.  The "on" time bounds what
+    a traced diagnostic run pays.
+    """
+    from repro.obs import Tracer
+    from repro.simulator import Cluster, ClusterConfig
+    from repro.workload import ObjectCatalog
+    from repro.workload.ssbench import OpenLoopDriver
+    from repro.workload.wikipedia import WikipediaTraceGenerator
+
+    catalog = ObjectCatalog.synthetic(
+        5_000, mean_size=16_384.0, size_sigma=1.0, zipf_s=0.9,
+        rng=np.random.default_rng(7),
+    )
+
+    def episode(tracer):
+        root = np.random.SeedSequence(42)
+        cluster_seed, trace_seed = root.spawn(2)
+        cluster = Cluster(
+            ClusterConfig(), catalog.sizes, seed=cluster_seed, tracer=tracer
+        )
+        gen = WikipediaTraceGenerator(catalog, rng=np.random.default_rng(trace_seed))
+        cluster.warm_caches(gen.warmup_accesses(5_000))
+        driver = OpenLoopDriver(cluster)
+        driver.run(gen.constant_rate(120.0, 8.0))
+        cluster.run_until(cluster.sim.now + 5.0)
+        return cluster.metrics.n_requests
+
+    def timed(make_tracer):
+        best, n = math.inf, 0
+        for _ in range(reps):
+            tracer = make_tracer()
+            t0 = time.perf_counter()
+            n = episode(tracer)
+            best = min(best, time.perf_counter() - t0)
+        return best, n
+
+    off_s, n_requests = timed(lambda: None)
+    on_s, _ = timed(Tracer)
+    return {
+        "reps": reps,
+        "n_requests": n_requests,
+        "off_s": round(off_s, 4),
+        "on_s": round(on_s, 4),
+        "on_overhead": round(on_s / off_s - 1.0, 4) if off_s > 0 else None,
+    }
+
+
 def dig(tree: dict, path: tuple[str, ...]):
     node = tree
     for key in path:
@@ -331,9 +438,22 @@ def main(argv=None) -> int:
         "grid_cdf": bench_grid_cdf(),
         "convolve_chain": bench_convolve_chain(),
         "eval_cache": bench_eval_cache(),
+        "metrics_store": bench_metrics_store(),
+        "trace_overhead": bench_trace_overhead(),
     }
     for name, row in kernels.items():
-        print(f"  {name}: speedup {row['speedup']}x")
+        if "speedup" in row:
+            print(f"  {name}: speedup {row['speedup']}x")
+    ms = kernels["metrics_store"]
+    print(
+        f"  metrics_store: list {ms['list_s']}s / hist {ms['hist_s']}s, "
+        f"memory ratio {ms['memory_ratio']}x, p99 delta {ms['p99_rel_delta']}"
+    )
+    tr = kernels["trace_overhead"]
+    print(
+        f"  trace_overhead: off {tr['off_s']}s, on {tr['on_s']}s "
+        f"(+{tr['on_overhead'] * 100:.1f}%)"
+    )
 
     result = {
         "meta": {

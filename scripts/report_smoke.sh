@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Observability smoke check.
+#
+# Runs one traced fault-injection scenario at CI scale, then renders
+# every artifact kind through `cosmodel report`: the span trace (per-
+# phase latency attribution), the provenance manifest sidecar, and the
+# JSON comparison artifact itself.  Fails if any render errors or the
+# trace report comes back without its attribution table.
+#
+# Usage: scripts/report_smoke.sh
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+cd "$WORKDIR"
+
+run() {
+    env PYTHONPATH="$REPO_ROOT/src" python -m repro.cli "$@"
+}
+
+run faults --scenario slow-disk --workload s1 \
+    --trace spans.jsonl --out faults.json
+
+report="$(run report spans.jsonl)"
+echo "$report"
+grep -q "per-phase latency attribution" <<<"$report"
+grep -q "fault" <<<"$report"
+
+manifest_report="$(run report faults.json.manifest.json)"
+grep -q "run manifest" <<<"$manifest_report"
+run report faults.json >/dev/null
+
+echo "report smoke OK"

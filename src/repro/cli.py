@@ -10,10 +10,18 @@ Subcommands:
 ``fig5`` / ``fig6`` / ``fig7`` / ``tables`` / ``ablations``
     Regenerate the paper's artifacts at the chosen scale.
 
-``faults --scenario slow-disk --sla 100ms``
+``faults --scenario slow-disk --sla 100ms [--trace spans.jsonl]``
     Run one fault-injection scenario (fault episode + control episode),
     print the per-phase model-vs-simulation table and write the JSON
-    comparison artifact (see docs/FAULTS.md).
+    comparison artifact plus its provenance manifest (see
+    docs/FAULTS.md).  ``--trace`` also records per-request spans of the
+    fault episode to a JSONL file.
+
+``report <artifact>``
+    Render an observability artifact: a trace JSONL (per-phase latency
+    attribution), a ``*.manifest.json`` provenance sidecar, a saved
+    histogram, or any artifact with a manifest sidecar next to it (see
+    docs/OBSERVABILITY.md).
 
 The JSON schema mirrors :class:`~repro.model.SystemParameters`::
 
@@ -159,6 +167,9 @@ def _cmd_faults(args) -> int:
         write_artifact,
     )
 
+    from repro.obs import Tracer, build_manifest, write_manifest
+    from repro.obs.manifest import RunTimer
+
     if args.scenario not in FAULT_SCENARIOS:
         print(
             f"unknown scenario {args.scenario!r}; "
@@ -166,19 +177,48 @@ def _cmd_faults(args) -> int:
             file=sys.stderr,
         )
         return 2
-    result = run_fault_scenario(
-        args.scenario,
-        args.workload,
-        rate=args.rate,
-        sla=args.sla,
-        seed=args.seed,
-        scale=args.scale,
-        factor=args.factor,
-    )
+    tracer = Tracer() if args.trace else None
+    with RunTimer() as timer:
+        result = run_fault_scenario(
+            args.scenario,
+            args.workload,
+            rate=args.rate,
+            sla=args.sla,
+            seed=args.seed,
+            scale=args.scale,
+            factor=args.factor,
+            tracer=tracer,
+        )
     print(result.render())
     out = args.out or f"faults-{args.scenario}-{args.workload}.json"
     write_artifact(result, out)
-    print(f"\nwrote {out}")
+    manifest = build_manifest(
+        command=f"cosmodel faults --scenario {args.scenario} --workload {args.workload}",
+        seed=args.seed,
+        config=vars(args),
+        wall_s=timer.wall_s,
+        cpu_s=timer.cpu_s,
+        extra={"trace": args.trace, "n_spans": len(tracer) if tracer else 0},
+    )
+    sidecar = write_manifest(manifest, out)
+    print(f"\nwrote {out} (+ {sidecar.name})")
+    if tracer is not None:
+        tracer.write(args.trace)
+        print(f"wrote {args.trace} ({len(tracer)} spans)")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.obs.report import render_report
+
+    try:
+        print(render_report(args.artifact))
+    except FileNotFoundError:
+        print(f"no such artifact: {args.artifact}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"cannot report on {args.artifact}: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -247,7 +287,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", default="ci", choices=["ci", "paper"])
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default=None, help="JSON artifact path")
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record per-request spans of the fault episode to a JSONL file",
+    )
     p.set_defaults(func=_cmd_faults)
+
+    p = sub.add_parser(
+        "report",
+        help="render an observability artifact (trace, manifest, histogram)",
+    )
+    p.add_argument("artifact", help="trace JSONL, manifest sidecar or artifact path")
+    p.set_defaults(func=_cmd_report)
 
     for name, func, help_text in (
         ("fig5", _cmd_fig5, "disk service-time fits"),
@@ -271,4 +324,12 @@ def main(argv: list[str] | None = None) -> int:
 
 
 if __name__ == "__main__":  # pragma: no cover
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; redirect stdout so the
+        # interpreter's shutdown flush doesn't raise again.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

@@ -32,19 +32,24 @@ __all__ = [
     "clear",
     "stats",
     "set_enabled",
+    "set_max_entries",
 ]
 
 #: Per-cache entry bound.  Entries are small (arrays of quadrature-node
 #: values, grid PMFs of a few thousand floats), so the memory ceiling is
-#: a few tens of megabytes in the worst case.
+#: a few tens of megabytes in the worst case.  Adjustable at runtime via
+#: :func:`set_max_entries` (long parameter sweeps may want it smaller).
 MAX_ENTRIES = 4096
 
 _enabled = True
+_max_entries = MAX_ENTRIES
 _laplace: OrderedDict[tuple, np.ndarray] = OrderedDict()
 _grids: OrderedDict[tuple, object] = OrderedDict()
 _inversions: OrderedDict[tuple, np.ndarray] = OrderedDict()
 _hits = 0
 _misses = 0
+_evictions = 0
+_calls = {"laplace": 0, "grid": 0, "inversion": 0}
 
 
 def set_enabled(enabled: bool) -> None:
@@ -55,21 +60,46 @@ def set_enabled(enabled: bool) -> None:
         clear()
 
 
+def set_max_entries(n: int) -> None:
+    """Re-bound each LRU to ``n`` entries, evicting immediately if over."""
+    global _max_entries, _evictions
+    if n < 1:
+        raise ValueError(f"max entries must be >= 1, got {n}")
+    _max_entries = int(n)
+    for cache in (_laplace, _grids, _inversions):
+        while len(cache) > _max_entries:
+            cache.popitem(last=False)
+            _evictions += 1
+
+
 def clear() -> None:
     """Drop every cached evaluation."""
-    global _hits, _misses
+    global _hits, _misses, _evictions
     _laplace.clear()
     _grids.clear()
     _inversions.clear()
     _hits = 0
     _misses = 0
+    _evictions = 0
+    for k in _calls:
+        _calls[k] = 0
 
 
 def stats() -> dict:
-    """Hit/miss counters and cache sizes (for the perf harness)."""
+    """Hit/miss/eviction counters and cache sizes.
+
+    Consumed by the perf harness and stamped into run manifests, so the
+    provenance record of an artifact shows how hard the memo layer
+    worked (and whether the LRU bound was ever hit).
+    """
     return {
         "hits": _hits,
         "misses": _misses,
+        "evictions": _evictions,
+        "max_entries": _max_entries,
+        "laplace_calls": _calls["laplace"],
+        "grid_calls": _calls["grid"],
+        "inversion_calls": _calls["inversion"],
         "laplace_entries": len(_laplace),
         "grid_entries": len(_grids),
         "inversion_entries": len(_inversions),
@@ -106,11 +136,12 @@ def _lookup(cache: OrderedDict, key):
 
 
 def _store(cache: OrderedDict, key, value) -> None:
-    global _misses
+    global _misses, _evictions
     _misses += 1
     cache[key] = value
-    while len(cache) > MAX_ENTRIES:
+    while len(cache) > _max_entries:
         cache.popitem(last=False)
+        _evictions += 1
 
 
 def laplace_eval(dist, s) -> np.ndarray:
@@ -120,6 +151,7 @@ def laplace_eval(dist, s) -> np.ndarray:
     several models (or evaluated at the same quadrature nodes twice) is
     computed once.  The returned array is read-only.
     """
+    _calls["laplace"] += 1
     s = np.asarray(s, dtype=complex)
     token = dist.cache_token() if _enabled else None
     if token is None:
@@ -142,6 +174,7 @@ def cached_grid(dist, dt: float, n: int, compute):
     on a miss.  Grid PMFs hold read-only probability arrays, so a shared
     instance is safe to return.
     """
+    _calls["grid"] += 1
     token = dist.cache_token() if _enabled else None
     if token is None:
         return compute()
@@ -160,6 +193,7 @@ def cached_inversion(dist, method: str, terms: int, mollify_width: float, t: np.
     Keyed on the distribution's value token plus every inversion knob
     and the (flattened) evaluation times; returns a read-only array.
     """
+    _calls["inversion"] += 1
     token = dist.cache_token() if _enabled else None
     if token is None:
         return compute()

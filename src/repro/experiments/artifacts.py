@@ -4,8 +4,11 @@
 ``cosmodel reproduce``) runs the complete reproduction -- Fig 5, Fig 6,
 Fig 7, Tables I/II, the ablations, the assumption studies and the
 whole-CDF validation -- and writes each as a plain-text artifact plus a
-``MANIFEST.txt`` with the run configuration.  This is the command a
-reviewer runs to regenerate everything the repository claims.
+``MANIFEST.txt`` with the run configuration and a structured
+``MANIFEST.txt.manifest.json`` provenance sidecar (git SHA, config
+hash, package versions, timings, eval-cache counters; render it with
+``cosmodel report``).  This is the command a reviewer runs to
+regenerate everything the repository claims.
 """
 
 from __future__ import annotations
@@ -47,6 +50,9 @@ def generate_all(
         scenario_s16,
     )
 
+    from repro.obs import build_manifest, write_manifest
+    from repro.obs.manifest import RunTimer
+
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     written: list[str] = []
@@ -56,6 +62,8 @@ def generate_all(
         path.write_text(text + "\n")
         written.append(name)
 
+    timer = RunTimer()
+    timer.__enter__()
     t_start = time.time()
     s1, s16 = scenario_s1(scale), scenario_s16(scale)
 
@@ -106,6 +114,19 @@ def generate_all(
     ]
     (out / "MANIFEST.txt").write_text("\n".join(manifest) + "\n")
     written.append("MANIFEST.txt")
+    timer.__exit__()
+    sidecar = write_manifest(
+        build_manifest(
+            command=f"cosmodel reproduce --scale {scale} --seed {seed}",
+            seed=seed,
+            config={"scale": scale, "jobs": jobs},
+            wall_s=timer.wall_s,
+            cpu_s=timer.cpu_s,
+            extra={"files": written},
+        ),
+        out / "MANIFEST.txt",
+    )
+    written.append(sidecar.name)
     return written
 
 

@@ -272,6 +272,7 @@ def _run_episode(
     fault: str,
     factor: float,
     install: bool,
+    tracer=None,
 ):
     """One warm-settle-window episode.
 
@@ -280,10 +281,15 @@ def _run_episode(
     window start) in both episodes so their traces segment identically;
     only ``install`` decides whether the faults actually fire.  Returns
     ``(schedule, phases, baseline_metrics, window_table)``.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) records per-request spans;
+    the phase tag advances at each phase boundary via marker events in
+    the kernel, which touch no random stream -- so a traced episode is
+    bit-identical to an untraced one.
     """
     root = np.random.SeedSequence(seed)
     cluster_seed, trace_seed = root.spawn(2)
-    cluster = Cluster(scenario.cluster, catalog.sizes, seed=cluster_seed)
+    cluster = Cluster(scenario.cluster, catalog.sizes, seed=cluster_seed, tracer=tracer)
     gen = WikipediaTraceGenerator(catalog, rng=np.random.default_rng(trace_seed))
     cluster.warm_caches(gen.warmup_accesses(scenario.warm_accesses))
     driver = OpenLoopDriver(cluster)
@@ -297,6 +303,11 @@ def _run_episode(
     phases = schedule.phases(t0, t1)
     if phases[0].name != "before":
         raise RuntimeError("fault schedule must leave a pre-fault phase")
+    if tracer is not None:
+        for phase in phases:
+            cluster.sim.schedule_at(
+                phase.start, tracer.set_phase, phase.name, phase.start
+            )
 
     cluster.reset_window_counters()
     baseline = None
@@ -322,13 +333,16 @@ def run_fault_scenario(
     scenario: Scenario | None = None,
     calibration: CalibrationBundle | None = None,
     disk_queue: str = "mm1k",
+    tracer=None,
 ) -> FaultRunResult:
     """Run one fault scenario (fault episode + control episode) and
     compare observation with both predictors, per phase.
 
     ``scenario``/``calibration`` may be supplied to reuse a scaled-down
     scenario (the tests do); by default the named workload at ``scale``
-    is used and calibrated on the spot.
+    is used and calibrated on the spot.  ``tracer`` records per-request
+    spans of the *fault* episode (the one worth attributing); the
+    control episode always runs untraced.
     """
     if scenario is None:
         if workload.lower() == "s1":
@@ -344,7 +358,7 @@ def run_fault_scenario(
 
     catalog = scenario.catalog()
     schedule, phases, baseline, fault_table = _run_episode(
-        scenario, catalog, rate, seed, fault, factor, install=True
+        scenario, catalog, rate, seed, fault, factor, install=True, tracer=tracer
     )
     _, _, _, control_table = _run_episode(
         scenario, catalog, rate, seed, fault, factor, install=False

@@ -96,8 +96,23 @@ def invert_cdf(
         pos = t_flat > 0.0
         out[~pos] = np.where(t_flat[~pos] == 0.0, atom, 0.0)
         if np.any(pos):
-            vals = np.asarray(invert(transform, t_flat[pos], terms=terms), dtype=float)
+            with np.errstate(over="ignore", invalid="ignore"):
+                vals = np.asarray(
+                    invert(transform, t_flat[pos], terms=terms), dtype=float
+                )
+            # Node sums can overflow to NaN for t within a few ULP of
+            # zero (quadrature nodes scale as 1/t).  The t -> 0+ limit
+            # of the CDF is the zero atom; clipping repairs +/-inf.
+            vals[np.isnan(vals)] = atom
             out[pos] = np.clip(vals, atom, 1.0)
+        if out.size > 1:
+            # A CDF is non-decreasing, but truncated-series inversion
+            # (Gibbs ripple near atoms, cancellation at large ``t``) can
+            # produce tiny local inversions.  Enforce monotonicity with a
+            # running max taken in time order -- a stable argsort handles
+            # unsorted ``t`` without reordering the caller's output.
+            order = np.argsort(t_flat, kind="stable")
+            out[order] = np.maximum.accumulate(out[order])
         return out
 
     # Whole-inversion memo: repeated SLA evaluations of value-identical

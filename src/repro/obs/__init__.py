@@ -1,0 +1,40 @@
+"""Observability plane: tracing, streaming histograms, manifests, profiling.
+
+Four cooperating, individually-optional facilities that make a run
+diagnosable after the fact:
+
+* :mod:`repro.obs.trace` -- per-request span tracing through the
+  simulated system (accept wait, frontend queueing, backend union-op
+  phases, chunk sends, raw disk operations), emitted as JSONL.  Tracing
+  is **zero-overhead when disabled**: every hook site is a single
+  ``if tracer is not None`` check and no tracer ever touches a random
+  stream, so traced and untraced runs are bit-identical in results.
+* :mod:`repro.obs.hist` -- :class:`~repro.obs.hist.LatencyHistogram`, a
+  pure-python HdrHistogram-style log-bucketed latency store: bounded
+  memory at any request volume, arbitrary percentile queries with a
+  known relative-error bound, mergeable across worker processes.
+* :mod:`repro.obs.manifest` -- provenance sidecars for experiment
+  artifacts: git SHA, seed, config hash, package versions, wall/CPU
+  time and evaluation-cache counters.
+* :mod:`repro.obs.profiling` -- per-stage wall timers and counters for
+  the model evaluation pipeline.
+
+``cosmodel report <artifact>`` (see :mod:`repro.obs.report`) renders
+any of the produced artifacts -- a trace, a histogram dump, a manifest
+-- as a summary table.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.hist import LatencyHistogram
+from repro.obs.manifest import build_manifest, manifest_path_for, write_manifest
+from repro.obs.profiling import StageProfiler
+from repro.obs.trace import Tracer, read_trace
+
+__all__ = [
+    "Tracer",
+    "read_trace",
+    "LatencyHistogram",
+    "build_manifest",
+    "write_manifest",
+    "manifest_path_for",
+    "StageProfiler",
+]

@@ -1,0 +1,104 @@
+"""Model profiling hooks: per-stage wall timers and counters.
+
+The model is a pipeline -- build composites, evaluate transforms,
+invert CDFs -- and when a prediction is slow or wrong the first
+question is *where the time and the evaluations went*.  A
+:class:`StageProfiler` answers it without touching the model code:
+wrap each stage in :meth:`stage`, bump :meth:`count` for discrete
+events, then render :meth:`report_rows` or fold :meth:`snapshot` into
+a run manifest.
+
+The evaluation-layer counters (transform evaluations, inversion calls,
+cache hits/misses/evictions) live in
+:func:`repro.distributions.evalcache.stats`; :meth:`snapshot` merges a
+delta of them so one profile shows both wall time and cache behaviour
+per run.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["StageProfiler"]
+
+
+class StageProfiler:
+    """Accumulates per-stage wall time, call counts and event counters."""
+
+    __slots__ = ("stages", "counters", "_cache_base")
+
+    def __init__(self) -> None:
+        self.stages: dict[str, list[float]] = {}  # name -> [calls, wall_s]
+        self.counters: dict[str, int] = {}
+        self._cache_base = self._cache_stats()
+
+    @staticmethod
+    def _cache_stats() -> dict:
+        from repro.distributions import evalcache
+
+        return evalcache.stats()
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def stage(self, name: str):
+        """Time one pipeline stage (re-entrant by name, additive)."""
+        t0 = time.perf_counter()
+        try:
+            yield self
+        finally:
+            dt = time.perf_counter() - t0
+            cell = self.stages.get(name)
+            if cell is None:
+                self.stages[name] = [1, dt]
+            else:
+                cell[0] += 1
+                cell[1] += dt
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready profile: stages, counters, eval-cache delta."""
+        current = self._cache_stats()
+        delta = {
+            k: current[k] - self._cache_base.get(k, 0)
+            for k in current
+            if isinstance(current[k], int)
+        }
+        return {
+            "stages": {
+                name: {"calls": calls, "wall_s": round(wall, 6)}
+                for name, (calls, wall) in self.stages.items()
+            },
+            "counters": dict(self.counters),
+            "evalcache_delta": delta,
+        }
+
+    def report_rows(self) -> list[tuple[str, int, float]]:
+        """``(stage, calls, wall_s)`` rows, slowest first."""
+        return sorted(
+            ((n, c, w) for n, (c, w) in self.stages.items()),
+            key=lambda row: -row[2],
+        )
+
+    def render(self) -> str:
+        """Small human-readable table of the profile."""
+        lines = [f"  {'stage':28s} {'calls':>7s} {'wall (s)':>9s}"]
+        lines.append("  " + "-" * 46)
+        for name, calls, wall in self.report_rows():
+            lines.append(f"  {name:28s} {calls:>7d} {wall:>9.4f}")
+        snap = self.snapshot()
+        if snap["counters"]:
+            lines.append("")
+            for name, n in sorted(snap["counters"].items()):
+                lines.append(f"  {name:36s} {n:>9d}")
+        delta = snap["evalcache_delta"]
+        if any(delta.values()):
+            lines.append("")
+            lines.append(
+                "  evalcache: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(delta.items()) if v)
+            )
+        return "\n".join(lines)

@@ -1,0 +1,200 @@
+"""``cosmodel report``: render observability artifacts as tables.
+
+One entry point, :func:`render_report`, that recognises the artifact by
+content:
+
+* a **trace** (JSON Lines of span records, see :mod:`repro.obs.trace`)
+  renders per-fault-phase latency attribution -- request counts, mean
+  per-stage breakdown, histogram percentiles -- plus a per-device disk
+  operation table;
+* a **manifest** (``*.manifest.json`` sidecar) renders its provenance
+  fields and eval-cache counters;
+* a **histogram dump** (:meth:`LatencyHistogram.to_dict`) renders the
+  headline percentiles and the accuracy bound.
+
+For any other file the reporter looks for a ``<file>.manifest.json``
+sidecar and renders that, so ``cosmodel report results/fig6.txt`` does
+the right thing for plain-text artifacts too.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.hist import LatencyHistogram
+from repro.obs.manifest import MANIFEST_KIND, manifest_path_for
+from repro.obs.trace import read_trace
+
+__all__ = [
+    "render_report",
+    "render_trace_report",
+    "render_manifest",
+    "render_histogram",
+]
+
+#: Percentiles every latency table reports.
+PERCENTILES = (0.50, 0.90, 0.99, 0.999)
+
+
+def _hist() -> LatencyHistogram:
+    return LatencyHistogram(min_value=1e-6, max_value=1e4, buckets_per_decade=64)
+
+
+def render_trace_report(events) -> str:
+    """Per-phase latency attribution + disk-op table from span records."""
+    requests: dict[str, list[dict]] = {}
+    disk: dict[tuple[int, str], list[float]] = {}
+    kind_counts: dict[str, int] = {}
+    for e in events:
+        kind_counts[e["k"]] = kind_counts.get(e["k"], 0) + 1
+        if e["k"] == "request":
+            requests.setdefault(e.get("ph", ""), []).append(e)
+        elif e["k"] == "disk":
+            disk.setdefault((e["dev"], e["op"]), []).append(e["svc"])
+
+    lines = [
+        "trace summary: "
+        + ", ".join(f"{n} {k}" for k, n in sorted(kind_counts.items())),
+        "",
+    ]
+    if requests:
+        head = (
+            f"  {'phase':10s} {'n':>6s} {'mean':>8s} {'p50':>8s} {'p99':>8s}"
+            f" {'p999':>8s} {'Sq':>8s} {'Wa':>8s} {'Sbe':>8s}   (ms)"
+        )
+        lines.append("per-phase latency attribution (read requests):")
+        lines.append(head)
+        lines.append("  " + "-" * (len(head) - 2))
+        # The empty tag marks spans recorded before any phase marker
+        # (e.g. the settle period of a fault episode); with no markers
+        # at all it simply covers the whole run.
+        untagged = "(all)" if set(requests) == {""} else "(settle)"
+        for phase in sorted(requests):
+            rows = [r for r in requests[phase] if not r.get("write")]
+            if not rows:
+                continue
+            hist = _hist()
+            for r in rows:
+                hist.record(max(r["t1"] - r["t0"], 0.0))
+            p50, p99, p999 = (hist.quantile(q) for q in (0.5, 0.99, 0.999))
+
+            def ms_mean(key: str) -> float:
+                return 1e3 * sum(r[key] for r in rows) / len(rows)
+
+            lines.append(
+                f"  {phase or untagged:10s} {len(rows):>6d}"
+                f" {hist.mean() * 1e3:>8.2f} {p50 * 1e3:>8.2f}"
+                f" {p99 * 1e3:>8.2f} {p999 * 1e3:>8.2f}"
+                f" {ms_mean('fe_sojourn'):>8.2f}"
+                f" {ms_mean('accept_wait'):>8.2f}"
+                f" {ms_mean('be_response'):>8.2f}"
+            )
+        lines.append("")
+    if disk:
+        lines.append("disk operations (service time, ms):")
+        head = f"  {'device':>6s} {'op':>6s} {'n':>7s} {'mean':>8s} {'p99':>8s}"
+        lines.append(head)
+        lines.append("  " + "-" * (len(head) - 2))
+        for (dev, op) in sorted(disk):
+            svcs = disk[(dev, op)]
+            hist = _hist()
+            for s in svcs:
+                hist.record(max(s, 0.0))
+            lines.append(
+                f"  {dev:>6d} {op:>6s} {len(svcs):>7d}"
+                f" {hist.mean() * 1e3:>8.2f} {hist.quantile(0.99) * 1e3:>8.2f}"
+            )
+    return "\n".join(lines)
+
+
+def render_manifest(doc: dict) -> str:
+    versions = doc.get("versions") or {}
+    cache = doc.get("evalcache") or {}
+    rows = [
+        ("command", doc.get("command")),
+        ("created (unix)", doc.get("created_unix")),
+        ("git SHA", doc.get("git_sha")),
+        ("seed", doc.get("seed")),
+        ("config hash", doc.get("config_hash")),
+        ("wall time (s)", doc.get("wall_s")),
+        ("CPU time (s)", doc.get("cpu_s")),
+        ("python / numpy / scipy",
+         " / ".join(str(versions.get(k)) for k in ("python", "numpy", "scipy"))),
+    ]
+    lines = ["run manifest:"]
+    for name, value in rows:
+        if value is not None:
+            lines.append(f"  {name:24s} {value}")
+    if cache:
+        lines.append("  evalcache counters:")
+        for key in sorted(cache):
+            lines.append(f"    {key:22s} {cache[key]}")
+    if doc.get("extra"):
+        lines.append("  extra:")
+        for key, value in sorted(doc["extra"].items()):
+            lines.append(f"    {key:22s} {value}")
+    return "\n".join(lines)
+
+
+def render_histogram(doc: dict) -> str:
+    hist = LatencyHistogram.from_dict(doc)
+    lines = [
+        f"latency histogram: n={hist.count}, mean={hist.mean() * 1e3:.2f} ms, "
+        f"relative error <= {hist.relative_error_bound:.2%}",
+    ]
+    for q in PERCENTILES:
+        lines.append(f"  p{q * 100:g}".ljust(10) + f"{hist.quantile(q) * 1e3:10.2f} ms")
+    return "\n".join(lines)
+
+
+def _looks_like_histogram(doc: dict) -> bool:
+    return {"min_value", "max_value", "buckets_per_decade", "counts"} <= doc.keys()
+
+
+def render_report(path: str) -> str:
+    """Dispatch on the artifact's content; see module docstring."""
+    p = Path(path)
+    if not p.exists():
+        raise FileNotFoundError(f"no such artifact: {path}")
+    text = p.read_text()
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        first_line = stripped.splitlines()[0]
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError:
+            doc = None
+        if isinstance(doc, dict):
+            sections = []
+            if doc.get("kind") == MANIFEST_KIND:
+                return render_manifest(doc)
+            if _looks_like_histogram(doc):
+                return render_histogram(doc)
+            # JSONL traces also start with "{" but fail whole-file JSON
+            # parsing (multiple documents); fall through below.
+            sections.append(f"artifact: {p.name} (JSON)")
+            sidecar = manifest_path_for(p)
+            if sidecar.exists():
+                sections.append(render_manifest(json.loads(sidecar.read_text())))
+            else:
+                sections.append("  (no manifest sidecar)")
+            if "phases" in doc:
+                sections.append(
+                    "  phases: "
+                    + ", ".join(ph.get("phase", "?") for ph in doc["phases"])
+                )
+            return "\n\n".join(sections)
+        if doc is None and first_line.startswith("{"):
+            return render_trace_report(read_trace(p))
+    # Plain-text artifact: report its sidecar if one exists.
+    sidecar = manifest_path_for(p)
+    if sidecar.exists():
+        return (
+            f"artifact: {p.name}\n\n"
+            + render_manifest(json.loads(sidecar.read_text()))
+        )
+    raise ValueError(
+        f"unrecognised artifact {path!r}: not a trace (.jsonl), manifest, "
+        "histogram dump, or a file with a .manifest.json sidecar"
+    )

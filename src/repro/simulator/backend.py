@@ -159,9 +159,14 @@ class StorageProcess:
         """
         dev = self.device
         now = self.sim.now
+        tracer = dev.tracer
         while dev.pool:
             conn = dev.pool.popleft()
             conn.request.accepted_time = now
+            if tracer is not None:
+                tracer.accept_span(
+                    conn.request.rid, dev.device_id, conn.request.connect_time, now
+                )
             self._receive_request(conn.request)
         while dev.syn_queue and len(dev.pool) < dev.listen_backlog:
             dev.pool.append(dev.syn_queue.popleft())
@@ -273,6 +278,7 @@ class StorageDevice:
         "on_write_ack",
         "scanner",
         "failed",
+        "tracer",
         "_rng",
         "_rr",
     )
@@ -322,6 +328,9 @@ class StorageDevice:
         #: frontend routing.  In-flight work still completes, and the
         #: caches survive to recovery (warm restart).
         self.failed = False
+        #: Optional :class:`repro.obs.trace.Tracer` (wired by the
+        #: cluster; ``None`` = tracing off, zero added work).
+        self.tracer = None
         self._rng = rng
         self._rr = 0
 
@@ -369,7 +378,7 @@ class StorageDevice:
             cont(req)
         else:
             self.counters.index_misses += 1
-            self.disk.submit(OP_INDEX, INDEX_ENTRY_BYTES, lambda: cont(req))
+            self.disk.submit(OP_INDEX, INDEX_ENTRY_BYTES, lambda: cont(req), req.rid)
 
     def read_meta(self, req: Request, cont) -> None:
         if self.meta_cache.access(req.object_id, META_ENTRY_BYTES):
@@ -377,7 +386,7 @@ class StorageDevice:
             cont(req)
         else:
             self.counters.meta_misses += 1
-            self.disk.submit(OP_META, META_ENTRY_BYTES, lambda: cont(req))
+            self.disk.submit(OP_META, META_ENTRY_BYTES, lambda: cont(req), req.rid)
 
     def read_chunk(self, req: Request, idx: int, cont) -> None:
         self.counters.chunk_reads += 1
@@ -387,7 +396,7 @@ class StorageDevice:
             cont(req)
         else:
             self.counters.data_misses += 1
-            self.disk.submit(OP_DATA, nbytes, lambda: cont(req))
+            self.disk.submit(OP_DATA, nbytes, lambda: cont(req), req.rid)
 
     # ------------------------------------------------------------------
     # durable writes (PUT path)
@@ -399,7 +408,7 @@ class StorageDevice:
         self.counters.chunk_writes += 1
         nbytes = self.chunk_size_of(req, idx)
         self.data_cache.access((req.object_id, idx), nbytes)
-        self.disk.submit(OP_WRITE, nbytes, lambda: cont(req, idx))
+        self.disk.submit(OP_WRITE, nbytes, lambda: cont(req, idx), req.rid)
 
     def finalize_write(self, req: Request, cont) -> None:
         """Commit the object's metadata (inode + xattrs) after the last
@@ -408,7 +417,7 @@ class StorageDevice:
         self.index_cache.access(req.object_id, INDEX_ENTRY_BYTES)
         self.meta_cache.access(req.object_id, META_ENTRY_BYTES)
         self.disk.submit(
-            OP_WRITE, INDEX_ENTRY_BYTES + META_ENTRY_BYTES, lambda: cont(req)
+            OP_WRITE, INDEX_ENTRY_BYTES + META_ENTRY_BYTES, lambda: cont(req), req.rid
         )
 
     def delete_object(self, req: Request, cont) -> None:
@@ -421,7 +430,7 @@ class StorageDevice:
         n_chunks = max(1, -(-size // self.chunk_bytes))
         for idx in range(n_chunks):
             self.data_cache.evict((req.object_id, idx))
-        self.disk.submit(OP_WRITE, 512, lambda: cont(req))
+        self.disk.submit(OP_WRITE, 512, lambda: cont(req), req.rid)
 
     def send_write_ack(self, req: Request) -> None:
         """Acknowledge this replica's durable write to the frontend."""
@@ -451,6 +460,16 @@ class StorageDevice:
         start = now if req.stream_clock < now else req.stream_clock
         depart = start + nbytes / self.network.bandwidth
         req.stream_clock = depart
+        if self.tracer is not None:
+            self.tracer.send_span(
+                req.rid,
+                self.device_id,
+                idx,
+                start,
+                depart + self.network.latency,
+                is_first,
+                is_last,
+            )
         if is_first:
             self.sim.schedule_at(
                 start + self.network.latency, self.deliver_first_byte, req

@@ -121,6 +121,8 @@ class Cluster:
         *,
         record_disk_samples: bool = False,
         ring: HashRing | None = None,
+        tracer=None,
+        latency_store: str = "exact",
     ) -> None:
         self.config = config
         self.object_sizes = np.asarray(object_sizes, dtype=np.int64)
@@ -129,7 +131,13 @@ class Cluster:
             raise ValueError("object sizes must be positive")
         self.sim = Simulator()
         self.rng = RngStreams(seed)
-        self.metrics = MetricsRecorder(record_disk_samples=record_disk_samples)
+        #: Optional :class:`repro.obs.trace.Tracer`.  ``None`` (default)
+        #: keeps every hook site on its zero-work branch; a tracer never
+        #: touches a random stream, so traced runs stay bit-identical.
+        self.tracer = tracer
+        self.metrics = MetricsRecorder(
+            record_disk_samples=record_disk_samples, latency_store=latency_store
+        )
         if ring is not None:
             # An injected ring (the parallel sweep ships one placement to
             # every worker) must match this cluster's geometry.
@@ -215,7 +223,13 @@ class Cluster:
                 accept_overhead=config.accept_overhead,
                 listen_backlog=config.listen_backlog,
             )
-            dev.on_complete = self.metrics.record_request
+            if tracer is None:
+                dev.on_complete = self.metrics.record_request
+            else:
+                dev.on_complete = self._traced_complete
+                dev.tracer = tracer
+                disk.tracer = tracer
+                disk.trace_dev = d
             dev.on_write_ack = self._handle_write_ack
             dev.scanner = self.scanners[server]
             self.devices.append(dev)
@@ -234,6 +248,9 @@ class Cluster:
             )
             for f in range(config.n_frontend_processes)
         ]
+        if tracer is not None:
+            for fe in self.frontends:
+                fe.tracer = tracer
         self._lb = BufferedIntegers(
             self.rng.stream("load-balancer"), len(self.frontends)
         )
@@ -298,6 +315,12 @@ class Cluster:
         fe.submit(req)
         return req
 
+    def _traced_complete(self, req: Request) -> None:
+        """``on_complete`` shim when tracing is on: emit the request span
+        before the metrics row so the trace orders summaries last."""
+        self.tracer.request_span(req)
+        self.metrics.record_request(req)
+
     def _handle_write_ack(self, req: Request) -> None:
         """Quorum tracking for replicated writes: respond to the client
         (and record the request) when the majority has acked."""
@@ -305,6 +328,8 @@ class Cluster:
         if req.write_acks == req.write_quorum:
             req.first_byte_time = self.sim.now
             req.completion_time = self.sim.now
+            if self.tracer is not None:
+                self.tracer.request_span(req)
             self.metrics.record_request(req)
 
     def schedule_arrivals(

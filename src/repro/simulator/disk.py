@@ -209,6 +209,8 @@ class Disk:
         "ops_served",
         "slowdown",
         "_stall_until",
+        "tracer",
+        "trace_dev",
     )
 
     def __init__(
@@ -222,13 +224,17 @@ class Disk:
         self.profile = profile
         self.rng = rng
         self.sampler = ServiceTimeSampler(profile, rng)
-        self._queue: deque[tuple[str, int, Callable]] = deque()
+        self._queue: deque[tuple[str, int, Callable, int, float]] = deque()
         self._busy = False
         self.recorder = recorder
         self.ops_served = 0
         #: Fault-injection service-time multiplier (1.0 = healthy).
         self.slowdown = 1.0
         self._stall_until = 0.0
+        #: Optional :class:`repro.obs.trace.Tracer` plus the device id to
+        #: stamp into disk spans (wired by the cluster; ``None`` = off).
+        self.tracer = None
+        self.trace_dev = -1
 
     @property
     def queue_length(self) -> int:
@@ -257,13 +263,16 @@ class Disk:
         if until > self._stall_until:
             self._stall_until = until
 
-    def submit(self, kind: str, nbytes: int, done: Callable) -> None:
+    def submit(self, kind: str, nbytes: int, done: Callable, tag: int = -1) -> None:
+        """Enqueue one operation; ``tag`` labels trace spans (request id)."""
         if self._busy:
-            self._queue.append((kind, nbytes, done))
+            self._queue.append((kind, nbytes, done, tag, self.sim.now))
             return
-        self._start(kind, nbytes, done)
+        self._start(kind, nbytes, done, tag, self.sim.now)
 
-    def _start(self, kind: str, nbytes: int, done: Callable) -> None:
+    def _start(
+        self, kind: str, nbytes: int, done: Callable, tag: int, t_submit: float
+    ) -> None:
         self._busy = True
         service = self.sampler.sample(kind, nbytes)
         if self.slowdown != 1.0:
@@ -271,16 +280,21 @@ class Disk:
         if self.recorder is not None:
             self.recorder.record_disk_op(kind, service)
         delay = service
-        if self._stall_until > self.sim.now:
+        now = self.sim.now
+        if self._stall_until > now:
             # Frozen controller: the operation occupies the disk for the
             # remaining stall on top of its own service time.
-            delay += self._stall_until - self.sim.now
+            delay += self._stall_until - now
+        if self.tracer is not None:
+            self.tracer.disk_span(
+                tag, self.trace_dev, kind, t_submit, now, now + delay
+            )
         self.sim.schedule(delay, self._complete, done)
 
     def _complete(self, done: Callable) -> None:
         self.ops_served += 1
         self._busy = False
         if self._queue:
-            kind, nbytes, next_done = self._queue.popleft()
-            self._start(kind, nbytes, next_done)
+            kind, nbytes, next_done, tag, t_submit = self._queue.popleft()
+            self._start(kind, nbytes, next_done, tag, t_submit)
         done()

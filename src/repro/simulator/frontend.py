@@ -52,6 +52,7 @@ class FrontendProcess:
         "max_retries",
         "timeouts_fired",
         "fault_filter",
+        "tracer",
         "_rng",
     )
 
@@ -87,6 +88,9 @@ class FrontendProcess:
         # a fail-stop; off, routing never inspects device liveness (and
         # consumes exactly the same RNG stream as before faults existed).
         self.fault_filter = False
+        #: Optional :class:`repro.obs.trace.Tracer` (wired by the
+        #: cluster; ``None`` = tracing off).
+        self.tracer = None
         self._rng = rng
 
     # ------------------------------------------------------------------
@@ -109,6 +113,10 @@ class FrontendProcess:
         self.sim.schedule(parse_time, self._after_parse, req)
 
     def _after_parse(self, req: Request) -> None:
+        if self.tracer is not None:
+            self.tracer.frontend_span(
+                req.rid, self.fid, req.arrival_time, self.sim.now
+            )
         if req.is_write:
             self._send_write(req)
         else:
@@ -146,6 +154,8 @@ class FrontendProcess:
         req.retries += 1
         req.timed_out = True
         self.timeouts_fired += 1
+        if self.tracer is not None:
+            self.tracer.timeout_event(req.rid, device_id, attempt, self.sim.now)
         self._send_read(req, exclude=device_id)
 
     # ------------------------------------------------------------------

@@ -10,20 +10,33 @@ Collects three families of observations:
   Section IV calibration;
 * the window utilities that turn request rows into the paper's
   "percentile of requests meeting SLA per 5-minute window" series.
+
+Two latency stores are available.  ``latency_store="exact"`` keeps the
+full per-request row list -- required by the golden tests and by any
+reduction that windows rows by arrival time.  ``"histogram"`` streams
+each completed request's latencies into bounded
+:class:`~repro.obs.hist.LatencyHistogram` stores instead (one per
+latency family), which is the right default for long heavy-traffic
+runs: memory stays fixed no matter how many requests complete, and any
+percentile remains answerable within one log-bucket width.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 
 import numpy as np
 
 from repro.simulator.request import Request
 
+from scipy.stats import norm as _norm
+
 __all__ = [
     "MetricsRecorder",
     "RequestTable",
     "PhaseStats",
+    "HISTOGRAM_FAMILIES",
     "sla_percentile",
     "sla_percentile_ci",
     "phase_attribution",
@@ -75,10 +88,30 @@ class RequestTable:
 
 
 def sla_percentile(latencies: np.ndarray, sla_seconds: float) -> float:
-    """Observed fraction of requests meeting the SLA."""
+    """Observed fraction of requests meeting the SLA.
+
+    An empty window carries NaN (not an exception): a windowed series
+    over a saturated or timed-out tail can legitimately contain windows
+    in which no request completed, and the :class:`PhaseStats` contract
+    is that such windows propagate NaN statistics.
+    """
     if latencies.size == 0:
-        raise ValueError("no requests observed in window")
+        return float("nan")
     return float(np.count_nonzero(latencies <= sla_seconds)) / latencies.size
+
+
+#: Memoised Wilson ``z`` values per confidence level.  ``norm.ppf`` is
+#: pure in its argument and costs microseconds that add up in the hot
+#: windowing loop (one CI per window per phase per sweep point).
+_Z_CACHE: dict[float, float] = {}
+
+
+def _wilson_z(confidence: float) -> float:
+    z = _Z_CACHE.get(confidence)
+    if z is None:
+        z = float(_norm.ppf(0.5 + confidence / 2.0))
+        _Z_CACHE[confidence] = z
+    return z
 
 
 def sla_percentile_ci(
@@ -90,15 +123,15 @@ def sla_percentile_ci(
     sensibly at the extremes (estimates of 0 or 1 still get non-trivial
     bounds), which matters for the near-saturation windows where almost
     nothing meets the SLA and for light-load windows where almost
-    everything does.
+    everything does.  An empty window returns ``(nan, nan, nan)``.
     """
     if not 0.0 < confidence < 1.0:
         raise ValueError(f"confidence must be in (0, 1), got {confidence}")
     n = latencies.size
     p = sla_percentile(latencies, sla_seconds)
-    from scipy import stats as _stats
-
-    z = float(_stats.norm.ppf(0.5 + confidence / 2.0))
+    if math.isnan(p):
+        return p, p, p
+    z = _wilson_z(confidence)
     denom = 1.0 + z * z / n
     centre = (p + z * z / (2 * n)) / denom
     half = (z / denom) * np.sqrt(p * (1 - p) / n + z * z / (4 * n * n))
@@ -171,18 +204,63 @@ def phase_attribution(
     return tuple(out)
 
 
+#: Latency families kept by the histogram store, in breakdown order.
+HISTOGRAM_FAMILIES = (
+    "response",
+    "full",
+    "accept_wait",
+    "frontend_sojourn",
+    "backend_response",
+)
+
+
 class MetricsRecorder:
-    """Accumulates request completions and disk-op samples."""
+    """Accumulates request completions and disk-op samples.
 
-    __slots__ = ("_rows", "_disk_samples", "record_disk_samples")
+    ``latency_store`` selects the request accumulator: ``"exact"``
+    keeps one row per request (windowable, golden-exact, unbounded
+    memory); ``"histogram"`` streams each latency family into a bounded
+    :class:`~repro.obs.hist.LatencyHistogram` instead (fixed memory,
+    percentiles within one log-bucket width, mergeable across worker
+    processes).  Histogram mode keeps no rows, so :meth:`requests`
+    raises there -- reductions go through :meth:`histogram`.
+    """
 
-    def __init__(self, *, record_disk_samples: bool = True) -> None:
+    __slots__ = (
+        "_rows",
+        "_disk_samples",
+        "record_disk_samples",
+        "latency_store",
+        "_hists",
+        "_hist_count",
+    )
+
+    def __init__(
+        self,
+        *,
+        record_disk_samples: bool = True,
+        latency_store: str = "exact",
+    ) -> None:
+        if latency_store not in ("exact", "histogram"):
+            raise ValueError(
+                f"latency_store must be 'exact' or 'histogram', got {latency_store!r}"
+            )
         self._rows: list[tuple] = []
         self._disk_samples: dict[str, list[float]] = {}
         self.record_disk_samples = record_disk_samples
+        self.latency_store = latency_store
+        self._hists = None
+        self._hist_count = 0
+        if latency_store == "histogram":
+            from repro.obs.hist import LatencyHistogram
+
+            self._hists = {name: LatencyHistogram() for name in HISTOGRAM_FAMILIES}
 
     # ------------------------------------------------------------------
     def record_request(self, req: Request) -> None:
+        if self._hists is not None:
+            self._record_histogram(req)
+            return
         self._rows.append(
             (
                 req.arrival_time,
@@ -198,6 +276,17 @@ class MetricsRecorder:
             )
         )
 
+    def _record_histogram(self, req: Request) -> None:
+        hists = self._hists
+        # Clamp at zero: write-path rows can carry per-replica stage
+        # timestamps that make individual breakdowns non-positive.
+        hists["response"].record(max(req.response_latency, 0.0))
+        hists["full"].record(max(req.full_latency, 0.0))
+        hists["accept_wait"].record(max(req.accept_wait, 0.0))
+        hists["frontend_sojourn"].record(max(req.frontend_sojourn, 0.0))
+        hists["backend_response"].record(max(req.backend_response, 0.0))
+        self._hist_count += 1
+
     def record_disk_op(self, kind: str, service_time: float) -> None:
         if not self.record_disk_samples:
             return
@@ -206,9 +295,37 @@ class MetricsRecorder:
     # ------------------------------------------------------------------
     @property
     def n_requests(self) -> int:
+        if self._hists is not None:
+            return self._hist_count
         return len(self._rows)
 
+    def histogram(self, family: str = "response"):
+        """One latency family's :class:`LatencyHistogram` (histogram mode)."""
+        if self._hists is None:
+            raise RuntimeError(
+                "recorder is in exact mode; construct with "
+                "latency_store='histogram' for streaming histograms"
+            )
+        try:
+            return self._hists[family]
+        except KeyError:
+            raise KeyError(
+                f"unknown latency family {family!r}; use one of {HISTOGRAM_FAMILIES}"
+            ) from None
+
+    def histograms(self) -> dict:
+        """Every latency family's histogram (histogram mode only)."""
+        if self._hists is None:
+            raise RuntimeError("recorder is in exact mode; no histograms kept")
+        return dict(self._hists)
+
     def requests(self) -> RequestTable:
+        if self._hists is not None:
+            raise RuntimeError(
+                "request rows are not kept in histogram mode; query "
+                "histogram()/histograms() instead, or construct the "
+                "recorder with latency_store='exact'"
+            )
         if not self._rows:
             empty = np.empty(0)
             iempty = np.empty(0, dtype=int)
@@ -252,7 +369,16 @@ class MetricsRecorder:
     def clear_requests(self) -> None:
         """Drop request rows (window boundaries) but keep disk samples."""
         self._rows.clear()
+        self._reset_histograms()
 
     def clear(self) -> None:
         self._rows.clear()
         self._disk_samples.clear()
+        self._reset_histograms()
+
+    def _reset_histograms(self) -> None:
+        if self._hists is not None:
+            from repro.obs.hist import LatencyHistogram
+
+            self._hists = {name: LatencyHistogram() for name in HISTOGRAM_FAMILIES}
+            self._hist_count = 0

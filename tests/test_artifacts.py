@@ -1,6 +1,7 @@
 """Smoke test for the one-shot artifact generator."""
 
 import dataclasses
+import json
 
 import pytest
 
@@ -52,6 +53,7 @@ EXPECTED = {
     "assumptions.txt",
     "cdf_validation.txt",
     "MANIFEST.txt",
+    "MANIFEST.txt.manifest.json",
 }
 
 
@@ -64,5 +66,13 @@ def test_generate_all(tmp_path, tiny_scenarios):
         assert path.stat().st_size > 0
     manifest = (tmp_path / "results" / "MANIFEST.txt").read_text()
     assert "seed: 1" in manifest
+    sidecar = json.loads(
+        (tmp_path / "results" / "MANIFEST.txt.manifest.json").read_text()
+    )
+    assert sidecar["kind"] == "cosmodel-run-manifest"
+    assert sidecar["seed"] == 1
+    assert sidecar["wall_s"] is not None
+    assert "hits" in sidecar["evalcache"]
+    assert "fig6.txt" in sidecar["extra"]["files"]
     table2 = (tmp_path / "results" / "table2.txt").read_text()
     assert "Table II" in table2 and "odopr" in table2
