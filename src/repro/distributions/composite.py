@@ -35,7 +35,15 @@ from repro.distributions.base import (
     check_probability,
 )
 from repro.distributions.analytic import Degenerate
-from repro.distributions.evalcache import laplace_eval
+from repro.distributions.evalcache import laplace_eval, laplace_many
+
+#: "Token not yet computed" sentinel for the per-instance ``cache_token``
+#: memo below.  ``None`` is a *valid* token value ("uncacheable"), so the
+#: sentinel must be distinct from it -- and composites travel through
+#: pickle (calibration bundles shipped to sweep workers), so it must also
+#: survive a round-trip with its identity intact.  ``False`` is both: no
+#: ``cache_token`` ever returns a bool, and it unpickles to the singleton.
+_UNSET = False
 
 
 def _child_tokens(components) -> tuple | None:
@@ -65,7 +73,7 @@ __all__ = [
 class Mixture(Distribution):
     """Probabilistic mixture ``sum_i w_i F_i`` with weights summing to 1."""
 
-    __slots__ = ("components", "weights")
+    __slots__ = ("components", "weights", "_token")
 
     def __init__(self, components: Sequence[Distribution], weights) -> None:
         weights = np.asarray(weights, dtype=float)
@@ -76,6 +84,7 @@ class Mixture(Distribution):
             raise DistributionError("weights must be non-negative and sum to 1")
         self.components = components
         self.weights = weights / weights.sum()
+        self._token = _UNSET
 
     @classmethod
     def rate_weighted(
@@ -108,16 +117,25 @@ class Mixture(Distribution):
         return all(c.has_laplace for c in self.components)
 
     def cache_token(self) -> tuple | None:
-        children = _child_tokens(self.components)
-        if children is None:
-            return None
-        return ("mix", tuple(self.weights.tolist()), children)
+        # Memoised: the fields are frozen after __init__, and rebuilding
+        # the token walks the whole composite tree (the dominant cost of
+        # a cache *hit* in deep Equation-3 mixtures).
+        token = self._token
+        if token is _UNSET:
+            children = _child_tokens(self.components)
+            token = (
+                None
+                if children is None
+                else ("mix", tuple(self.weights.tolist()), children)
+            )
+            self._token = token
+        return token
 
     def laplace(self, s):
         s = np.asarray(s, dtype=complex)
         out = np.zeros_like(s)
-        for w, c in zip(self.weights, self.components):
-            out = out + w * laplace_eval(c, s)
+        for w, v in zip(self.weights, laplace_many(self.components, s)):
+            out = out + w * v
         return out
 
     def cdf(self, t, **kwargs):
@@ -153,11 +171,12 @@ class ZeroInflated(Distribution):
     index lookup, metadata read and data read under caching.
     """
 
-    __slots__ = ("base", "miss_ratio")
+    __slots__ = ("base", "miss_ratio", "_token")
 
     def __init__(self, base: Distribution, miss_ratio: float) -> None:
         self.base = base
         self.miss_ratio = check_probability("miss_ratio", miss_ratio)
+        self._token = _UNSET
 
     @property
     def mean(self) -> float:
@@ -176,10 +195,12 @@ class ZeroInflated(Distribution):
         return self.base.has_laplace
 
     def cache_token(self) -> tuple | None:
-        base = self.base.cache_token()
-        if base is None:
-            return None
-        return ("zi", self.miss_ratio, base)
+        token = self._token
+        if token is _UNSET:
+            base = self.base.cache_token()
+            token = None if base is None else ("zi", self.miss_ratio, base)
+            self._token = token
+        return token
 
     def laplace(self, s):
         s = np.asarray(s, dtype=complex)
@@ -209,13 +230,14 @@ class ZeroInflated(Distribution):
 class Convolution(Distribution):
     """Sum of independent components; transform is the product."""
 
-    __slots__ = ("components",)
+    __slots__ = ("components", "_token")
 
     def __init__(self, components: Sequence[Distribution]) -> None:
         components = tuple(components)
         if not components:
             raise DistributionError("convolution needs at least one component")
         self.components = components
+        self._token = _UNSET
 
     @property
     def mean(self) -> float:
@@ -239,16 +261,18 @@ class Convolution(Distribution):
         return all(c.has_laplace for c in self.components)
 
     def cache_token(self) -> tuple | None:
-        children = _child_tokens(self.components)
-        if children is None:
-            return None
-        return ("conv", children)
+        token = self._token
+        if token is _UNSET:
+            children = _child_tokens(self.components)
+            token = None if children is None else ("conv", children)
+            self._token = token
+        return token
 
     def laplace(self, s):
         s = np.asarray(s, dtype=complex)
         out = np.ones_like(s)
-        for c in self.components:
-            out = out * laplace_eval(c, s)
+        for v in laplace_many(self.components, s):
+            out = out * v
         return out
 
     def sample(self, rng: np.random.Generator, size=None):
@@ -298,11 +322,12 @@ class PoissonCompound(Distribution):
     once the common ``parse * index * meta * data`` factor is pulled out.
     """
 
-    __slots__ = ("base", "rate")
+    __slots__ = ("base", "rate", "_token")
 
     def __init__(self, base: Distribution, rate: float) -> None:
         self.base = base
         self.rate = check_non_negative("rate", rate)
+        self._token = _UNSET
 
     @property
     def mean(self) -> float:
@@ -324,10 +349,12 @@ class PoissonCompound(Distribution):
         return self.base.has_laplace
 
     def cache_token(self) -> tuple | None:
-        base = self.base.cache_token()
-        if base is None:
-            return None
-        return ("pois", self.rate, base)
+        token = self._token
+        if token is _UNSET:
+            base = self.base.cache_token()
+            token = None if base is None else ("pois", self.rate, base)
+            self._token = token
+        return token
 
     def laplace(self, s):
         s = np.asarray(s, dtype=complex)
@@ -354,13 +381,14 @@ class PoissonCompound(Distribution):
 class Scaled(Distribution):
     """``c * X`` for a positive constant ``c``."""
 
-    __slots__ = ("base", "factor")
+    __slots__ = ("base", "factor", "_token")
 
     def __init__(self, base: Distribution, factor: float) -> None:
         if factor <= 0.0 or not np.isfinite(factor):
             raise DistributionError(f"factor must be positive, got {factor}")
         self.base = base
         self.factor = float(factor)
+        self._token = _UNSET
 
     @property
     def mean(self) -> float:
@@ -379,10 +407,12 @@ class Scaled(Distribution):
         return self.base.has_laplace
 
     def cache_token(self) -> tuple | None:
-        base = self.base.cache_token()
-        if base is None:
-            return None
-        return ("scale", self.factor, base)
+        token = self._token
+        if token is _UNSET:
+            base = self.base.cache_token()
+            token = None if base is None else ("scale", self.factor, base)
+            self._token = token
+        return token
 
     def laplace(self, s):
         s = np.asarray(s, dtype=complex)
@@ -399,11 +429,12 @@ class Scaled(Distribution):
 class Shifted(Distribution):
     """``X + c`` for a non-negative constant ``c``."""
 
-    __slots__ = ("base", "shift")
+    __slots__ = ("base", "shift", "_token")
 
     def __init__(self, base: Distribution, shift: float) -> None:
         self.base = base
         self.shift = check_non_negative("shift", shift)
+        self._token = _UNSET
 
     @property
     def mean(self) -> float:
@@ -422,10 +453,12 @@ class Shifted(Distribution):
         return self.base.has_laplace
 
     def cache_token(self) -> tuple | None:
-        base = self.base.cache_token()
-        if base is None:
-            return None
-        return ("shift", self.shift, base)
+        token = self._token
+        if token is _UNSET:
+            base = self.base.cache_token()
+            token = None if base is None else ("shift", self.shift, base)
+            self._token = token
+        return token
 
     def laplace(self, s):
         s = np.asarray(s, dtype=complex)

@@ -21,12 +21,15 @@ test relies on.
 
 from __future__ import annotations
 
+import contextlib
 from collections import OrderedDict
 
 import numpy as np
 
 __all__ = [
     "laplace_eval",
+    "laplace_many",
+    "s_context",
     "cached_grid",
     "cached_inversion",
     "clear",
@@ -106,6 +109,43 @@ def stats() -> dict:
     }
 
 
+#: Interned quadrature matrix (identity-compared) and its precomputed
+#: ``(shape, bytes)`` key suffix.  An inversion evaluates every node of a
+#: composite tree at *one* ``s`` matrix; registering it via
+#: :func:`s_context` lets each child lookup skip ``s.tobytes()`` and --
+#: because the single ``bytes`` object is reused across keys and CPython
+#: caches ``bytes.__hash__`` -- hash the 10s-of-KB payload exactly once.
+_s_array: np.ndarray | None = None
+_s_key: tuple | None = None
+
+
+@contextlib.contextmanager
+def s_context(s):
+    """Intern ``s`` as the shared quadrature matrix for the duration.
+
+    Yields the canonical complex ndarray; callers must evaluate through
+    that exact object for the interning to apply (``Scaled`` rescales
+    ``s`` and therefore deliberately falls off the fast path).  Contexts
+    nest; the previous interned matrix is restored on exit.
+    """
+    global _s_array, _s_key
+    s = np.asarray(s, dtype=complex)
+    prev = (_s_array, _s_key)
+    _s_array = s
+    _s_key = (s.shape, s.tobytes())
+    try:
+        yield s
+    finally:
+        _s_array, _s_key = prev
+
+
+def _key_suffix(s: np.ndarray) -> tuple:
+    """``(shape, bytes)`` of ``s``, reusing the interned copy when registered."""
+    if s is _s_array:
+        return _s_key
+    return (s.shape, s.tobytes())
+
+
 def _validate_token(dist, token) -> None:
     """Fail loudly on tokens that would corrupt or crash the cache.
 
@@ -157,7 +197,7 @@ def laplace_eval(dist, s) -> np.ndarray:
     if token is None:
         return dist.laplace(s)
     _validate_token(dist, token)
-    key = (token, s.shape, s.tobytes())
+    key = (token,) + _key_suffix(s)
     value = _lookup(_laplace, key)
     if value is None:
         value = np.asarray(dist.laplace(s))
@@ -165,6 +205,41 @@ def laplace_eval(dist, s) -> np.ndarray:
             value.setflags(write=False)
         _store(_laplace, key, value)
     return value
+
+
+def laplace_many(dists, s) -> list:
+    """Evaluate ``laplace`` for every distribution at shared nodes ``s``.
+
+    Batched sibling of :func:`laplace_eval` for the factors of a product
+    (:class:`~repro.distributions.composite.Convolution`) or the branches
+    of a mixture: the ``s`` canonicalisation and key suffix are computed
+    once and shared across all children instead of once per child.  Hit
+    and miss results are byte-identical to per-child :func:`laplace_eval`
+    calls, so swapping one for the other cannot change any artifact.
+    """
+    s = np.asarray(s, dtype=complex)
+    if not _enabled:
+        _calls["laplace"] += len(dists)
+        return [d.laplace(s) for d in dists]
+    suffix = _key_suffix(s)
+    out = []
+    append = out.append
+    for dist in dists:
+        _calls["laplace"] += 1
+        token = dist.cache_token()
+        if token is None:
+            append(dist.laplace(s))
+            continue
+        _validate_token(dist, token)
+        key = (token,) + suffix
+        value = _lookup(_laplace, key)
+        if value is None:
+            value = np.asarray(dist.laplace(s))
+            if value.flags.writeable:
+                value.setflags(write=False)
+            _store(_laplace, key, value)
+        append(value)
+    return out
 
 
 def cached_grid(dist, dt: float, n: int, compute):

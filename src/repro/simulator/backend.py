@@ -39,7 +39,7 @@ from collections import deque
 
 import numpy as np
 
-from repro.distributions import Distribution
+from repro.distributions import Degenerate, Distribution
 from repro.simulator.cache import LruCache
 from repro.simulator.core import Simulator
 from repro.simulator.disk import OP_DATA, OP_INDEX, OP_META, OP_WRITE, Disk
@@ -108,9 +108,16 @@ class DeviceCounters:
 
 
 class StorageProcess:
-    """One event-driven worker: a FCFS queue of heterogeneous operations."""
+    """One event-driven worker: a FCFS queue of heterogeneous operations.
 
-    __slots__ = ("sim", "device", "pid", "queue", "busy")
+    Queue entries are uniform ``(code, req, idx)`` triples dispatched
+    through a per-instance handler tuple, and every continuation has the
+    kernel's two-payload handler signature ``cont(req, idx)`` -- no
+    per-operation closures, no if/elif chains on the hot path.
+    """
+
+    __slots__ = ("sim", "device", "pid", "queue", "busy", "_ops",
+                 "_finish_accept_op", "_parse_op")
 
     def __init__(self, sim: Simulator, device: "StorageDevice", pid: int) -> None:
         self.sim = sim
@@ -118,6 +125,15 @@ class StorageProcess:
         self.pid = pid
         self.queue: deque[tuple] = deque()
         self.busy = False
+        # Indexed by the _OP_* codes.
+        self._ops = (
+            self._run_accept,
+            self._run_start,
+            self._run_chunk,
+            self._run_write_chunk,
+        )
+        self._finish_accept_op = sim.register(self._finish_accept)
+        self._parse_op = sim.register(self._after_parse)
 
     # ------------------------------------------------------------------
     def enqueue(self, op: tuple) -> None:
@@ -126,28 +142,21 @@ class StorageProcess:
             self._next()
 
     def _next(self) -> None:
-        if not self.queue:
+        q = self.queue
+        if not q:
             self.busy = False
             return
         self.busy = True
-        op = self.queue.popleft()
-        code = op[0]
-        if code == _OP_START:
-            self._run_start(op[1])
-        elif code == _OP_CHUNK:
-            self._run_chunk(op[1], op[2])
-        elif code == _OP_WCHUNK:
-            self._run_write_chunk(op[1], op[2])
-        else:
-            self._run_accept()
+        code, req, idx = q.popleft()
+        self._ops[code](req, idx)
 
     # ------------------------------------------------------------------
     # accept()
     # ------------------------------------------------------------------
-    def _run_accept(self) -> None:
-        self.sim.schedule(self.device.accept_overhead, self._finish_accept)
+    def _run_accept(self, _req, _idx) -> None:
+        self.sim.schedule_op(self.device.accept_overhead, self._finish_accept_op)
 
-    def _finish_accept(self) -> None:
+    def _finish_accept(self, _a=None, _b=None) -> None:
         """Batch-accept: drain the whole backlog into this process.
 
         The frontend sent each HTTP request as soon as its connect()
@@ -172,26 +181,26 @@ class StorageProcess:
             dev.pool.append(dev.syn_queue.popleft())
         if dev.pool:
             dev.accept_pending = True
-            dev._choose_acceptor().enqueue((_OP_ACCEPT,))
+            dev._choose_acceptor().enqueue((_OP_ACCEPT, None, 0))
         else:
             dev.accept_pending = False
         self._next()
 
     def _receive_request(self, req: Request) -> None:
         req.backend_enqueue_time = self.sim.now
-        self.enqueue((_OP_START, req))
+        self.enqueue((_OP_START, req, 0))
 
     # ------------------------------------------------------------------
     # request start: parse + index + meta + first chunk
     # ------------------------------------------------------------------
-    def _run_start(self, req: Request) -> None:
+    def _run_start(self, req: Request, _idx) -> None:
         parse_time = self.device.sample_parse()
         if parse_time > 0.0:
-            self.sim.schedule(parse_time, self._after_parse, req)
+            self.sim.schedule_op(parse_time, self._parse_op, req)
         else:
             self._after_parse(req)
 
-    def _after_parse(self, req: Request) -> None:
+    def _after_parse(self, req: Request, _b=None) -> None:
         if req.is_delete:
             self.device.delete_object(req, self._after_delete)
         elif req.is_write:
@@ -199,13 +208,13 @@ class StorageProcess:
         else:
             self.device.read_index(req, self._after_index)
 
-    def _after_index(self, req: Request) -> None:
+    def _after_index(self, req: Request, _b=None) -> None:
         self.device.read_meta(req, self._after_meta)
 
-    def _after_meta(self, req: Request) -> None:
+    def _after_meta(self, req: Request, _b=None) -> None:
         self.device.read_chunk(req, 0, self._after_first_chunk)
 
-    def _after_first_chunk(self, req: Request) -> None:
+    def _after_first_chunk(self, req: Request, _b=None) -> None:
         dev = self.device
         req.backend_start_time = self.sim.now
         dev.send_chunk(req, 0, is_first=True, is_last=req.n_chunks == 1)
@@ -217,7 +226,7 @@ class StorageProcess:
     # chunk continuation
     # ------------------------------------------------------------------
     def _run_chunk(self, req: Request, idx: int) -> None:
-        self.device.read_chunk(req, idx, lambda r, _i=idx: self._after_chunk(r, _i))
+        self.device.read_chunk(req, idx, self._after_chunk)
 
     def _after_chunk(self, req: Request, idx: int) -> None:
         dev = self.device
@@ -241,12 +250,12 @@ class StorageProcess:
         else:
             self.device.finalize_write(req, self._after_write_finalize)
 
-    def _after_write_finalize(self, req: Request) -> None:
+    def _after_write_finalize(self, req: Request, _b=None) -> None:
         req.backend_start_time = self.sim.now
         self.device.send_write_ack(req)
         self._next()
 
-    def _after_delete(self, req: Request) -> None:
+    def _after_delete(self, req: Request, _b=None) -> None:
         req.backend_start_time = self.sim.now
         self.device.send_write_ack(req)
         self._next()
@@ -281,6 +290,11 @@ class StorageDevice:
         "tracer",
         "_rng",
         "_rr",
+        "connect_op",
+        "_first_byte_op",
+        "_completion_op",
+        "_write_ack_op",
+        "_parse_const",
     )
 
     def __init__(
@@ -333,11 +347,23 @@ class StorageDevice:
         self.tracer = None
         self._rng = rng
         self._rr = 0
+        #: Typed-event opcodes for the per-request hot path (frontends
+        #: schedule ``connect_op``; ``send_chunk`` schedules deliveries).
+        self.connect_op = sim.register(self.connect)
+        self._first_byte_op = sim.register(self.deliver_first_byte)
+        self._completion_op = sim.register(self.deliver_completion)
+        self._write_ack_op = sim.register(self._deliver_write_ack)
+        # A Degenerate parse distribution never touches the RNG stream;
+        # hoisting its constant keeps the sampled value bit-identical
+        # while skipping a Generator-free-but-not-call-free sample().
+        self._parse_const = (
+            float(parse_dist.value) if isinstance(parse_dist, Degenerate) else None
+        )
 
     # ------------------------------------------------------------------
     # connection handling
     # ------------------------------------------------------------------
-    def connect(self, conn: Connection) -> None:
+    def connect(self, conn: Connection, _b=None) -> None:
         """A TCP SYN arrives: enter the listen backlog, or queue behind
         it when the backlog is full (connect() has not completed yet for
         such connections, so their frontends cannot send requests)."""
@@ -353,7 +379,7 @@ class StorageDevice:
             self.pool.append(conn)
             if not self.accept_pending:
                 self.accept_pending = True
-                self._choose_acceptor().enqueue((_OP_ACCEPT,))
+                self._choose_acceptor().enqueue((_OP_ACCEPT, None, 0))
         else:
             self.syn_queue.append(conn)
 
@@ -370,6 +396,9 @@ class StorageDevice:
     # cached reads
     # ------------------------------------------------------------------
     def sample_parse(self) -> float:
+        const = self._parse_const
+        if const is not None:
+            return const
         return float(self.parse_dist.sample(self._rng))
 
     def read_index(self, req: Request, cont) -> None:
@@ -378,7 +407,7 @@ class StorageDevice:
             cont(req)
         else:
             self.counters.index_misses += 1
-            self.disk.submit(OP_INDEX, INDEX_ENTRY_BYTES, lambda: cont(req), req.rid)
+            self.disk.submit_op(OP_INDEX, INDEX_ENTRY_BYTES, cont, req, None, req.rid)
 
     def read_meta(self, req: Request, cont) -> None:
         if self.meta_cache.access(req.object_id, META_ENTRY_BYTES):
@@ -386,17 +415,17 @@ class StorageDevice:
             cont(req)
         else:
             self.counters.meta_misses += 1
-            self.disk.submit(OP_META, META_ENTRY_BYTES, lambda: cont(req), req.rid)
+            self.disk.submit_op(OP_META, META_ENTRY_BYTES, cont, req, None, req.rid)
 
     def read_chunk(self, req: Request, idx: int, cont) -> None:
         self.counters.chunk_reads += 1
         nbytes = self.chunk_size_of(req, idx)
         if self.data_cache.access((req.object_id, idx), nbytes):
             self.counters.data_hits += 1
-            cont(req)
+            cont(req, idx)
         else:
             self.counters.data_misses += 1
-            self.disk.submit(OP_DATA, nbytes, lambda: cont(req), req.rid)
+            self.disk.submit_op(OP_DATA, nbytes, cont, req, idx, req.rid)
 
     # ------------------------------------------------------------------
     # durable writes (PUT path)
@@ -408,7 +437,7 @@ class StorageDevice:
         self.counters.chunk_writes += 1
         nbytes = self.chunk_size_of(req, idx)
         self.data_cache.access((req.object_id, idx), nbytes)
-        self.disk.submit(OP_WRITE, nbytes, lambda: cont(req, idx), req.rid)
+        self.disk.submit_op(OP_WRITE, nbytes, cont, req, idx, req.rid)
 
     def finalize_write(self, req: Request, cont) -> None:
         """Commit the object's metadata (inode + xattrs) after the last
@@ -416,8 +445,8 @@ class StorageDevice:
         caches hold the fresh entries."""
         self.index_cache.access(req.object_id, INDEX_ENTRY_BYTES)
         self.meta_cache.access(req.object_id, META_ENTRY_BYTES)
-        self.disk.submit(
-            OP_WRITE, INDEX_ENTRY_BYTES + META_ENTRY_BYTES, lambda: cont(req), req.rid
+        self.disk.submit_op(
+            OP_WRITE, INDEX_ENTRY_BYTES + META_ENTRY_BYTES, cont, req, None, req.rid
         )
 
     def delete_object(self, req: Request, cont) -> None:
@@ -430,13 +459,13 @@ class StorageDevice:
         n_chunks = max(1, -(-size // self.chunk_bytes))
         for idx in range(n_chunks):
             self.data_cache.evict((req.object_id, idx))
-        self.disk.submit(OP_WRITE, 512, lambda: cont(req), req.rid)
+        self.disk.submit_op(OP_WRITE, 512, cont, req, None, req.rid)
 
     def send_write_ack(self, req: Request) -> None:
         """Acknowledge this replica's durable write to the frontend."""
-        self.sim.schedule(self.network.latency, self._deliver_write_ack, req)
+        self.sim.schedule_op(self.network.latency, self._write_ack_op, req)
 
-    def _deliver_write_ack(self, req: Request) -> None:
+    def _deliver_write_ack(self, req: Request, _b=None) -> None:
         if self.on_write_ack is not None:
             self.on_write_ack(req)
 
@@ -471,21 +500,21 @@ class StorageDevice:
                 is_last,
             )
         if is_first:
-            self.sim.schedule_at(
-                start + self.network.latency, self.deliver_first_byte, req
+            self.sim.schedule_op_at(
+                start + self.network.latency, self._first_byte_op, req
             )
         if is_last:
-            self.sim.schedule_at(
-                depart + self.network.latency, self.deliver_completion, req
+            self.sim.schedule_op_at(
+                depart + self.network.latency, self._completion_op, req
             )
 
-    def deliver_first_byte(self, req: Request) -> None:
+    def deliver_first_byte(self, req: Request, _b=None) -> None:
         # A timed-out-and-retried request may receive bytes from two
         # replicas; the first arrival wins.
         if req.first_byte_time < 0.0:
             req.first_byte_time = self.sim.now
 
-    def deliver_completion(self, req: Request) -> None:
+    def deliver_completion(self, req: Request, _b=None) -> None:
         if req.is_complete:
             return  # duplicate delivery from a pre-retry replica
         req.completion_time = self.sim.now

@@ -15,8 +15,17 @@ server share its memory, as in the real deployment.
 from __future__ import annotations
 
 from collections import OrderedDict
+from itertools import islice, repeat
+
+import numpy as np
 
 __all__ = ["LruCache"]
+
+#: ``_usize`` sentinel: resident entries have heterogeneous sizes (or
+#: uniformity is unknown), so byte-accurate eviction arithmetic is
+#: required.  Any non-negative value means *every* resident entry has
+#: exactly that size, which licenses the slot-counting fast paths.
+_MIXED = -1
 
 
 class LruCache:
@@ -28,7 +37,14 @@ class LruCache:
     never admitted.
     """
 
-    __slots__ = ("capacity_bytes", "_entries", "used_bytes", "hits", "misses")
+    __slots__ = (
+        "capacity_bytes",
+        "_entries",
+        "used_bytes",
+        "hits",
+        "misses",
+        "_usize",
+    )
 
     def __init__(self, capacity_bytes: int) -> None:
         if capacity_bytes < 0:
@@ -38,6 +54,12 @@ class LruCache:
         self.used_bytes = 0
         self.hits = 0
         self.misses = 0
+        # Uniform entry size, or _MIXED.  The index and metadata caches
+        # only ever see one entry size, where evicting to fit is always
+        # exactly one popitem -- tracked here so the batched access
+        # paths can drop the per-key byte arithmetic.  The flag is
+        # conservative: demoting to _MIXED is always sound.
+        self._usize = _MIXED
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -66,6 +88,8 @@ class LruCache:
         while self.used_bytes + size > self.capacity_bytes:
             _old, old_size = entries.popitem(last=False)
             self.used_bytes -= old_size
+        if self._usize != size:
+            self._usize = size if not entries else _MIXED
         entries[key] = size
         self.used_bytes += size
 
@@ -85,8 +109,71 @@ class LruCache:
         move = entries.move_to_end
         pop = entries.popitem
         cap = self.capacity_bytes
-        used = self.used_bytes
         hits = 0
+        if size <= cap:
+            if self._usize != size:
+                # Every admission below has this size; starting empty
+                # the cache ends uniform, otherwise sizes (may) mix.
+                self._usize = size if not entries else _MIXED
+            if self._usize == size and size > 0:
+                # Uniform resident set: eviction frees exactly ``size``
+                # bytes, so fitting one admission is at most one popitem
+                # and the byte ledger reduces to an entry count.
+                if not isinstance(keys, list):
+                    keys = list(keys)
+                m = len(keys)
+                slots = (cap - self.used_bytes) // size
+                keyset = set(keys)
+                if len(keyset) == m:
+                    # Set-algebra batch path.  With distinct keys, every
+                    # touched key ends at the tail in batch order (hits
+                    # move there, misses insert there), eviction count
+                    # is fixed at misses - free slots, and -- because
+                    # LRU evicts strictly oldest-first and inserts never
+                    # land at the front -- the evicted set is exactly
+                    # the first ``evict`` entries at batch start,
+                    # independent of interleaving, PROVIDED no would-be
+                    # hit sits inside that front zone (it would be
+                    # evicted before its touch).  That proviso is
+                    # checked explicitly; scan hits are request-hot
+                    # entries near the tail, so it nearly always holds.
+                    hitset = entries.keys() & keyset
+                    nh = len(hitset)
+                    evict = m - nh - slots
+                    if evict < 0:
+                        evict = 0
+                    # No evictions or no hits makes the front-zone check
+                    # trivially true; skip the islice walk (isdisjoint on
+                    # an empty set still consumes the whole iterator).
+                    if evict + nh <= len(entries) and (
+                        not evict
+                        or not nh
+                        or hitset.isdisjoint(islice(entries, evict))
+                    ):
+                        for _ in repeat(None, evict):
+                            pop(last=False)
+                        for key in hitset:
+                            del entries[key]
+                        entries.update(zip(keys, repeat(size, m)))
+                        self.used_bytes = len(entries) * size
+                        self.hits += nh
+                        self.misses += m - nh
+                        return nh
+                for key in keys:
+                    if key in entries:
+                        move(key)
+                        hits += 1
+                    elif slots > 0:
+                        slots -= 1
+                        entries[key] = size
+                    else:
+                        pop(last=False)
+                        entries[key] = size
+                self.used_bytes = len(entries) * size
+                self.hits += hits
+                self.misses += m - hits
+                return hits
+        used = self.used_bytes
         misses = 0
         oversize = size > cap
         for key in keys:
@@ -118,6 +205,42 @@ class LruCache:
         pop = entries.popitem
         cap = self.capacity_bytes
         used = self.used_bytes
+        if not isinstance(pairs, list):
+            pairs = list(pairs)
+        # Bulk path: the maintenance data walk streams through a cache
+        # far larger than one batch, so batches are usually distinct
+        # keys none of which is resident.  Then every pair is a miss
+        # admitted in order, and because LRU evicts strictly
+        # oldest-first the final state is the old entries with the
+        # minimal front prefix evicted to make the whole batch fit,
+        # followed by the batch itself -- appliable with C-level bulk
+        # operations instead of the per-pair loop.
+        if pairs:
+            sizes = [p[1] for p in pairs]
+            total = sum(sizes)
+            if 0 < total <= cap and min(sizes) >= 0:
+                keyset = {p[0] for p in pairs}
+                if len(keyset) == len(pairs) and entries.keys().isdisjoint(
+                    keyset
+                ):
+                    target = cap - total
+                    while used > target:
+                        _old, old_size = pop(last=False)
+                        used -= old_size
+                    unique_sizes = set(sizes)
+                    if len(unique_sizes) > 1:
+                        self._usize = _MIXED
+                    else:
+                        (only,) = unique_sizes
+                        if self._usize != only:
+                            self._usize = only if not entries else _MIXED
+                    entries.update(pairs)
+                    self.used_bytes = used + total
+                    self.misses += len(pairs)
+                    return 0
+        if pairs:
+            # Conservative: the per-pair loop may admit several sizes.
+            self._usize = _MIXED
         hits = 0
         misses = 0
         for key, size in pairs:
@@ -161,6 +284,22 @@ class LruCache:
         if size > cap:  # read-through: nothing is ever admitted
             return
         limit = cap // size if size > 0 else None
+        if isinstance(keys, np.ndarray):
+            # Vectorised: the survivors are the last-access-order
+            # distinct keys, newest first, truncated to capacity.  The
+            # first occurrence of each value in the *reversed* stream is
+            # its last access, and np.unique reports exactly those.
+            uniq, first_idx = np.unique(keys[::-1], return_index=True)
+            # first_idx entries are distinct, so any sort kind is exact.
+            order = np.argsort(first_idx)
+            if limit is not None and order.size > limit:
+                order = order[:limit]
+            self._entries = OrderedDict.fromkeys(
+                uniq[order][::-1].tolist(), size
+            )
+            self.used_bytes = len(self._entries) * size
+            self._usize = size
+            return
         seen = set()
         add = seen.add
         survivors = []  # most-recent-first
@@ -174,6 +313,7 @@ class LruCache:
                 break
         self._entries = OrderedDict((k, size) for k in reversed(survivors))
         self.used_bytes = len(survivors) * size
+        self._usize = size
 
     def install_tail_reversed(self, rev_pairs) -> None:
         """Variable-size sibling of :meth:`install_tail_uniform`.
@@ -204,6 +344,8 @@ class LruCache:
             used += size
         self._entries = OrderedDict(reversed(survivors))
         self.used_bytes = used
+        sizes = {s for _, s in survivors}
+        self._usize = sizes.pop() if len(sizes) == 1 else _MIXED
 
     def evict(self, key) -> bool:
         """Drop one entry (used by failure-injection tests)."""
@@ -226,15 +368,24 @@ class LruCache:
     # ------------------------------------------------------------------
     def state(self) -> tuple:
         """A picklable snapshot of the resident set, in LRU order."""
-        return (tuple(self._entries.items()), self.used_bytes)
+        return (tuple(self._entries.items()), self.used_bytes, self._usize)
 
     def restore(self, state: tuple) -> None:
-        """Install a snapshot taken by :meth:`state` (counters reset)."""
-        entries, used_bytes = state
+        """Install a snapshot taken by :meth:`state` (counters reset).
+
+        Older two-field snapshots (without the uniform-size flag) are
+        accepted; the flag is then recomputed from the entry sizes.
+        """
+        entries, used_bytes = state[0], state[1]
         self._entries = OrderedDict(entries)
         self.used_bytes = int(used_bytes)
         self.hits = 0
         self.misses = 0
+        if len(state) > 2:
+            self._usize = state[2]
+        else:
+            sizes = set(self._entries.values())
+            self._usize = sizes.pop() if len(sizes) == 1 else _MIXED
 
     @property
     def hit_ratio(self) -> float:

@@ -256,6 +256,8 @@ class Cluster:
         )
         self._next_rid = 0
         self.fault_schedule = None
+        # Typed arrival events: payload is (object_id, is_write-or-None).
+        self._arrival_op = self.sim.register(self._arrival)
 
     # ------------------------------------------------------------------
     # fault injection
@@ -315,6 +317,10 @@ class Cluster:
         fe.submit(req)
         return req
 
+    def _arrival(self, object_id, is_write) -> None:
+        """Typed-event handler for pre-scheduled open-loop arrivals."""
+        self.dispatch(object_id, is_write is True)
+
     def _traced_complete(self, req: Request) -> None:
         """``on_complete`` shim when tracing is on: emit the request span
         before the metrics row so the trace orders summaries last."""
@@ -338,14 +344,29 @@ class Cluster:
         object_ids: np.ndarray,
         writes: np.ndarray | None = None,
     ) -> None:
-        """Pre-schedule an open-loop arrival sequence."""
+        """Pre-schedule an open-loop arrival sequence.
+
+        Arrival traces are non-decreasing in time, which lets the kernel
+        append them without per-event heap sifts
+        (:meth:`~repro.simulator.core.Simulator.schedule_sorted_ops`);
+        unsorted inputs fall back to per-event pushes.
+        """
         times = np.asarray(times, dtype=float)
         object_ids = np.asarray(object_ids)
         if times.shape != object_ids.shape:
             raise ValueError("times and object_ids must have matching shapes")
+        sorted_times = (
+            times.size > 0
+            and times[0] >= self.sim.now
+            and bool(np.all(times[1:] >= times[:-1]))
+        )
+        op = self._arrival_op
         if writes is None:
-            for t, obj in zip(times.tolist(), object_ids.tolist()):
-                self.sim.schedule_at(t, self.dispatch, obj)
+            if sorted_times:
+                self.sim.schedule_sorted_ops(times.tolist(), op, object_ids.tolist())
+            else:
+                for t, obj in zip(times.tolist(), object_ids.tolist()):
+                    self.sim.schedule_op_at(t, op, obj)
         else:
             writes = np.asarray(writes, dtype=bool)
             if writes.shape != times.shape:
@@ -353,7 +374,7 @@ class Cluster:
             for t, obj, w in zip(
                 times.tolist(), object_ids.tolist(), writes.tolist()
             ):
-                self.sim.schedule_at(t, self.dispatch, obj, w)
+                self.sim.schedule_op_at(t, op, obj, w)
 
     def run_until(self, t_end: float) -> None:
         self.sim.run_until(t_end)
@@ -398,15 +419,16 @@ class Cluster:
 
         for server, (idx_cache, meta_cache, data_cache) in enumerate(self.caches):
             sel = np.flatnonzero(servers == server)
-            objs = object_ids[sel].tolist()
+            obj_arr = object_ids[sel]
+            objs = obj_arr.tolist()
             ncs = n_chunks[sel].tolist()
             lasts = last_bytes[sel].tolist()
             if len(idx_cache) == 0:
-                idx_cache.install_tail_uniform(objs, INDEX_ENTRY_BYTES)
+                idx_cache.install_tail_uniform(obj_arr, INDEX_ENTRY_BYTES)
             else:
                 idx_cache.access_many(objs, INDEX_ENTRY_BYTES)
             if len(meta_cache) == 0:
-                meta_cache.install_tail_uniform(objs, META_ENTRY_BYTES)
+                meta_cache.install_tail_uniform(obj_arr, META_ENTRY_BYTES)
             else:
                 meta_cache.access_many(objs, META_ENTRY_BYTES)
             if len(data_cache) == 0:

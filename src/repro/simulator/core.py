@@ -6,14 +6,40 @@ follows the HPC guides' advice for hot Python loops: one flat kernel,
 tuple, and all bulk math (sampling, metric reduction) pushed out to numpy
 in the surrounding layers.
 
-Events are ``(time, seq, fn, args)`` tuples; ``seq`` makes the ordering
-total and FIFO among simultaneous events, which the FCFS fidelity of the
-queueing layers depends on.
+Events are ``(time, seq, opcode, a, b)`` tuples.  ``seq`` makes the
+ordering total and FIFO among simultaneous events, which the FCFS
+fidelity of the queueing layers depends on.  ``opcode`` indexes a flat
+handler table registered at build time (:meth:`Simulator.register`); the
+run loop dispatches ``handlers[opcode](a, b)`` with no per-event tuple
+unpacking of argument lists and no closure allocation at the schedule
+site.  Opcode 0 is the legacy dynamic-call handler, so the
+``schedule(delay, fn, *args)`` API keeps working unchanged for cold
+paths (fault hooks, tests, closed-loop drivers).
+
+Two further hot-loop mechanics, both exactly order-preserving:
+
+* **Fused pop-then-push** (``heapreplace``): the run loop executes the
+  minimum event *without popping it first*.  The first event scheduled
+  from inside a handler replaces the in-flight root via ``heapreplace``
+  (one sift instead of two); if the handler schedules nothing, the root
+  is popped afterwards.  This is sound because every event scheduled
+  from a handler carries ``time >= now`` and a strictly larger ``seq``,
+  so the in-flight event remains the strict heap minimum until it is
+  replaced.  The ubiquitous pop-then-push pattern (disk op completion
+  scheduling the next op's completion) therefore costs one sift.
+* **Bulk sorted scheduling** (:meth:`schedule_sorted_ops`): an open-loop
+  arrival trace is non-decreasing in time, and a non-decreasing
+  ``(time, seq)`` list *is* a valid binary heap, so when the heap is
+  empty the events are appended directly without per-event sifting.
+
+The kernel is not re-entrant: handlers must not call ``run_until`` /
+``run_until_idle`` recursively (nothing in the simulator does).
 """
 
 from __future__ import annotations
 
 import heapq
+from math import inf as _INF
 from typing import Callable
 
 __all__ = ["Simulator", "SimulationError"]
@@ -26,29 +52,127 @@ class SimulationError(RuntimeError):
 class Simulator:
     """Minimal event-driven simulation kernel."""
 
-    __slots__ = ("now", "_heap", "_seq")
+    __slots__ = ("now", "_heap", "_seq", "_handlers", "_live")
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Callable, tuple]] = []
+        self._heap: list[tuple[float, int, int, object, object]] = []
         self._seq: int = 0
+        # Opcode 0: legacy dynamic call -- a == fn, b == args tuple.
+        self._handlers: list[Callable] = [self._invoke]
+        # True while the run loop is executing the (unpopped) heap root.
+        self._live = False
 
+    @staticmethod
+    def _invoke(fn, args) -> None:
+        fn(*args)
+
+    def register(self, handler: Callable) -> int:
+        """Register ``handler(a, b)`` in the dispatch table; returns its opcode.
+
+        Components register their bound methods once at build time and
+        schedule events by opcode thereafter, so the run loop performs a
+        single list index instead of constructing and unpacking per-event
+        argument tuples.
+        """
+        self._handlers.append(handler)
+        return len(self._handlers) - 1
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
     def schedule(self, delay: float, fn: Callable, *args) -> None:
         """Run ``fn(*args)`` after ``delay`` simulated seconds."""
-        if delay < 0.0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        if not 0.0 <= delay < _INF:
+            # The chained comparison is False for NaN and both infinities,
+            # which would otherwise corrupt heap ordering silently.
+            raise SimulationError(
+                f"delay must be finite and non-negative, got {delay}"
+            )
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, fn, args))
+        event = (self.now + delay, self._seq, 0, fn, args)
+        if self._live:
+            self._live = False
+            heapq.heapreplace(self._heap, event)
+        else:
+            heapq.heappush(self._heap, event)
 
     def schedule_at(self, time: float, fn: Callable, *args) -> None:
         """Run ``fn(*args)`` at absolute simulated ``time``."""
-        if time < self.now:
+        if not self.now <= time < _INF:
             raise SimulationError(
-                f"cannot schedule into the past (t={time} < now={self.now})"
+                f"event time must be finite and >= now={self.now}, got {time}"
             )
         self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, fn, args))
+        event = (time, self._seq, 0, fn, args)
+        if self._live:
+            self._live = False
+            heapq.heapreplace(self._heap, event)
+        else:
+            heapq.heappush(self._heap, event)
 
+    def schedule_op(self, delay: float, op: int, a=None, b=None) -> None:
+        """Typed-event sibling of :meth:`schedule`: dispatch by opcode."""
+        if not 0.0 <= delay < _INF:
+            raise SimulationError(
+                f"delay must be finite and non-negative, got {delay}"
+            )
+        self._seq += 1
+        event = (self.now + delay, self._seq, op, a, b)
+        if self._live:
+            self._live = False
+            heapq.heapreplace(self._heap, event)
+        else:
+            heapq.heappush(self._heap, event)
+
+    def schedule_op_at(self, time: float, op: int, a=None, b=None) -> None:
+        """Typed-event sibling of :meth:`schedule_at`."""
+        if not self.now <= time < _INF:
+            raise SimulationError(
+                f"event time must be finite and >= now={self.now}, got {time}"
+            )
+        self._seq += 1
+        event = (time, self._seq, op, a, b)
+        if self._live:
+            self._live = False
+            heapq.heapreplace(self._heap, event)
+        else:
+            heapq.heappush(self._heap, event)
+
+    def schedule_sorted_ops(self, times, op: int, a_seq, b=None) -> None:
+        """Schedule one ``op`` event per ``(time, a)`` pair, ``b`` shared.
+
+        ``times`` must be non-decreasing (validated; a violation raises
+        :class:`SimulationError` with nothing scheduled).  When the heap
+        is empty the events are appended directly -- a sorted
+        ``(time, seq)`` run is already a valid binary heap -- skipping
+        the per-event sift entirely; otherwise each event is pushed.
+        """
+        heap = self._heap
+        seq = self._seq
+        prev = self.now
+        events = []
+        append = events.append
+        for t, a in zip(times, a_seq):
+            if not prev <= t < _INF:
+                raise SimulationError(
+                    f"sorted schedule requires finite non-decreasing times "
+                    f">= now={self.now}, got {t} after {prev}"
+                )
+            prev = t
+            seq += 1
+            append((t, seq, op, a, b))
+        if heap:
+            push = heapq.heappush
+            for event in events:
+                push(heap, event)
+        else:
+            heap.extend(events)
+        self._seq = seq
+
+    # ------------------------------------------------------------------
+    # run loops
+    # ------------------------------------------------------------------
     def run_until(self, t_end: float) -> None:
         """Process events up to and including ``t_end``.
 
@@ -56,27 +180,58 @@ class Simulator:
         so measurement windows have well-defined widths.
         """
         heap = self._heap
-        while heap and heap[0][0] <= t_end:
-            time, _seq, fn, args = heapq.heappop(heap)
-            self.now = time
-            fn(*args)
-        self.now = max(self.now, t_end)
+        handlers = self._handlers
+        pop = heapq.heappop
+        try:
+            while heap:
+                event = heap[0]
+                if event[0] > t_end:
+                    break
+                self.now = event[0]
+                self._live = True
+                handlers[event[2]](event[3], event[4])
+                if self._live:
+                    self._live = False
+                    pop(heap)
+        except BaseException:
+            if self._live:
+                # The faulting event is still the heap root; consume it
+                # so the error cannot replay on a resumed run.
+                self._live = False
+                pop(heap)
+            raise
+        if self.now < t_end:
+            self.now = t_end
 
     def run_until_idle(self, *, max_events: int | None = None) -> int:
         """Drain every pending event; returns the number processed."""
         heap = self._heap
+        handlers = self._handlers
+        pop = heapq.heappop
         count = 0
-        while heap:
-            time, _seq, fn, args = heapq.heappop(heap)
-            self.now = time
-            fn(*args)
-            count += 1
-            if max_events is not None and count >= max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events}; runaway event loop?"
-                )
+        try:
+            while heap:
+                event = heap[0]
+                self.now = event[0]
+                self._live = True
+                handlers[event[2]](event[3], event[4])
+                if self._live:
+                    self._live = False
+                    pop(heap)
+                count += 1
+                if max_events is not None and count >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway event loop?"
+                    )
+        except BaseException:
+            if self._live:
+                self._live = False
+                pop(heap)
+            raise
         return count
 
     @property
     def pending_events(self) -> int:
-        return len(self._heap)
+        # The in-flight event stays in the heap while its handler runs;
+        # it is no longer pending.
+        return len(self._heap) - (1 if self._live else 0)

@@ -189,13 +189,21 @@ class ServiceTimeSampler:
         raise ValueError(f"unknown disk operation kind {kind!r}")
 
 
+def _invoke_done(done: Callable, _b) -> None:
+    """Continuation shim for the legacy zero-argument ``done`` callback."""
+    done()
+
+
 class Disk:
     """A FCFS single-server disk inside the simulation.
 
     ``submit(kind, nbytes, done)`` enqueues one operation; ``done()``
-    fires when it completes.  Per-operation service samples are recorded
-    (kind, service-time) when a recorder is attached, feeding the online
-    service-time estimation of Section IV-B.
+    fires when it completes.  The hot request path uses
+    :meth:`submit_op` instead, whose continuation receives two payload
+    slots ``cont(a, b)`` -- matching the kernel's typed-event handler
+    signature, so no closure is allocated per operation.  Per-operation
+    service samples are recorded (kind, service-time) when a recorder is
+    attached, feeding the online service-time estimation of Section IV-B.
     """
 
     __slots__ = (
@@ -211,6 +219,10 @@ class Disk:
         "_stall_until",
         "tracer",
         "trace_dev",
+        "_complete_op",
+        "_svc_cont",
+        "_svc_a",
+        "_svc_b",
     )
 
     def __init__(
@@ -224,7 +236,7 @@ class Disk:
         self.profile = profile
         self.rng = rng
         self.sampler = ServiceTimeSampler(profile, rng)
-        self._queue: deque[tuple[str, int, Callable, int, float]] = deque()
+        self._queue: deque[tuple] = deque()
         self._busy = False
         self.recorder = recorder
         self.ops_served = 0
@@ -235,6 +247,13 @@ class Disk:
         #: stamp into disk spans (wired by the cluster; ``None`` = off).
         self.tracer = None
         self.trace_dev = -1
+        self._complete_op = sim.register(self._complete)
+        # Continuation of the operation currently in service.  The disk
+        # is a single server, so one slot suffices; the completion event
+        # itself carries no payload.
+        self._svc_cont: Callable = _invoke_done
+        self._svc_a = None
+        self._svc_b = None
 
     @property
     def queue_length(self) -> int:
@@ -266,14 +285,26 @@ class Disk:
     def submit(self, kind: str, nbytes: int, done: Callable, tag: int = -1) -> None:
         """Enqueue one operation; ``tag`` labels trace spans (request id)."""
         if self._busy:
-            self._queue.append((kind, nbytes, done, tag, self.sim.now))
+            self._queue.append((kind, nbytes, _invoke_done, done, None, tag, self.sim.now))
             return
-        self._start(kind, nbytes, done, tag, self.sim.now)
+        self._start(kind, nbytes, _invoke_done, done, None, tag, self.sim.now)
+
+    def submit_op(
+        self, kind: str, nbytes: int, cont: Callable, a, b, tag: int = -1
+    ) -> None:
+        """Typed-continuation submit: ``cont(a, b)`` fires on completion."""
+        if self._busy:
+            self._queue.append((kind, nbytes, cont, a, b, tag, self.sim.now))
+            return
+        self._start(kind, nbytes, cont, a, b, tag, self.sim.now)
 
     def _start(
-        self, kind: str, nbytes: int, done: Callable, tag: int, t_submit: float
+        self, kind: str, nbytes: int, cont: Callable, a, b, tag: int, t_submit: float
     ) -> None:
         self._busy = True
+        self._svc_cont = cont
+        self._svc_a = a
+        self._svc_b = b
         service = self.sampler.sample(kind, nbytes)
         if self.slowdown != 1.0:
             service *= self.slowdown
@@ -289,12 +320,19 @@ class Disk:
             self.tracer.disk_span(
                 tag, self.trace_dev, kind, t_submit, now, now + delay
             )
-        self.sim.schedule(delay, self._complete, done)
+        self.sim.schedule_op(delay, self._complete_op)
 
-    def _complete(self, done: Callable) -> None:
+    def _complete(self, _a, _b) -> None:
         self.ops_served += 1
+        cont = self._svc_cont
+        a = self._svc_a
+        b = self._svc_b
         self._busy = False
         if self._queue:
-            kind, nbytes, next_done, tag, t_submit = self._queue.popleft()
-            self._start(kind, nbytes, next_done, tag, t_submit)
-        done()
+            # Start the next queued operation *before* running the
+            # finished one's continuation, so its completion event takes
+            # the next sequence number -- the exact FCFS event order of
+            # the pre-dispatch kernel (and the heapreplace fused path:
+            # the schedule inside _start replaces this event's root).
+            self._start(*self._queue.popleft())
+        cont(a, b)

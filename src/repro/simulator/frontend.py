@@ -26,8 +26,9 @@ from collections import deque
 
 import numpy as np
 
-from repro.distributions import Distribution
+from repro.distributions import Degenerate, Distribution
 from repro.simulator.backend import Connection, StorageDevice
+from repro.simulator.rng import BufferedIntegers
 from repro.simulator.core import Simulator
 from repro.simulator.network import NetworkProfile
 from repro.simulator.request import Request
@@ -54,6 +55,9 @@ class FrontendProcess:
         "fault_filter",
         "tracer",
         "_rng",
+        "_parse_op",
+        "_parse_const",
+        "_pick",
     )
 
     def __init__(
@@ -92,6 +96,14 @@ class FrontendProcess:
         #: cluster; ``None`` = tracing off).
         self.tracer = None
         self._rng = rng
+        self._parse_op = sim.register(self._after_parse)
+        # Degenerate parse never touches the stream: hoist the constant.
+        self._parse_const = (
+            float(parse_dist.value) if isinstance(parse_dist, Degenerate) else None
+        )
+        # Block-buffered replica picks (see _decide_pick): None until the
+        # first read decides, then a BufferedIntegers or False (scalar).
+        self._pick = None
 
     # ------------------------------------------------------------------
     def submit(self, req: Request) -> None:
@@ -109,10 +121,12 @@ class FrontendProcess:
         self.busy = True
         req = self.queue.popleft()
         req.parse_start_time = self.sim.now
-        parse_time = float(self.parse_dist.sample(self._rng))
-        self.sim.schedule(parse_time, self._after_parse, req)
+        parse_time = self._parse_const
+        if parse_time is None:
+            parse_time = float(self.parse_dist.sample(self._rng))
+        self.sim.schedule_op(parse_time, self._parse_op, req)
 
-    def _after_parse(self, req: Request) -> None:
+    def _after_parse(self, req: Request, _b=None) -> None:
         if self.tracer is not None:
             self.tracer.frontend_span(
                 req.rid, self.fid, req.arrival_time, self.sim.now
@@ -126,8 +140,48 @@ class FrontendProcess:
     # ------------------------------------------------------------------
     # reads: one replica, optional timeout + retry on another
     # ------------------------------------------------------------------
+    def _decide_pick(self):
+        """Decide (once, at the first read) whether replica picks may be
+        block-buffered.
+
+        Buffering draws ``integers(replicas)`` in blocks ahead of time,
+        which is bit-identical to per-read scalar draws only while this
+        frontend's stream has a single consumer with a constant bound:
+        the parse distribution must be Degenerate (samples nothing), no
+        retries may re-draw with a reduced candidate list (``timeout is
+        None``), and fault-aware routing must be off (a fail-stop filter
+        can shrink the bound).  If the routing filter switches on later
+        (faults are injected mid-run, after warmup), ``_send_read``
+        resyncs the stream and falls back to scalar draws from the exact
+        position the per-call path would have reached.
+        """
+        if (
+            self.timeout is None
+            and not self.fault_filter
+            and self._parse_const is not None
+        ):
+            pick = BufferedIntegers(self._rng, self.ring.replicas)
+        else:
+            pick = False
+        self._pick = pick
+        return pick
+
     def _send_read(self, req: Request, exclude: int) -> None:
         row = self.ring.replica_row(req.object_id)
+        pick = self._pick
+        if pick is None:
+            pick = self._decide_pick()
+        if pick is not False:
+            if not self.fault_filter:
+                device = self.devices[row[pick.next()]]
+                self.sim.schedule_op(
+                    self.network.latency, device.connect_op, Connection(req, self)
+                )
+                return
+            # Routing filter switched on mid-run: hand the stream back
+            # to the scalar path, bit-identically (see resync()).
+            pick.resync()
+            self._pick = False
         if self.fault_filter:
             # Ring handoff: skip fail-stopped replicas.  With no device
             # down the filtered list has identical contents, so the same
@@ -140,7 +194,9 @@ class FrontendProcess:
         if not candidates:
             candidates = row  # the only alive replica just timed out
         device = self.devices[candidates[self._rng.integers(len(candidates))]]
-        self.sim.schedule(self.network.latency, device.connect, Connection(req, self))
+        self.sim.schedule_op(
+            self.network.latency, device.connect_op, Connection(req, self)
+        )
         if self.timeout is not None:
             self.sim.schedule(
                 self.timeout, self._check_timeout, req, req.retries, device.device_id
@@ -172,8 +228,8 @@ class FrontendProcess:
         req.write_quorum = len(replicas) // 2 + 1
         for dev_idx in replicas:
             device = self.devices[dev_idx]
-            self.sim.schedule(
-                self.network.latency, device.connect, Connection(req, self)
+            self.sim.schedule_op(
+                self.network.latency, device.connect_op, Connection(req, self)
             )
 
     @property

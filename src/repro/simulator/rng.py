@@ -76,7 +76,7 @@ class BufferedIntegers:
     which the :class:`RngStreams` name isolation guarantees.
     """
 
-    __slots__ = ("_rng", "_bound", "_block", "_buf", "_idx")
+    __slots__ = ("_rng", "_bound", "_block", "_buf", "_idx", "_state0")
 
     def __init__(self, rng: np.random.Generator, bound: int, block: int = 1024) -> None:
         if bound < 1:
@@ -88,6 +88,7 @@ class BufferedIntegers:
         self._block = int(block)
         self._buf = np.empty(0, dtype=np.int64)
         self._idx = 0
+        self._state0 = None
 
     @property
     def bound(self) -> int:
@@ -96,8 +97,31 @@ class BufferedIntegers:
     def next(self) -> int:
         """The next draw from ``integers(bound)``, refilling in blocks."""
         if self._idx >= self._buf.size:
+            # Snapshot the bit-generator state before the block draw so
+            # resync() can rewind to the exact scalar-draw position.
+            self._state0 = self._rng.bit_generator.state
             self._buf = self._rng.integers(self._bound, size=self._block)
             self._idx = 0
         value = self._buf[self._idx]
         self._idx += 1
         return int(value)
+
+    def resync(self) -> None:
+        """Rewind the wrapped stream to the exact per-call draw position.
+
+        Buffering pulls a whole block off the stream ahead of time; a
+        consumer that must switch to direct ``rng`` draws mid-stream
+        (e.g. a frontend whose routing filter turns on and needs
+        variable-bound draws) calls this first.  The pre-block state is
+        restored and the consumed prefix replayed in one vectorised call
+        -- which advances the stream exactly as that many scalar draws
+        would -- so the hand-off is bit-identical to never having
+        buffered at all.  The unconsumed tail is discarded.
+        """
+        consumed = self._idx
+        if consumed < self._buf.size:
+            self._rng.bit_generator.state = self._state0
+            if consumed:
+                self._rng.integers(self._bound, size=consumed)
+        self._buf = np.empty(0, dtype=np.int64)
+        self._idx = 0

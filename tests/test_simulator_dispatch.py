@@ -1,0 +1,211 @@
+"""Kernel ordering semantics: typed-opcode dispatch vs legacy callbacks.
+
+The simulator's run loop dispatches ``(time, seq, opcode, a, b)`` events
+through a flat handler table; opcode 0 is the legacy dynamic-call path.
+These tests pin the semantics the queueing layers depend on: total FIFO
+ordering among simultaneous events regardless of scheduling API, exact
+clock behaviour of ``run_until``, the runaway guard, rejection of
+non-finite times, and bit-identical behaviour of the two dispatch styles
+on a recorded event script.
+"""
+
+import numpy as np
+import pytest
+
+from repro.simulator import SimulationError, Simulator
+from repro.simulator.rng import BufferedIntegers
+
+
+class TestNonFiniteTimes:
+    """Regression: ``delay < 0.0`` is False for NaN, so NaN/inf delays
+    used to slip through validation and silently corrupt heap order."""
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_schedule_rejects_non_finite_delay(self, bad):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(bad, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule_op(bad, 0, lambda: None, ())
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_schedule_at_rejects_non_finite_time(self, bad):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(bad, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule_op_at(bad, 0, lambda: None, ())
+
+    def test_nothing_enqueued_on_rejection(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(float("nan"), lambda: None)
+        assert sim.pending_events == 0
+
+    def test_sorted_ops_reject_non_finite(self):
+        sim = Simulator()
+        log = []
+        op = sim.register(lambda a, b: log.append(a))
+        with pytest.raises(SimulationError):
+            sim.schedule_sorted_ops([1.0, float("nan")], op, ["a", "b"])
+        # Validation happens before anything is enqueued.
+        assert sim.pending_events == 0
+
+
+class TestOrderingSemantics:
+    def test_fifo_among_simultaneous_mixed_apis(self):
+        """Schedule order is execution order at equal times, even when
+        legacy and typed scheduling interleave."""
+        sim = Simulator()
+        log = []
+        op = sim.register(lambda a, b: log.append(a))
+        sim.schedule(1.0, log.append, "legacy-0")
+        sim.schedule_op(1.0, op, "typed-1")
+        sim.schedule(1.0, log.append, "legacy-2")
+        sim.schedule_op_at(1.0, op, "typed-3")
+        sim.run_until_idle()
+        assert log == ["legacy-0", "typed-1", "legacy-2", "typed-3"]
+
+    def test_run_until_clock_lands_on_t_end_after_early_drain(self):
+        """The heap draining before ``t_end`` must still leave
+        ``now == t_end`` so window widths stay well-defined."""
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.run_until(7.5)
+        assert fired == ["a"]
+        assert sim.now == 7.5
+        assert sim.pending_events == 0
+
+    def test_max_events_guard_on_typed_loop(self):
+        sim = Simulator()
+
+        def tick(a, b):
+            sim.schedule_op(1.0, op, a, b)
+
+        op = sim.register(tick)
+        sim.schedule_op(0.0, op)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run_until_idle(max_events=50)
+
+    def test_sorted_ops_match_individual_scheduling(self):
+        """Bulk sorted scheduling fires identically to one-by-one pushes."""
+        times = [0.5, 0.5, 1.25, 2.0, 2.0, 2.0]
+        tags = list("abcdef")
+
+        bulk = Simulator()
+        log_bulk = []
+        op = bulk.register(lambda a, b: log_bulk.append((bulk.now, a)))
+        bulk.schedule_sorted_ops(times, op, tags)
+        bulk.run_until_idle()
+
+        single = Simulator()
+        log_single = []
+        op = single.register(lambda a, b: log_single.append((single.now, a)))
+        for t, tag in zip(times, tags):
+            single.schedule_op_at(t, op, tag)
+        single.run_until_idle()
+
+        assert log_bulk == log_single
+
+    def test_sorted_ops_reject_decreasing_times(self):
+        sim = Simulator()
+        op = sim.register(lambda a, b: None)
+        with pytest.raises(SimulationError):
+            sim.schedule_sorted_ops([2.0, 1.0], op, ["a", "b"])
+        assert sim.pending_events == 0
+
+
+class TestDispatchEquivalence:
+    """Opcode dispatch vs legacy callbacks on a recorded event script."""
+
+    @staticmethod
+    def _script(seed: int = 1234, n: int = 400):
+        """A reproducible script of (delay, tag, reschedule_delay) rows;
+        ``reschedule_delay`` is None for leaf events and otherwise makes
+        the handler schedule a follow-up, exercising the heapreplace
+        fast path from inside a running handler."""
+        rng = np.random.default_rng(seed)
+        delays = rng.random(n) * 3.0
+        follow = rng.random(n)
+        return [
+            (float(d), i, float(f * 0.5) if f < 0.3 else None)
+            for i, (d, f) in enumerate(zip(delays, follow))
+        ]
+
+    def test_recorded_script_identical_logs(self):
+        script = self._script()
+
+        legacy = Simulator()
+        log_legacy = []
+
+        def handle_legacy(tag, reschedule):
+            log_legacy.append((legacy.now, tag))
+            if reschedule is not None:
+                legacy.schedule(reschedule, handle_legacy, -tag, None)
+
+        for delay, tag, reschedule in script:
+            legacy.schedule(delay, handle_legacy, tag, reschedule)
+        legacy.run_until_idle()
+
+        typed = Simulator()
+        log_typed = []
+
+        def handle_typed(tag, reschedule):
+            log_typed.append((typed.now, tag))
+            if reschedule is not None:
+                typed.schedule_op(reschedule, op, -tag, None)
+
+        op = typed.register(handle_typed)
+        for delay, tag, reschedule in script:
+            typed.schedule_op(delay, op, tag, reschedule)
+        typed.run_until_idle()
+
+        assert log_legacy == log_typed
+        assert legacy.now == typed.now
+
+    def test_mixed_dispatch_matches_pure_legacy(self):
+        """Alternating APIs for the same script changes nothing: seq
+        assignment and heap order are API-independent."""
+        script = self._script(seed=99, n=200)
+
+        def run(use_typed_for_even: bool):
+            sim = Simulator()
+            log = []
+
+            def handler(tag, _):
+                log.append((sim.now, tag))
+
+            op = sim.register(handler)
+            for delay, tag, _ in script:
+                if use_typed_for_even and tag % 2 == 0:
+                    sim.schedule_op(delay, op, tag, None)
+                else:
+                    sim.schedule(delay, handler, tag, None)
+            sim.run_until_idle()
+            return log
+
+        assert run(True) == run(False)
+
+
+class TestBufferedIntegersResync:
+    def test_buffered_draws_match_scalar_draws(self):
+        a = np.random.default_rng(7)
+        b = np.random.default_rng(7)
+        buf = BufferedIntegers(a, bound=10, block=16)
+        assert [buf.next() for _ in range(40)] == [
+            int(b.integers(10)) for _ in range(40)
+        ]
+
+    def test_resync_hands_off_bit_identically(self):
+        """After consuming part of a block, resync() leaves the wrapped
+        stream exactly where per-call scalar draws would have."""
+        a = np.random.default_rng(21)
+        b = np.random.default_rng(21)
+        buf = BufferedIntegers(a, bound=6, block=32)
+        consumed = [buf.next() for _ in range(11)]
+        buf.resync()
+        expected = [int(b.integers(6)) for _ in range(11)]
+        assert consumed == expected
+        # Both streams must now produce identical direct draws.
+        assert a.random(8).tolist() == b.random(8).tolist()
