@@ -20,7 +20,13 @@ times three engine micro-kernels:
   dynamic-call path (opcode 0) on a self-rescheduling event chain;
 * ``laplace_batch`` -- repeated evaluation of an Equation-3 style
   mixture through the node-sharing pipeline (memoised ``cache_token``,
-  interned ``s`` keys) vs the per-call tree walk it replaced.
+  interned ``s`` keys) vs the per-call tree walk it replaced;
+* ``diagnostics_overhead`` -- the quick S1 bench sweep with the model
+  diagnostics off vs on (off must stay within noise of the
+  pre-diagnostics cost -- the hot path only reads one module global --
+  and on must stay under 10% end to end), plus a model-only inversion
+  micro-measure that isolates the per-call price of the self/cross
+  checks.
 
 On a single-core host the parallel sweep repetition is skipped (a
 process pool cannot beat serial there; the old <1.0 "speedup" row read
@@ -98,6 +104,7 @@ CHECKED_METRICS = (
     (("kernels", "trace_overhead", "off_s"), "lower"),
     (("kernels", "sim_dispatch", "typed_s"), "lower"),
     (("kernels", "laplace_batch", "batch_s"), "lower"),
+    (("kernels", "diagnostics_overhead", "off_s"), "lower"),
 )
 
 
@@ -534,6 +541,110 @@ def bench_laplace_batch(n_devices: int = 16, reps: int = 200) -> dict:
     }
 
 
+def bench_diagnostics_overhead(reps: int = TIMING_REPS) -> dict:
+    """Bench sweep with the model-diagnostics session off vs on.
+
+    Runs the quick-rates S1 bench sweep three ways:
+
+    * ``off``: ``diagnose=False`` -- the shipped default.  The only
+      cost the diagnostics layer adds to this path is one module-global
+      read per ``invert_cdf`` call, so this number must stay within
+      noise of the pre-diagnostics sweep cost (it is the metric the
+      regression check guards).
+    * ``on``:  ``diagnose=True`` -- every inversion additionally pays a
+      half-term self-check and a talbot cross-check on an 8-point
+      subsample (under ``evalcache.bypass()``, so the caches the run
+      sees are untouched).  The sweep is simulation-dominated, so the
+      acceptance target is < 10% overhead end to end.
+    * both runs must produce bit-identical ``SweepPoint`` results
+      (``bit_identical``) -- diagnostics only observe.
+
+    ``inversion_on_overhead`` additionally isolates the model-only cost
+    (repeated CDF inversions of Equation-3-shaped composites, caches
+    cleared per rep) so the per-inversion price of the extras stays
+    visible even though the sweep amortises it.
+    """
+    from repro.distributions import Gamma, zero_inflate
+    from repro.distributions.composite import convolve
+    from repro.obs.diagnostics import DiagnosticsSession
+
+    scenario = dataclasses.replace(scenario_s1(), rates=QUICK_RATES["S1"])
+    cal = {"S1": calibrate(scenario, seed=0)}
+
+    def one_sweep(diagnose: bool):
+        t0 = time.perf_counter()
+        result = run_sweeps(
+            {"S1": scenario}, calibrations=cal, seed=0, jobs=1,
+            diagnose=diagnose,
+        )
+        return time.perf_counter() - t0, result
+
+    # Interleave the off/on repetitions (off-on, on-off, ...) so slow
+    # drift on a shared host biases neither mode; report best-of-reps.
+    best = {False: math.inf, True: math.inf}
+    sweeps = {}
+    for i in range(reps):
+        order = (False, True) if i % 2 == 0 else (True, False)
+        for diagnose in order:
+            elapsed, result = one_sweep(diagnose)
+            best[diagnose] = min(best[diagnose], elapsed)
+            sweeps[diagnose] = result
+    off_s, on_s = best[False], best[True]
+    off_sweep, on_sweep = sweeps[False], sweeps[True]
+    identical = sweeps_equal(off_sweep, on_sweep)
+    diag_summaries = [
+        p.diagnostics for r in on_sweep.values() for p in r.points if p.diagnostics
+    ]
+
+    # Model-only micro-measure: inversion wall time off vs on, with the
+    # eval caches cleared per rep so every call pays the full node sums.
+    dists = []
+    for j in range(8):
+        disk = Gamma(shape=2.0 + 0.05 * j, rate=180.0 + 3.0 * j)
+        wait = MG1Queue(arrival_rate=30.0 + j, service=disk).waiting_time()
+        dists.append(zero_inflate(convolve(wait, disk), 0.4 + 0.02 * j))
+    t = np.linspace(1e-3, 0.4, 256)
+
+    def timed_inversions(diagnose: bool) -> float:
+        best = math.inf
+        for _ in range(5):
+            evalcache.clear()
+            t0 = time.perf_counter()
+            if diagnose:
+                with DiagnosticsSession():
+                    for d in dists:
+                        invert_cdf(d, t)
+            else:
+                for d in dists:
+                    invert_cdf(d, t)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    inv_off_s = timed_inversions(False)
+    inv_on_s = timed_inversions(True)
+    evalcache.clear()
+
+    return {
+        "rate_points": len(scenario.rates),
+        "reps": reps,
+        "off_s": round(off_s, 4),
+        "on_s": round(on_s, 4),
+        "on_overhead": round(on_s / off_s - 1.0, 4) if off_s > 0 else None,
+        "bit_identical": identical,
+        "n_calls": sum(d["n_calls"] for d in diag_summaries),
+        "n_flagged": sum(d["n_flagged"] for d in diag_summaries),
+        "max_self_error": max(d["max_self_error"] for d in diag_summaries),
+        "max_cross_disagreement": max(
+            d["max_cross_disagreement"] for d in diag_summaries
+        ),
+        "inversion_off_s": round(inv_off_s, 4),
+        "inversion_on_s": round(inv_on_s, 4),
+        "inversion_on_overhead": (
+            round(inv_on_s / inv_off_s - 1.0, 4) if inv_off_s > 0 else None
+        ),
+    }
+
+
 def dig(tree: dict, path: tuple[str, ...]):
     node = tree
     for key in path:
@@ -576,6 +687,7 @@ KERNELS = {
     "trace_overhead": bench_trace_overhead,
     "sim_dispatch": bench_sim_dispatch,
     "laplace_batch": bench_laplace_batch,
+    "diagnostics_overhead": bench_diagnostics_overhead,
 }
 
 
@@ -646,6 +758,13 @@ def main(argv=None) -> int:
         print(
             f"  trace_overhead: off {tr['off_s']}s, on {tr['on_s']}s "
             f"(+{tr['on_overhead'] * 100:.1f}%)"
+        )
+    if "diagnostics_overhead" in kernels:
+        dg = kernels["diagnostics_overhead"]
+        print(
+            f"  diagnostics_overhead: off {dg['off_s']}s, on {dg['on_s']}s "
+            f"(+{dg['on_overhead'] * 100:.1f}%, "
+            f"bit_identical={dg['bit_identical']})"
         )
 
     result = {

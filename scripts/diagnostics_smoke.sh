@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Model-diagnostics smoke check.
+#
+# Exercises the whole diagnostics surface end to end at quick scale:
+#   1. `cosmodel inspect` -- distribution-tree introspection must render
+#      a non-empty tree with cache-sharing markers and a diagnosed SLA
+#      evaluation;
+#   2. `cosmodel sweep --diagnose --events --out` -- a two-point S1
+#      sweep with the event bus and inversion telemetry on;
+#   3. `cosmodel watch --once` -- the event log must replay the full
+#      point lifecycle;
+#   4. `cosmodel report` -- the sweep artifact must render the per-stage
+#      error attribution and the aggregated inversion diagnostics.
+#
+# Usage: scripts/diagnostics_smoke.sh
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+cd "$WORKDIR"
+
+run() {
+    env PYTHONPATH="$REPO_ROOT/src" python -m repro.cli "$@"
+}
+
+inspection="$(run inspect s1)"
+echo "$inspection"
+grep -q "distribution tree" <<<"$inspection"
+grep -q "shared x" <<<"$inspection"
+grep -q "inversion diagnostics session" <<<"$inspection"
+
+run sweep --workload s1 --quick --rates 40,100 --seed 7 \
+    --events events.jsonl --diagnose --out sweep.json
+
+watched="$(run watch events.jsonl --once)"
+echo "$watched"
+grep -q "sweep_started" <<<"$watched"
+grep -q "point_finished" <<<"$watched"
+grep -q "sweep_finished" <<<"$watched"
+
+report="$(run report sweep.json)"
+echo "$report"
+grep -q "error attribution" <<<"$report"
+grep -q "inversion diagnostics" <<<"$report"
+grep -q "run manifest" <<<"$report"
+
+echo "diagnostics smoke OK"

@@ -252,6 +252,130 @@ def _cmd_bench(args) -> int:
     return module.main(argv)
 
 
+def _cmd_inspect(args) -> int:
+    from repro.experiments.introspect import inspect_target, render_inspection
+
+    try:
+        model, slas, note = inspect_target(
+            args.target, rate=args.rate, seed=args.seed, quick=not args.full
+        )
+    except FileNotFoundError:
+        print(
+            f"unknown inspect target {args.target!r}: not a scenario "
+            "(s1, s16) and no such file",
+            file=sys.stderr,
+        )
+        return 2
+    print(render_inspection(model, slas, note))
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    from repro.obs.events import _fmt, follow
+
+    path = args.path
+    import os
+
+    if os.path.isdir(path):
+        path = os.path.join(path, "events.jsonl")
+    n = 0
+    for event in follow(path, once=args.once, timeout=args.timeout):
+        print(_fmt(event), flush=True)
+        n += 1
+    if n == 0:
+        print(f"(no events in {path})")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    import dataclasses
+
+    from repro.experiments import calibrate, run_sweep, scenario_s1, scenario_s16
+    from repro.experiments.attribution import render_attribution, write_sweep_artifact
+    from repro.obs import build_manifest, write_manifest
+    from repro.obs.manifest import RunTimer
+
+    scenario = {"s1": scenario_s1, "s16": scenario_s16}[args.workload](args.scale)
+    if args.quick:
+        scenario = dataclasses.replace(
+            scenario,
+            n_objects=15_000,
+            warm_accesses=40_000,
+            window_duration=10.0,
+            settle_duration=2.0,
+        )
+        calibration = calibrate(
+            scenario, disk_objects=800, parse_requests=50, seed=args.seed
+        )
+    else:
+        calibration = None
+    rates = (
+        tuple(float(r) for r in args.rates.split(","))
+        if args.rates
+        else None
+    )
+    with RunTimer() as timer:
+        sweep = run_sweep(
+            scenario,
+            calibration=calibration,
+            seed=args.seed,
+            rates=rates,
+            jobs=args.jobs,
+            events=args.events,
+            diagnose=args.diagnose,
+        )
+    print(
+        f"sweep {sweep.scenario}: {len(sweep.points)} points, "
+        f"{sum(p.n_requests for p in sweep.points)} requests"
+    )
+    print()
+    print(render_attribution(sweep))
+    diagnosed = [p.diagnostics for p in sweep.points if p.diagnostics]
+    if diagnosed:
+        print()
+        print(
+            "inversion diagnostics: "
+            f"{sum(d['n_calls'] for d in diagnosed)} calls, "
+            f"{sum(d['n_flagged'] for d in diagnosed)} flagged, "
+            f"max self-error "
+            f"{max(d['max_self_error'] for d in diagnosed):.3e}, "
+            f"max cross-method gap "
+            f"{max(d['max_cross_disagreement'] for d in diagnosed):.3e}"
+        )
+    if args.out:
+        write_sweep_artifact(sweep, args.out)
+        manifest = build_manifest(
+            command=f"cosmodel sweep --workload {args.workload}",
+            seed=args.seed,
+            config={
+                k: v for k, v in vars(args).items() if k != "func"
+            },
+            wall_s=timer.wall_s,
+            cpu_s=timer.cpu_s,
+            extra={
+                "n_points": len(sweep.points),
+                "diagnose": args.diagnose,
+                "events": args.events,
+                **(
+                    {
+                        "max_self_error": max(
+                            d["max_self_error"] for d in diagnosed
+                        ),
+                        "max_cross_disagreement": max(
+                            d["max_cross_disagreement"] for d in diagnosed
+                        ),
+                        "n_flagged": sum(d["n_flagged"] for d in diagnosed),
+                    }
+                    if diagnosed
+                    else {}
+                ),
+            },
+        )
+        sidecar = write_manifest(manifest, args.out)
+        print(f"\nwrote {args.out} (+ {sidecar.name})")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.obs.report import render_report
 
@@ -341,10 +465,90 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "report",
-        help="render an observability artifact (trace, manifest, histogram)",
+        help="render an observability artifact (trace, manifest, histogram, sweep)",
     )
     p.add_argument("artifact", help="trace JSONL, manifest sidecar or artifact path")
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser(
+        "inspect",
+        help="render a scenario's model composition: distribution tree, "
+        "stage means, inversion diagnostics",
+    )
+    p.add_argument(
+        "target",
+        help="scenario key (s1, s16) or a system-description JSON path",
+    )
+    p.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="arrival rate for the measurement window "
+        "(default: the scenario's middle rate point)",
+    )
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--full",
+        action="store_true",
+        help="measure at the scenario's full scale instead of the quick "
+        "inspection window",
+    )
+    p.set_defaults(func=_cmd_inspect)
+
+    p = sub.add_parser(
+        "watch",
+        help="tail a sweep event log live (see 'cosmodel sweep --events')",
+    )
+    p.add_argument(
+        "path", help="event JSONL path, or a directory containing events.jsonl"
+    )
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="print the current events and exit instead of following",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop following after this long without new events",
+    )
+    p.set_defaults(func=_cmd_watch)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run one scenario sweep with live events, per-point "
+        "diagnostics and error attribution",
+    )
+    p.add_argument("--workload", default="s1", choices=["s1", "s16"])
+    p.add_argument("--scale", default="ci", choices=["ci", "paper"])
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="goldens-scale measurement windows (fast; CI smoke uses this)",
+    )
+    p.add_argument(
+        "--rates",
+        default=None,
+        metavar="R1,R2,...",
+        help="comma-separated rate points (default: the scenario's grid)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="append per-point lifecycle events to this JSONL file",
+    )
+    p.add_argument(
+        "--diagnose",
+        action="store_true",
+        help="run each point inside an inversion DiagnosticsSession",
+    )
+    p.add_argument("--out", default=None, help="write the sweep artifact JSON here")
+    _add_jobs_arg(p)
+    p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
         "bench",

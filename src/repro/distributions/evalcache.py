@@ -63,6 +63,28 @@ def set_enabled(enabled: bool) -> None:
         clear()
 
 
+@contextlib.contextmanager
+def bypass():
+    """Temporarily disable memoisation *without* dropping cached entries.
+
+    Unlike :func:`set_enabled(False) <set_enabled>` -- which clears the
+    caches so stale state cannot linger across a configuration change --
+    this leaves every entry in place and simply falls through uncached
+    for the duration.  The diagnostics layer needs exactly that: its
+    cross-check and half-term re-inversions must not insert entries (or
+    trigger LRU evictions) that would perturb the cache state the
+    instrumented run sees, or an enabled :class:`DiagnosticsSession`
+    could change which main-path evaluations hit the memo.
+    """
+    global _enabled
+    prev = _enabled
+    _enabled = False
+    try:
+        yield
+    finally:
+        _enabled = prev
+
+
 def set_max_entries(n: int) -> None:
     """Re-bound each LRU to ``n`` entries, evicting immediately if over."""
     global _max_entries, _evictions

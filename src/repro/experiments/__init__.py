@@ -11,7 +11,20 @@
 """
 
 from repro.experiments.scenarios import SLAS, Scenario, scenario_s1, scenario_s16
-from repro.experiments.parallel import PointTask, SweepContext, resolve_jobs, run_point
+from repro.experiments.parallel import (
+    PointTask,
+    SweepContext,
+    measure_point,
+    resolve_jobs,
+    run_point,
+)
+from repro.experiments.attribution import (
+    StageAttribution,
+    error_attribution,
+    load_sweep_artifact,
+    render_attribution,
+    write_sweep_artifact,
+)
 from repro.experiments.runner import (
     CalibrationBundle,
     SweepPoint,
@@ -73,6 +86,12 @@ __all__ = [
     "SweepContext",
     "resolve_jobs",
     "run_point",
+    "measure_point",
+    "StageAttribution",
+    "error_attribution",
+    "render_attribution",
+    "write_sweep_artifact",
+    "load_sweep_artifact",
     "Fig5Result",
     "run_fig5",
     "FigureResult",

@@ -1,0 +1,257 @@
+"""Per-stage error attribution: *which stage* drives a prediction error.
+
+Table I reports end-to-end percentile errors; when a point is off, the
+paper's decomposition (Equation 2: ``S_fe = S_q * W_a * S_be``) says the
+error must have entered through one of the stages the model composes --
+frontend queueing+parse (``S_q``), accept wait (``W_a``), or backend
+response including the disk sojourn (``S_be``).  The sweep now records
+both sides of that decomposition per point (the simulator's observed
+per-stage means and the model's closed-form stage means, see
+:class:`~repro.experiments.runner.SweepPoint`), so the attribution is a
+pure join:
+
+    error_stage = model_stage_mean - observed_stage_mean
+
+with an explicit **dispatch residual** (the accepted -> backend-enqueue
+gap the simulator exposes but the model folds into ``W_a``) so the
+stage errors plus the residual sum *exactly* to the end-to-end mean
+error -- the report never hides mass in an unlabelled gap.
+
+The report is rendered by ``cosmodel report`` on sweep artifacts and by
+``cosmodel sweep`` at the end of a diagnosed run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+from repro.experiments.runner import SweepPoint, SweepResult
+
+__all__ = [
+    "StageAttribution",
+    "error_attribution",
+    "render_attribution",
+    "attribution_doc",
+    "SWEEP_KIND",
+    "sweep_doc",
+    "sweep_from_doc",
+    "write_sweep_artifact",
+    "load_sweep_artifact",
+]
+
+#: ``kind`` tag of a saved sweep artifact (``cosmodel sweep --out``).
+SWEEP_KIND = "cosmodel-sweep"
+
+#: Stages shared by the observed and model decompositions, in
+#: composition order.
+STAGES = ("frontend_sojourn", "accept_wait", "backend_response")
+
+_LABELS = {
+    "frontend_sojourn": "frontend S_q",
+    "accept_wait": "accept wait W_a",
+    "backend_response": "backend S_be",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class StageAttribution:
+    """Mean-latency error decomposition for one sweep point (seconds)."""
+
+    rate: float
+    observed: dict[str, float]  # stage -> observed mean
+    model: dict[str, float]  # stage -> model mean
+    errors: dict[str, float]  # stage -> model - observed
+    #: Observed mass between W_a and S_be the model does not name
+    #: (accepted -> backend-enqueue dispatch), entering with a *minus*
+    #: sign: the model's total omits it.
+    dispatch_residual: float
+    end_to_end_error: float  # model total - observed mean response
+
+    @property
+    def dominant_stage(self) -> str:
+        """The stage with the largest absolute error contribution."""
+        return max(self.errors, key=lambda k: abs(self.errors[k]))
+
+    @property
+    def identity_gap(self) -> float:
+        """``sum(stage errors) - residual - end-to-end`` -- zero up to
+        float roundoff by construction; exposed so tests can assert it."""
+        return (
+            sum(self.errors.values())
+            - self.dispatch_residual
+            - self.end_to_end_error
+        )
+
+
+def error_attribution(sweep: SweepResult) -> list[StageAttribution]:
+    """Attribute each point's mean-latency error to Equation-2 stages.
+
+    Points missing stage data (artifacts recorded before stage capture,
+    or points where the primary model was unstable) are skipped; an
+    empty list means the sweep carries no attributable points.
+    """
+    out: list[StageAttribution] = []
+    for point in sweep.points:
+        obs = point.observed_stages
+        mod = point.model_stages
+        if not obs or not mod:
+            continue
+        errors = {stage: mod[stage] - obs[stage] for stage in STAGES}
+        stage_sum_obs = sum(obs[stage] for stage in STAGES)
+        residual = obs["response"] - stage_sum_obs
+        end_to_end = mod["total"] - obs["response"]
+        out.append(
+            StageAttribution(
+                rate=point.rate,
+                observed={k: obs[k] for k in STAGES},
+                model={k: mod[k] for k in STAGES},
+                errors=errors,
+                dispatch_residual=residual,
+                end_to_end_error=end_to_end,
+            )
+        )
+    return out
+
+
+def render_attribution(sweep: SweepResult) -> str:
+    """Table: per-point stage errors, residual, dominant stage."""
+    rows = error_attribution(sweep)
+    if not rows:
+        return (
+            f"error attribution ({sweep.scenario}): no points with stage "
+            "data (artifact predates stage capture, or model unstable)"
+        )
+    lines = [
+        f"error attribution ({sweep.scenario}), mean latency in ms "
+        "(model - observed):",
+        f"  {'rate':>8}  "
+        + "".join(f"{_LABELS[s]:>18}" for s in STAGES)
+        + f"{'dispatch':>12}{'end-to-end':>12}  dominant",
+    ]
+    for row in rows:
+        cells = "".join(f"{row.errors[s] * 1e3:>+18.4f}" for s in STAGES)
+        lines.append(
+            f"  {row.rate:>8g}  {cells}"
+            f"{-row.dispatch_residual * 1e3:>+12.4f}"
+            f"{row.end_to_end_error * 1e3:>+12.4f}"
+            f"  {_LABELS[row.dominant_stage]}"
+        )
+    worst = max(rows, key=lambda r: abs(r.end_to_end_error))
+    lines.append(
+        f"  worst point: rate {worst.rate:g} "
+        f"({worst.end_to_end_error * 1e3:+.4f} ms end-to-end, "
+        f"dominated by {_LABELS[worst.dominant_stage]})"
+    )
+    return "\n".join(lines)
+
+
+def attribution_doc(sweep: SweepResult) -> list[dict]:
+    """JSON-ready attribution rows (stored in sweep artifacts)."""
+    docs = []
+    for row in error_attribution(sweep):
+        docs.append(
+            {
+                "rate": row.rate,
+                "observed": row.observed,
+                "model": row.model,
+                "errors": row.errors,
+                "dispatch_residual": row.dispatch_residual,
+                "end_to_end_error": row.end_to_end_error,
+                "dominant_stage": row.dominant_stage,
+            }
+        )
+    return docs
+
+
+# ----------------------------------------------------------------------
+# Sweep artifact (de)serialisation
+# ----------------------------------------------------------------------
+# JSON keys are strings, so the float SLA keys of ``observed`` /
+# ``predicted`` round-trip through ``repr`` and back through ``float``.
+
+
+def sweep_doc(sweep: SweepResult) -> dict:
+    """JSON-ready document of a full sweep, attribution included."""
+    return {
+        "kind": SWEEP_KIND,
+        "scenario": sweep.scenario,
+        "slas": list(sweep.slas),
+        "models": list(sweep.models),
+        "points": [
+            {
+                "rate": p.rate,
+                "n_requests": p.n_requests,
+                "observed": {repr(k): v for k, v in p.observed.items()},
+                "predicted": {
+                    m: {repr(k): v for k, v in by_sla.items()}
+                    for m, by_sla in p.predicted.items()
+                },
+                "max_utilization": p.max_utilization,
+                "observed_stages": p.observed_stages,
+                "model_stages": p.model_stages,
+                "diagnostics": p.diagnostics,
+            }
+            for p in sweep.points
+        ],
+        "attribution": attribution_doc(sweep),
+    }
+
+
+def sweep_from_doc(doc: dict) -> SweepResult:
+    """Rebuild a :class:`SweepResult` from :func:`sweep_doc` output."""
+    if doc.get("kind") != SWEEP_KIND:
+        raise ValueError(
+            f"not a sweep artifact (kind={doc.get('kind')!r}, "
+            f"expected {SWEEP_KIND!r})"
+        )
+    points = tuple(
+        SweepPoint(
+            rate=float(p["rate"]),
+            n_requests=int(p["n_requests"]),
+            observed={float(k): _nan_float(v) for k, v in p["observed"].items()},
+            predicted={
+                m: {float(k): _nan_float(v) for k, v in by_sla.items()}
+                for m, by_sla in p["predicted"].items()
+            },
+            max_utilization=_nan_float(p["max_utilization"]),
+            observed_stages=p.get("observed_stages"),
+            model_stages=p.get("model_stages"),
+            diagnostics=p.get("diagnostics"),
+        )
+        for p in doc["points"]
+    )
+    return SweepResult(
+        scenario=doc["scenario"],
+        slas=tuple(float(s) for s in doc["slas"]),
+        models=tuple(doc["models"]),
+        points=points,
+    )
+
+
+def _nan_float(value) -> float:
+    return float("nan") if value is None else float(value)
+
+
+def write_sweep_artifact(sweep: SweepResult, path: str | os.PathLike) -> None:
+    with open(path, "w") as fh:
+        json.dump(_json_safe(sweep_doc(sweep)), fh, indent=2)
+        fh.write("\n")
+
+
+def load_sweep_artifact(path: str | os.PathLike) -> SweepResult:
+    with open(path) as fh:
+        return sweep_from_doc(json.load(fh))
+
+
+def _json_safe(value):
+    """NaN/inf are not valid JSON: encode them as ``None`` on the way
+    out (readers map ``None`` back to NaN where a float is expected)."""
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, float) and value != value:
+        return None
+    return value

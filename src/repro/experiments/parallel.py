@@ -47,6 +47,7 @@ __all__ = [
     "SweepContext",
     "PointTask",
     "run_point",
+    "measure_point",
     "execute",
     "resolve_jobs",
 ]
@@ -67,6 +68,13 @@ class SweepContext:
     rescale_service: bool
     ring_assignment: np.ndarray
     cache_snapshot: tuple
+    #: JSONL event-log path for per-point lifecycle events (None = off).
+    #: A path, not a handle: each worker process opens its own O_APPEND
+    #: descriptor, so events from a pool interleave line-atomically.
+    events_path: str | None = None
+    #: Run each point inside a DiagnosticsSession and attach its summary
+    #: to the SweepPoint.  Pure observer -- results stay bit-identical.
+    diagnose: bool = False
 
 
 @dataclasses.dataclass(frozen=True, eq=False)
@@ -134,15 +142,79 @@ def run_point(ctx: SweepContext, task: PointTask):
     was_enabled = gc.isenabled()
     gc.disable()
     try:
-        return _run_point(ctx, task)
+        if ctx.events_path is None and not ctx.diagnose:
+            return _run_point(ctx, task)
+        return _run_point_instrumented(ctx, task)
     finally:
         if was_enabled:
             gc.enable()
 
 
-def _run_point(ctx: SweepContext, task: PointTask):
-    from repro.experiments.runner import SweepPoint
+def _run_point_instrumented(ctx: SweepContext, task: PointTask):
+    """The observed variant of :func:`_run_point`: events + diagnostics.
 
+    Kept out of the plain path so an uninstrumented sweep pays nothing.
+    Events carry wall-clock data and go to a sidecar log; the
+    diagnostics session only *reads* the inversions the point performs
+    (its re-inversions bypass the eval cache).  Neither touches a random
+    stream, so the returned numbers equal the plain path's exactly.
+    """
+    import time
+
+    log = None
+    if ctx.events_path is not None:
+        from repro.obs.events import EventLog
+
+        log = EventLog(ctx.events_path)
+        log.emit(
+            "point_started",
+            scenario=task.context_key,
+            index=task.index,
+            rate=task.rate,
+        )
+    session = None
+    if ctx.diagnose:
+        from repro.obs.diagnostics import DiagnosticsSession
+
+        session = DiagnosticsSession()
+    start = time.perf_counter()
+    point = failed = object()  # sentinel: distinguishes "raised" from None
+    try:
+        if session is not None:
+            with session:
+                point = _run_point(ctx, task)
+            if point is not None:
+                point = dataclasses.replace(point, diagnostics=session.summary())
+        else:
+            point = _run_point(ctx, task)
+    finally:
+        if log is not None:
+            fields = {
+                "scenario": task.context_key,
+                "index": task.index,
+                "rate": task.rate,
+                "wall_s": time.perf_counter() - start,
+            }
+            if session is not None:
+                fields["diagnostics"] = session.summary()
+            if point is not failed and point is not None:
+                fields["n_requests"] = point.n_requests
+            log.emit("point_finished", **fields)
+            log.close()
+    return point
+
+
+def measure_point(ctx: SweepContext, task: PointTask):
+    """Simulate one rate point's window and fit the model inputs.
+
+    The measurement half of :func:`run_point`: settle, measure a window,
+    collect the online metrics and return ``(table, observed, stages,
+    params)`` -- ``params`` the fitted
+    :class:`~repro.model.SystemParameters` -- or four ``None``s when the
+    window recorded no requests.  Shared by the sweep itself and by
+    ``cosmodel inspect``, which wants the fitted parameters (to build
+    and introspect the model) without the prediction loop.
+    """
     scenario = ctx.scenario
     calibration = ctx.calibration
     profile = calibration.profile
@@ -178,9 +250,19 @@ def _run_point(ctx: SweepContext, task: PointTask):
     cluster.run_until(t1 + 5.0)
     table = cluster.metrics.requests().window(t0, t1)
     if len(table) == 0:
-        return None
+        return None, None, None, None
     observed = {
         sla: float((table.response_latency <= sla).mean()) for sla in scenario.slas
+    }
+    # Observed per-stage means, same Equation-2 decomposition the model
+    # predicts.  The stages do not *quite* sum to the response latency:
+    # the accepted -> backend-enqueue dispatch gap sits between W_a and
+    # S_be; the attribution report carries it as an explicit residual.
+    observed_stages = {
+        "frontend_sojourn": float(table.frontend_sojourn.mean()),
+        "accept_wait": float(table.accept_wait.mean()),
+        "backend_response": float(table.backend_response.mean()),
+        "response": float(table.response_latency.mean()),
     }
 
     aggregate_mean = None
@@ -207,9 +289,21 @@ def _run_point(ctx: SweepContext, task: PointTask):
         if m.request_rate > 0.0
     )
     params = SystemParameters(frontend, device_params)
+    return table, observed, observed_stages, params
 
+
+def _run_point(ctx: SweepContext, task: PointTask):
+    from repro.experiments.runner import SweepPoint
+
+    scenario = ctx.scenario
+    table, observed, observed_stages, params = measure_point(ctx, task)
+    if table is None:
+        return None
+
+    rate = task.rate
     predicted: dict[str, dict[float, float]] = {}
     max_util = float("nan")
+    model_stages = None
     for family in ctx.models:
         try:
             model = build_model(family, params)
@@ -219,12 +313,17 @@ def _run_point(ctx: SweepContext, task: PointTask):
         predicted[family] = {sla: model.sla_percentile(sla) for sla in scenario.slas}
         if family == "ours":
             max_util = max(model.utilizations().values())
+            stage_means = getattr(model, "stage_means", None)
+            if stage_means is not None:
+                model_stages = stage_means()
     return SweepPoint(
         rate=float(rate),
         n_requests=len(table),
         observed=observed,
         predicted=predicted,
         max_utilization=max_util,
+        observed_stages=observed_stages,
+        model_stages=model_stages,
     )
 
 

@@ -87,13 +87,27 @@ def calibrate(
 
 @dataclasses.dataclass(frozen=True)
 class SweepPoint:
-    """One rate step of the sweep."""
+    """One rate step of the sweep.
+
+    ``observed_stages`` / ``model_stages`` carry the per-stage mean
+    latencies (``frontend_sojourn`` / ``accept_wait`` /
+    ``backend_response`` plus totals) that the error-attribution report
+    joins; they are deterministic functions of the window and the model
+    composition, so recording them never perturbs bit-identity.
+    ``diagnostics`` holds a
+    :meth:`~repro.obs.diagnostics.DiagnosticsSession.summary` dict when
+    the sweep ran with ``diagnose=True`` (``None`` otherwise) -- it is
+    telemetry *about* the numbers, never an input to them.
+    """
 
     rate: float
     n_requests: int
     observed: dict[float, float]  # sla -> observed percentile
     predicted: dict[str, dict[float, float]]  # model -> sla -> percentile
     max_utilization: float
+    observed_stages: dict[str, float] | None = None
+    model_stages: dict[str, float] | None = None
+    diagnostics: dict | None = None
 
     def error(self, model: str, sla: float) -> float:
         """Signed prediction error (predicted - observed)."""
@@ -142,6 +156,8 @@ def _prepare_context(
     calibration: CalibrationBundle | None,
     seed: int,
     rescale_service: bool,
+    events_path: str | None = None,
+    diagnose: bool = False,
 ) -> SweepContext:
     """Calibrate, build the ring and warm the caches once per scenario."""
     if calibration is None:
@@ -157,6 +173,8 @@ def _prepare_context(
         rescale_service=rescale_service,
         ring_assignment=warm_cluster.ring.assignment,
         cache_snapshot=warm_cluster.cache_state(),
+        events_path=events_path,
+        diagnose=diagnose,
     )
 
 
@@ -206,6 +224,8 @@ def run_sweep(
     rates: Iterable[float] | None = None,
     rescale_service: bool = False,
     jobs: int | None = None,
+    events: str | None = None,
+    diagnose: bool = False,
 ) -> SweepResult:
     """Execute the full sweep for ``scenario``.
 
@@ -219,6 +239,13 @@ def run_sweep(
     serial, ``0`` = all cores).  Results are bit-identical for any
     ``jobs`` value: every point's randomness derives from spawned
     ``SeedSequence`` children, never from execution order.
+
+    ``events`` names a JSONL event-log path: per-point lifecycle events
+    are appended there as the sweep runs (``cosmodel watch`` tails it).
+    ``diagnose=True`` runs each point inside a
+    :class:`~repro.obs.diagnostics.DiagnosticsSession` and attaches its
+    summary to the point (and its events).  Both are pure observers:
+    results are bit-identical with them on or off.
     """
     ctx = _prepare_context(
         scenario,
@@ -226,10 +253,20 @@ def run_sweep(
         calibration=calibration,
         seed=seed,
         rescale_service=rescale_service,
+        events_path=events,
+        diagnose=diagnose,
     )
     sweep_rates = tuple(rates) if rates is not None else scenario.rates
     tasks = _point_tasks(scenario.name, scenario, sweep_rates, seed)
+    log = _sweep_log(events, {scenario.name: len(tasks)}, tasks)
     results = execute({scenario.name: ctx}, tasks, jobs)
+    if log is not None:
+        log.emit(
+            "sweep_finished",
+            scenario=scenario.name,
+            n_finished=sum(r is not None for r in results),
+        )
+        log.close()
     return _assemble(scenario, models, results)
 
 
@@ -241,6 +278,8 @@ def run_sweeps(
     seed: int = 0,
     rescale_service: bool = False,
     jobs: int | None = None,
+    events: str | None = None,
+    diagnose: bool = False,
 ) -> dict[str, SweepResult]:
     """Run several scenario sweeps with all points in ONE worker pool.
 
@@ -248,7 +287,8 @@ def run_sweeps(
     two task lists keeps every worker busy through the tail of each
     scenario.  Per-scenario results equal what :func:`run_sweep` would
     return for the same seed (point seeds depend only on the scenario's
-    rate index, not on pooling).
+    rate index, not on pooling).  ``events`` / ``diagnose`` behave as in
+    :func:`run_sweep`, with all scenarios sharing one event log.
     """
     contexts = {
         key: _prepare_context(
@@ -257,17 +297,51 @@ def run_sweeps(
             calibration=calibrations.get(key) if calibrations else None,
             seed=seed,
             rescale_service=rescale_service,
+            events_path=events,
+            diagnose=diagnose,
         )
         for key, scenario in scenarios.items()
     }
     tasks: list[PointTask] = []
     for key, scenario in scenarios.items():
         tasks.extend(_point_tasks(key, scenario, tuple(scenario.rates), seed))
+    log = _sweep_log(
+        events,
+        {key: sum(t.context_key == key for t in tasks) for key in scenarios},
+        tasks,
+    )
     results = execute(contexts, tasks, jobs)
     by_key: dict[str, list[SweepPoint | None]] = {key: [] for key in scenarios}
     for task, result in zip(tasks, results):
         by_key[task.context_key].append(result)
+    if log is not None:
+        for key in scenarios:
+            log.emit(
+                "sweep_finished",
+                scenario=key,
+                n_finished=sum(r is not None for r in by_key[key]),
+            )
+        log.close()
     return {
         key: _assemble(scenario, models, by_key[key])
         for key, scenario in scenarios.items()
     }
+
+
+def _sweep_log(events: str | None, n_points: Mapping[str, int], tasks):
+    """Open the event log and emit the queued-phase events (or ``None``)."""
+    if events is None:
+        return None
+    from repro.obs.events import EventLog
+
+    log = EventLog(events)
+    for key, n in n_points.items():
+        log.emit("sweep_started", scenario=key, n_points=int(n))
+    for task in tasks:
+        log.emit(
+            "point_queued",
+            scenario=task.context_key,
+            index=task.index,
+            rate=task.rate,
+        )
+    return log

@@ -185,6 +185,34 @@ class LatencyPercentileModel:
         """Per-device union-operation queue utilisation."""
         return {name: be.utilization for name, be in self._backends.items()}
 
+    def stage_means(self) -> dict[str, float]:
+        """Rate-weighted mean latency per Equation-2 stage.
+
+        Aggregates :meth:`breakdown` with the same per-device rate
+        weights the Equation-3 mixture uses, so the stage means sum to
+        the model's mean response latency and line up one-to-one with
+        the simulator's observed ``frontend_sojourn`` / ``accept_wait``
+        / ``backend_response`` columns -- the join the error-attribution
+        report (:mod:`repro.experiments.attribution`) is built on.
+        """
+        rates = np.asarray([d.request_rate for d in self.params.devices])
+        weights = rates / rates.sum()
+        rows = self.breakdown()
+        stages = {
+            "frontend_sojourn": sum(
+                w * b.mean_frontend_queueing for w, b in zip(weights, rows)
+            ),
+            "accept_wait": sum(
+                w * b.mean_accept_wait for w, b in zip(weights, rows)
+            ),
+            "backend_response": sum(
+                w * b.mean_backend_response for w, b in zip(weights, rows)
+            ),
+        }
+        stages = {k: float(v) for k, v in stages.items()}
+        stages["total"] = sum(stages.values())
+        return stages
+
     def max_stable_scale(self, *, tol: float = 1e-4) -> float:
         """Largest uniform load multiplier keeping every queue stable.
 

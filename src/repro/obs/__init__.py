@@ -18,12 +18,33 @@ diagnosable after the fact:
   time and evaluation-cache counters.
 * :mod:`repro.obs.profiling` -- per-stage wall timers and counters for
   the model evaluation pipeline.
+* :mod:`repro.obs.diagnostics` -- *model-side* diagnostics: a
+  :class:`~repro.obs.diagnostics.DiagnosticsSession` that collects
+  per-inversion convergence telemetry (self-error, cross-method
+  disagreement, repaired probability mass) from the Laplace layer, and
+  :func:`~repro.obs.diagnostics.describe_tree` /
+  :func:`~repro.obs.diagnostics.render_tree`, a structural walker over
+  composite distribution trees (``cosmodel inspect``).
+* :mod:`repro.obs.events` -- the sweep event bus: per-point lifecycle
+  events (queued / started / finished) appended atomically to a JSONL
+  file by serial and parallel runners alike, tailed live by
+  ``cosmodel watch``.
 
 ``cosmodel report <artifact>`` (see :mod:`repro.obs.report`) renders
-any of the produced artifacts -- a trace, a histogram dump, a manifest
--- as a summary table.  See ``docs/OBSERVABILITY.md``.
+any of the produced artifacts -- a trace, a histogram dump, a manifest,
+a sweep artifact -- as a summary table.  See ``docs/OBSERVABILITY.md``.
 """
 
+from repro.obs.diagnostics import (
+    DiagnosticsSession,
+    InversionRecord,
+    TreeNode,
+    current_session,
+    describe_tree,
+    render_tree,
+    tree_summary,
+)
+from repro.obs.events import EventLog, follow, read_events, render_events
 from repro.obs.hist import LatencyHistogram
 from repro.obs.manifest import build_manifest, manifest_path_for, write_manifest
 from repro.obs.profiling import StageProfiler
@@ -37,4 +58,15 @@ __all__ = [
     "write_manifest",
     "manifest_path_for",
     "StageProfiler",
+    "DiagnosticsSession",
+    "InversionRecord",
+    "current_session",
+    "TreeNode",
+    "describe_tree",
+    "render_tree",
+    "tree_summary",
+    "EventLog",
+    "read_events",
+    "render_events",
+    "follow",
 ]

@@ -1,0 +1,210 @@
+"""Sweep event bus: per-point lifecycle events as append-only JSONL.
+
+A paper-scale sweep is minutes of silence followed by a table.  The
+event bus makes the run observable while it happens: the serial and
+parallel runners emit one JSON object per lifecycle transition --
+``sweep_started``, ``point_queued``, ``point_started``,
+``point_finished``, ``sweep_finished`` -- to a shared log file, and
+``cosmodel watch <path>`` tails it live.
+
+Design constraints, in order:
+
+* **Multi-process safe.**  Parallel workers append to the same file.
+  Each event is written with a *single* ``os.write`` on an
+  ``O_APPEND`` descriptor -- POSIX guarantees the append offset is
+  atomic per call, so lines never interleave even across processes.
+* **Bit-identity.**  Events carry wall-clock timestamps and PIDs, which
+  differ run to run -- so events go to their own sidecar file, never
+  into result artifacts, and emitting them touches no random stream.
+* **Crash-robust.**  The log is valid JSONL at every instant; a reader
+  tolerates a truncated final line (the writer died mid-``write`` only
+  if the OS did, but a tail may race the write).
+
+Event schema (all events)::
+
+    {"event": <kind>, "t": <unix seconds>, "pid": <writer pid>, ...}
+
+kind-specific fields: ``scenario`` and ``n_points``/``n_finished`` on
+sweep events; ``scenario``, ``index`` and ``rate`` on point events;
+``wall_s``, ``n_requests`` and (for diagnosed runs) a ``diagnostics``
+summary dict on ``point_finished``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Iterator
+
+__all__ = [
+    "EventLog",
+    "read_events",
+    "render_events",
+    "follow",
+    "EVENT_KINDS",
+]
+
+EVENT_KINDS = (
+    "sweep_started",
+    "point_queued",
+    "point_started",
+    "point_finished",
+    "sweep_finished",
+)
+
+
+class EventLog:
+    """Append-only JSONL event writer; safe to share across processes.
+
+    Open lazily per process: pickling an :class:`EventLog` (e.g. inside
+    a :class:`~repro.experiments.parallel.SweepContext` shipped to a
+    worker) transfers only the path, and the worker opens its own
+    ``O_APPEND`` descriptor on first emit.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = str(path)
+        self._fd: int | None = None
+
+    # -- pickling: carry the path, never the descriptor -----------------
+    def __getstate__(self) -> dict:
+        return {"path": self.path}
+
+    def __setstate__(self, state: dict) -> None:
+        self.path = state["path"]
+        self._fd = None
+
+    def _descriptor(self) -> int:
+        if self._fd is None:
+            self._fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+        return self._fd
+
+    def emit(self, event: str, **fields) -> None:
+        """Append one event.  A single ``os.write`` keeps it atomic."""
+        if event not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown event kind {event!r}; choose from {EVENT_KINDS}"
+            )
+        doc = {"event": event, "t": time.time(), "pid": os.getpid()}
+        doc.update(fields)
+        line = json.dumps(doc, sort_keys=True) + "\n"
+        os.write(self._descriptor(), line.encode())
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_events(path: str | os.PathLike) -> list[dict]:
+    """Parse an event log; silently drops a truncated trailing line."""
+    events: list[dict] = []
+    lines = Path(path).read_text().splitlines()
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            # A reader can race the final append; anything earlier is a
+            # real corruption worth surfacing.
+            if i != len(lines) - 1:
+                raise
+    return events
+
+
+def _fmt(event: dict) -> str:
+    kind = event.get("event", "?")
+    clock = time.strftime("%H:%M:%S", time.localtime(event.get("t", 0.0)))
+    scenario = event.get("scenario", "?")
+    if kind in ("sweep_started", "sweep_finished"):
+        n = event.get("n_points", event.get("n_finished", "?"))
+        extra = f"{n} points"
+        if kind == "sweep_finished" and "wall_s" in event:
+            extra += f", {event['wall_s']:.2f}s"
+        return f"{clock}  {scenario:<6} {kind:<15} {extra}"
+    bits = [f"rate={event.get('rate', float('nan')):g}"]
+    if "wall_s" in event:
+        bits.append(f"{event['wall_s']:.2f}s")
+    if "n_requests" in event:
+        bits.append(f"{event['n_requests']} req")
+    diag = event.get("diagnostics")
+    if diag:
+        bits.append(
+            f"inv {diag.get('n_calls', 0)} calls"
+            f"/{diag.get('n_flagged', 0)} flagged"
+            f" self<={diag.get('max_self_error', float('nan')):.1e}"
+        )
+    return (
+        f"{clock}  {scenario:<6} {kind:<15} "
+        f"#{event.get('index', '?')} {' '.join(bits)}"
+    )
+
+
+def render_events(events: list[dict]) -> str:
+    """One line per event, human-oriented."""
+    return "\n".join(_fmt(e) for e in events)
+
+
+def follow(
+    path: str | os.PathLike,
+    *,
+    once: bool = False,
+    poll_interval: float = 0.25,
+    timeout: float | None = None,
+) -> Iterator[dict]:
+    """Yield events as they are appended (``tail -f`` semantics).
+
+    ``once=True`` yields what is currently in the file and returns --
+    the CI-friendly mode.  Otherwise the generator polls until it has
+    seen a ``sweep_finished`` for every ``sweep_started`` (and at least
+    one sweep), or ``timeout`` seconds pass without the file existing
+    or growing.
+    """
+    path = Path(path)
+    offset = 0
+    buffer = ""
+    open_sweeps = 0
+    seen_sweep = False
+    idle = 0.0
+    while True:
+        if path.exists():
+            with open(path, "r") as fh:
+                fh.seek(offset)
+                chunk = fh.read()
+            if chunk:
+                idle = 0.0
+                offset += len(chunk)
+                buffer += chunk
+                lines = buffer.split("\n")
+                buffer = lines.pop()  # "" on a complete final line
+                for line in lines:
+                    if not line.strip():
+                        continue
+                    event = json.loads(line)
+                    kind = event.get("event")
+                    if kind == "sweep_started":
+                        seen_sweep = True
+                        open_sweeps += 1
+                    elif kind == "sweep_finished":
+                        open_sweeps -= 1
+                    yield event
+        if once:
+            return
+        if seen_sweep and open_sweeps <= 0:
+            return
+        time.sleep(poll_interval)
+        idle += poll_interval
+        if timeout is not None and idle >= timeout:
+            return

@@ -10,11 +10,15 @@ content:
 * a **manifest** (``*.manifest.json`` sidecar) renders its provenance
   fields and eval-cache counters;
 * a **histogram dump** (:meth:`LatencyHistogram.to_dict`) renders the
-  headline percentiles and the accuracy bound.
+  headline percentiles and the accuracy bound;
+* a **sweep artifact** (``cosmodel sweep --out``) renders the per-point
+  summary, the per-stage error-attribution table and the aggregated
+  inversion diagnostics.
 
 For any other file the reporter looks for a ``<file>.manifest.json``
 sidecar and renders that, so ``cosmodel report results/fig6.txt`` does
-the right thing for plain-text artifacts too.
+the right thing for plain-text artifacts too; with no sidecar either it
+prints a "no manifest" note instead of failing.
 """
 
 from __future__ import annotations
@@ -31,6 +35,7 @@ __all__ = [
     "render_trace_report",
     "render_manifest",
     "render_histogram",
+    "render_sweep_report",
 ]
 
 #: Percentiles every latency table reports.
@@ -148,6 +153,57 @@ def render_histogram(doc: dict) -> str:
     return "\n".join(lines)
 
 
+def render_sweep_report(doc: dict, path: Path) -> str:
+    """Sweep artifact: per-point summary, error attribution, diagnostics.
+
+    Imports the experiments layer lazily -- ``repro.obs`` stays
+    importable without it, and only sweep artifacts pay the import.
+    """
+    from repro.experiments.attribution import render_attribution, sweep_from_doc
+
+    sweep = sweep_from_doc(doc)
+    lines = [
+        f"sweep artifact: {sweep.scenario} "
+        f"({len(sweep.points)} points, models: {', '.join(sweep.models)})",
+        "",
+    ]
+    head = f"  {'rate':>8} {'requests':>9} {'max util':>9}"
+    slas = sweep.slas
+    for sla in slas:
+        head += f"  {'obs@' + format(sla * 1e3, 'g') + 'ms':>11}"
+    lines.append(head)
+    for p in sweep.points:
+        row = f"  {p.rate:>8g} {p.n_requests:>9d} {p.max_utilization:>9.3f}"
+        for sla in slas:
+            row += f"  {p.observed[sla]:>11.4f}"
+        lines.append(row)
+    lines.append("")
+    lines.append(render_attribution(sweep))
+    diagnosed = [p for p in sweep.points if p.diagnostics]
+    if diagnosed:
+        worst_self = max(
+            (p.diagnostics.get("max_self_error") or 0.0) for p in diagnosed
+        )
+        worst_cross = max(
+            (p.diagnostics.get("max_cross_disagreement") or 0.0)
+            for p in diagnosed
+        )
+        flagged = sum(p.diagnostics.get("n_flagged", 0) for p in diagnosed)
+        calls = sum(p.diagnostics.get("n_calls", 0) for p in diagnosed)
+        lines.append("")
+        lines.append(
+            "inversion diagnostics: "
+            f"{calls} calls across {len(diagnosed)} points, "
+            f"{flagged} flagged, max self-error {worst_self:.3e}, "
+            f"max cross-method gap {worst_cross:.3e}"
+        )
+    sidecar = manifest_path_for(path)
+    if sidecar.exists():
+        lines.append("")
+        lines.append(render_manifest(json.loads(sidecar.read_text())))
+    return "\n".join(lines)
+
+
 def _looks_like_histogram(doc: dict) -> bool:
     return {"min_value", "max_value", "buckets_per_decade", "counts"} <= doc.keys()
 
@@ -171,6 +227,8 @@ def render_report(path: str) -> str:
                 return render_manifest(doc)
             if _looks_like_histogram(doc):
                 return render_histogram(doc)
+            if doc.get("kind") == "cosmodel-sweep":
+                return render_sweep_report(doc, p)
             # JSONL traces also start with "{" but fail whole-file JSON
             # parsing (multiple documents); fall through below.
             sections.append(f"artifact: {p.name} (JSON)")
@@ -187,14 +245,18 @@ def render_report(path: str) -> str:
             return "\n\n".join(sections)
         if doc is None and first_line.startswith("{"):
             return render_trace_report(read_trace(p))
-    # Plain-text artifact: report its sidecar if one exists.
+    # Plain-text artifact: report its sidecar if one exists.  Artifacts
+    # written before manifests existed have none -- degrade to a note
+    # rather than refusing to report at all.
     sidecar = manifest_path_for(p)
     if sidecar.exists():
         return (
             f"artifact: {p.name}\n\n"
             + render_manifest(json.loads(sidecar.read_text()))
         )
-    raise ValueError(
-        f"unrecognised artifact {path!r}: not a trace (.jsonl), manifest, "
-        "histogram dump, or a file with a .manifest.json sidecar"
+    return (
+        f"artifact: {p.name}\n\n"
+        "  (no manifest sidecar: this artifact predates provenance "
+        "recording or was moved without its .manifest.json; re-generate "
+        "it with a current cosmodel to record one)"
     )

@@ -358,14 +358,16 @@ class TestReportCommand:
         out = render_report(str(path))
         assert "latency histogram" in out and "p99" in out
 
-    def test_unrecognised_artifact_errors(self, tmp_path):
+    def test_manifestless_artifact_degrades_to_note(self, tmp_path):
+        # Artifacts that predate provenance recording (or were moved
+        # without their sidecar) get a "no manifest" note, not an error.
         from repro.cli import main
 
         bare = tmp_path / "notes.txt"
         bare.write_text("hello\n")
-        with pytest.raises(ValueError, match="unrecognised"):
-            render_report(str(bare))
-        assert main(["report", str(bare)]) == 2
+        out = render_report(str(bare))
+        assert "no manifest sidecar" in out
+        assert main(["report", str(bare)]) == 0
         assert main(["report", str(tmp_path / "missing.json")]) == 2
 
 
