@@ -64,6 +64,15 @@ from repro.experiments.faults import (
     run_fault_scenario,
 )
 from repro.experiments.cdf_validation import CdfValidation, run_cdf_validation
+from repro.experiments.fleet import (
+    ClusterTask,
+    FleetResult,
+    FleetScenario,
+    ShardPlan,
+    build_cluster_tasks,
+    cluster_owner,
+    run_fleet,
+)
 from repro.experiments.assumptions import (
     AssumptionStudy,
     run_timeout_study,
@@ -117,6 +126,13 @@ __all__ = [
     "run_fault_scenario",
     "CdfValidation",
     "run_cdf_validation",
+    "ClusterTask",
+    "FleetResult",
+    "FleetScenario",
+    "ShardPlan",
+    "build_cluster_tasks",
+    "cluster_owner",
+    "run_fleet",
     "AssumptionStudy",
     "run_timeout_study",
     "run_write_fraction_study",

@@ -29,6 +29,7 @@ from repro.simulator.metrics import (
     MetricsRecorder,
     PhaseStats,
     RequestTable,
+    merge_recorder_states,
     phase_attribution,
     sla_percentile,
     sla_percentile_ci,
@@ -64,6 +65,7 @@ __all__ = [
     "MetricsRecorder",
     "PhaseStats",
     "RequestTable",
+    "merge_recorder_states",
     "phase_attribution",
     "sla_percentile",
     "sla_percentile_ci",

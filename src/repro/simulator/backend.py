@@ -117,7 +117,7 @@ class StorageProcess:
     """
 
     __slots__ = ("sim", "device", "pid", "queue", "busy", "_ops",
-                 "_finish_accept_op", "_parse_op")
+                 "_finish_accept_op", "_parse_op", "_running", "_advance")
 
     def __init__(self, sim: Simulator, device: "StorageDevice", pid: int) -> None:
         self.sim = sim
@@ -134,6 +134,8 @@ class StorageProcess:
         )
         self._finish_accept_op = sim.register(self._finish_accept)
         self._parse_op = sim.register(self._after_parse)
+        self._running = False
+        self._advance = False
 
     # ------------------------------------------------------------------
     def enqueue(self, op: tuple) -> None:
@@ -142,13 +144,38 @@ class StorageProcess:
             self._next()
 
     def _next(self) -> None:
-        q = self.queue
-        if not q:
-            self.busy = False
+        """Advance the worker's FCFS queue (trampolined).
+
+        Every continuation calls ``_next()`` in tail position, and cache
+        hits complete synchronously -- a naive recursive step would grow
+        the stack by a handful of frames per cached chunk, which
+        overflows on multi-hundred-chunk objects (the fat lognormal tail
+        at fleet-scale request counts).  Nested calls therefore just set
+        an advance flag for the outermost frame's drain loop: identical
+        execution order, constant stack depth.
+        """
+        if self._running:
+            self._advance = True
             return
-        self.busy = True
-        code, req, idx = q.popleft()
-        self._ops[code](req, idx)
+        self._running = True
+        q = self.queue
+        ops = self._ops
+        try:
+            while True:
+                if not q:
+                    self.busy = False
+                    break
+                self.busy = True
+                code, req, idx = q.popleft()
+                ops[code](req, idx)
+                if not self._advance:
+                    # The op went asynchronous (disk I/O or a scheduled
+                    # event): its continuation re-enters _next() later.
+                    break
+                self._advance = False
+        finally:
+            self._running = False
+            self._advance = False
 
     # ------------------------------------------------------------------
     # accept()

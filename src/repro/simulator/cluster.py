@@ -347,30 +347,33 @@ class Cluster:
         """Pre-schedule an open-loop arrival sequence.
 
         Arrival traces are non-decreasing in time, which lets the kernel
-        append them without per-event heap sifts
-        (:meth:`~repro.simulator.core.Simulator.schedule_sorted_ops`);
-        unsorted inputs fall back to per-event pushes.
+        keep them as a consumable event lane
+        (:meth:`~repro.simulator.core.Simulator.schedule_runs`): the
+        arrays are handed over as-is -- no per-event tuple construction
+        or ``.tolist()`` on the hot path -- and draining an arrival is a
+        cursor increment rather than a heap sift.  Unsorted inputs fall
+        back to per-event pushes.
         """
         times = np.asarray(times, dtype=float)
         object_ids = np.asarray(object_ids)
         if times.shape != object_ids.shape:
             raise ValueError("times and object_ids must have matching shapes")
+        if writes is not None:
+            writes = np.asarray(writes, dtype=bool)
+            if writes.shape != times.shape:
+                raise ValueError("writes must match times in shape")
         sorted_times = (
             times.size > 0
             and times[0] >= self.sim.now
             and bool(np.all(times[1:] >= times[:-1]))
         )
         op = self._arrival_op
-        if writes is None:
-            if sorted_times:
-                self.sim.schedule_sorted_ops(times.tolist(), op, object_ids.tolist())
-            else:
-                for t, obj in zip(times.tolist(), object_ids.tolist()):
-                    self.sim.schedule_op_at(t, op, obj)
+        if sorted_times:
+            self.sim.schedule_runs(times, op, object_ids, b_seq=writes)
+        elif writes is None:
+            for t, obj in zip(times.tolist(), object_ids.tolist()):
+                self.sim.schedule_op_at(t, op, obj)
         else:
-            writes = np.asarray(writes, dtype=bool)
-            if writes.shape != times.shape:
-                raise ValueError("writes must match times in shape")
             for t, obj, w in zip(
                 times.tolist(), object_ids.tolist(), writes.tolist()
             ):

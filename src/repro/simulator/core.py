@@ -31,6 +31,18 @@ Two further hot-loop mechanics, both exactly order-preserving:
   arrival trace is non-decreasing in time, and a non-decreasing
   ``(time, seq)`` list *is* a valid binary heap, so when the heap is
   empty the events are appended directly without per-event sifting.
+* **Event lanes** (:meth:`schedule_runs`): the generalisation of the
+  bulk path.  A sorted run is kept *outside* the heap as a cursor over
+  flat time/payload arrays (a "lane") that reserved its block of
+  sequence numbers at schedule time.  The run loop takes whichever of
+  the lane head and the heap root has the smaller ``(time, seq)`` key,
+  so the event order is exactly what per-event pushes would have
+  produced -- but a lane event costs one cursor increment instead of an
+  O(log n) heap sift, and scheduling the run costs one bulk array
+  conversion instead of n tuple allocations.  Both bulk entry points
+  accept numpy arrays directly (validated vectorised); lane events
+  dispatch outside the ``heapreplace`` fusion (their handler's first
+  schedule is a plain push, which preserves the total order).
 
 The kernel is not re-entrant: handlers must not call ``run_until`` /
 ``run_until_idle`` recursively (nothing in the simulator does).
@@ -42,6 +54,8 @@ import heapq
 from math import inf as _INF
 from typing import Callable
 
+import numpy as np
+
 __all__ = ["Simulator", "SimulationError"]
 
 
@@ -49,10 +63,32 @@ class SimulationError(RuntimeError):
     """Raised on kernel misuse (e.g. scheduling into the past)."""
 
 
+class _Lane:
+    """One consumable sorted run of typed events (see ``schedule_runs``).
+
+    ``seq0 + cursor`` is the sequence number of the head event: the run
+    reserved ``seq0 .. seq0 + n - 1`` when it was scheduled, so its
+    events tie-break against heap events exactly as if each had been
+    pushed individually.
+    """
+
+    __slots__ = ("times", "a", "b", "b_seq", "op", "seq0", "cursor", "n")
+
+    def __init__(self, times, op, a, b, b_seq, seq0) -> None:
+        self.times = times
+        self.op = op
+        self.a = a
+        self.b = b
+        self.b_seq = b_seq
+        self.seq0 = seq0
+        self.cursor = 0
+        self.n = len(times)
+
+
 class Simulator:
     """Minimal event-driven simulation kernel."""
 
-    __slots__ = ("now", "_heap", "_seq", "_handlers", "_live")
+    __slots__ = ("now", "_heap", "_seq", "_handlers", "_live", "_lanes")
 
     def __init__(self) -> None:
         self.now: float = 0.0
@@ -62,6 +98,10 @@ class Simulator:
         self._handlers: list[Callable] = [self._invoke]
         # True while the run loop is executing the (unpopped) heap root.
         self._live = False
+        # Active event lanes (schedule_runs).  The list object is stable
+        # for the simulator's lifetime: the run loops bind it once and
+        # observe appends/removals through mutation.
+        self._lanes: list[_Lane] = []
 
     @staticmethod
     def _invoke(fn, args) -> None:
@@ -139,27 +179,61 @@ class Simulator:
         else:
             heapq.heappush(self._heap, event)
 
-    def schedule_sorted_ops(self, times, op: int, a_seq, b=None) -> None:
-        """Schedule one ``op`` event per ``(time, a)`` pair, ``b`` shared.
+    def _sorted_times_list(self, times) -> list:
+        """Validate a non-decreasing time sequence and return it as a list.
 
-        ``times`` must be non-decreasing (validated; a violation raises
-        :class:`SimulationError` with nothing scheduled).  When the heap
-        is empty the events are appended directly -- a sorted
-        ``(time, seq)`` run is already a valid binary heap -- skipping
-        the per-event sift entirely; otherwise each event is pushed.
+        Numpy arrays are validated vectorised (one comparison sweep, one
+        bulk ``tolist``); any other sequence is checked element-wise.  A
+        violation raises :class:`SimulationError` with nothing scheduled.
         """
-        heap = self._heap
-        seq = self._seq
+        if isinstance(times, np.ndarray):
+            if times.size == 0:
+                return []
+            if times.dtype != np.float64:
+                times = times.astype(np.float64)
+            # times[0] >= now rejects a leading NaN, the pairwise sweep
+            # rejects interior NaNs and inversions, the last-element
+            # bound rejects +inf (non-decreasing, so it bounds them all).
+            if not (
+                times[0] >= self.now
+                and times[-1] < _INF
+                and bool((times[1:] >= times[:-1]).all())
+            ):
+                raise SimulationError(
+                    f"sorted schedule requires finite non-decreasing times "
+                    f">= now={self.now}"
+                )
+            return times.tolist()
+        out = list(times)
         prev = self.now
-        events = []
-        append = events.append
-        for t, a in zip(times, a_seq):
+        for t in out:
             if not prev <= t < _INF:
                 raise SimulationError(
                     f"sorted schedule requires finite non-decreasing times "
                     f">= now={self.now}, got {t} after {prev}"
                 )
             prev = t
+        return out
+
+    def schedule_sorted_ops(self, times, op: int, a_seq, b=None) -> None:
+        """Schedule one ``op`` event per ``(time, a)`` pair, ``b`` shared.
+
+        ``times`` must be non-decreasing (validated; a violation raises
+        :class:`SimulationError` with nothing scheduled).  ``times`` and
+        ``a_seq`` may be numpy arrays -- they are converted in one bulk
+        operation, not per event.  When the heap is empty the events are
+        appended directly -- a sorted ``(time, seq)`` run is already a
+        valid binary heap -- skipping the per-event sift entirely;
+        otherwise each event is pushed.
+        """
+        heap = self._heap
+        times = self._sorted_times_list(times)
+        if isinstance(a_seq, np.ndarray):
+            a_seq = a_seq.tolist()
+        seq = self._seq
+        events = []
+        append = events.append
+        for t, a in zip(times, a_seq):
             seq += 1
             append((t, seq, op, a, b))
         if heap:
@@ -170,29 +244,124 @@ class Simulator:
             heap.extend(events)
         self._seq = seq
 
+    def schedule_runs(self, times, op: int, a_seq, b=None, b_seq=None) -> None:
+        """Schedule a non-decreasing run of ``op`` events as an event lane.
+
+        Semantically identical to :meth:`schedule_sorted_ops` (one event
+        per ``(time, a)`` pair; the per-event second payload slot is
+        ``b_seq[i]`` when ``b_seq`` is given, else the shared ``b``) but
+        the run is kept as a cursor over flat arrays instead of heap
+        tuples: the block of sequence numbers is reserved up front, the
+        run loop merges the lane head against the heap root by
+        ``(time, seq)``, and consuming an event is a cursor increment.
+        ``times``/``a_seq``/``b_seq`` may be numpy arrays (bulk-converted)
+        or plain sequences.  Lanes survive across ``run_until`` calls
+        until drained.
+        """
+        times = self._sorted_times_list(times)
+        n = len(times)
+        if isinstance(a_seq, np.ndarray):
+            a_seq = a_seq.tolist()
+        else:
+            a_seq = list(a_seq)
+        if len(a_seq) != n:
+            raise SimulationError(
+                f"a_seq length {len(a_seq)} != times length {n}"
+            )
+        if b_seq is not None:
+            if isinstance(b_seq, np.ndarray):
+                b_seq = b_seq.tolist()
+            else:
+                b_seq = list(b_seq)
+            if len(b_seq) != n:
+                raise SimulationError(
+                    f"b_seq length {len(b_seq)} != times length {n}"
+                )
+        if n == 0:
+            return
+        lane = _Lane(times, op, a_seq, b, b_seq, self._seq + 1)
+        self._seq += n
+        self._lanes.append(lane)
+
     # ------------------------------------------------------------------
     # run loops
     # ------------------------------------------------------------------
+    def _min_lane(self) -> "_Lane":
+        """The active lane with the smallest head ``(time, seq)`` key.
+
+        Only called while ``self._lanes`` is non-empty; lanes are removed
+        from the list the moment their last event is consumed, so every
+        listed lane has a valid head.
+        """
+        lanes = self._lanes
+        lane = lanes[0]
+        if len(lanes) > 1:
+            cur = lane.cursor
+            bt, bs = lane.times[cur], lane.seq0 + cur
+            for ln in lanes[1:]:
+                c = ln.cursor
+                t = ln.times[c]
+                if t < bt or (t == bt and ln.seq0 + c < bs):
+                    lane, bt, bs = ln, t, ln.seq0 + c
+        return lane
+
     def run_until(self, t_end: float) -> None:
         """Process events up to and including ``t_end``.
 
-        The clock is left at ``t_end`` even if the heap drains earlier,
+        The clock is left at ``t_end`` even if the queue drains earlier,
         so measurement windows have well-defined widths.
         """
         heap = self._heap
         handlers = self._handlers
+        lanes = self._lanes
         pop = heapq.heappop
         try:
-            while heap:
-                event = heap[0]
-                if event[0] > t_end:
+            while True:
+                if lanes:
+                    lane = self._min_lane()
+                    cur = lane.cursor
+                    lt = lane.times[cur]
+                    take_heap = False
+                    if heap:
+                        root = heap[0]
+                        rt = root[0]
+                        take_heap = rt < lt or (
+                            rt == lt and root[1] < lane.seq0 + cur
+                        )
+                    if take_heap:
+                        if rt > t_end:
+                            break
+                        self.now = rt
+                        self._live = True
+                        handlers[root[2]](root[3], root[4])
+                        if self._live:
+                            self._live = False
+                            pop(heap)
+                    else:
+                        if lt > t_end:
+                            break
+                        # Consume the lane event *before* dispatch: an
+                        # exception inside the handler must not leave it
+                        # replayable, matching the heap path's semantics.
+                        b_seq = lane.b_seq
+                        b = lane.b if b_seq is None else b_seq[cur]
+                        lane.cursor = cur + 1
+                        if cur + 1 == lane.n:
+                            lanes.remove(lane)
+                        self.now = lt
+                        handlers[lane.op](lane.a[cur], b)
+                elif heap:
+                    event = heap[0]
+                    if event[0] > t_end:
+                        break
+                    self.now = event[0]
+                    self._live = True
+                    handlers[event[2]](event[3], event[4])
+                    if self._live:
+                        self._live = False
+                        pop(heap)
+                else:
                     break
-                self.now = event[0]
-                self._live = True
-                handlers[event[2]](event[3], event[4])
-                if self._live:
-                    self._live = False
-                    pop(heap)
         except BaseException:
             if self._live:
                 # The faulting event is still the heap root; consume it
@@ -204,24 +373,67 @@ class Simulator:
             self.now = t_end
 
     def run_until_idle(self, *, max_events: int | None = None) -> int:
-        """Drain every pending event; returns the number processed."""
+        """Drain every pending event; returns the number processed.
+
+        ``max_events`` bounds the *budget*: the run raises
+        :class:`SimulationError` only if the budget is exhausted while
+        events are still pending, so a run of exactly ``max_events``
+        events drains cleanly and returns that count.
+        """
         heap = self._heap
         handlers = self._handlers
+        lanes = self._lanes
         pop = heapq.heappop
         count = 0
         try:
-            while heap:
-                event = heap[0]
-                self.now = event[0]
-                self._live = True
-                handlers[event[2]](event[3], event[4])
-                if self._live:
-                    self._live = False
-                    pop(heap)
+            while True:
+                if lanes:
+                    lane = self._min_lane()
+                    cur = lane.cursor
+                    lt = lane.times[cur]
+                    take_heap = False
+                    if heap:
+                        root = heap[0]
+                        take_heap = root[0] < lt or (
+                            root[0] == lt and root[1] < lane.seq0 + cur
+                        )
+                    if take_heap:
+                        self.now = root[0]
+                        self._live = True
+                        handlers[root[2]](root[3], root[4])
+                        if self._live:
+                            self._live = False
+                            pop(heap)
+                    else:
+                        b_seq = lane.b_seq
+                        b = lane.b if b_seq is None else b_seq[cur]
+                        lane.cursor = cur + 1
+                        if cur + 1 == lane.n:
+                            lanes.remove(lane)
+                        self.now = lt
+                        handlers[lane.op](lane.a[cur], b)
+                elif heap:
+                    event = heap[0]
+                    self.now = event[0]
+                    self._live = True
+                    handlers[event[2]](event[3], event[4])
+                    if self._live:
+                        self._live = False
+                        pop(heap)
+                else:
+                    break
                 count += 1
-                if max_events is not None and count >= max_events:
+                if (
+                    max_events is not None
+                    and count >= max_events
+                    and (heap or lanes)
+                ):
+                    pending = len(heap) + sum(
+                        ln.n - ln.cursor for ln in lanes
+                    )
                     raise SimulationError(
-                        f"exceeded max_events={max_events}; runaway event loop?"
+                        f"processed max_events={max_events} events with "
+                        f"{pending} still pending; runaway event loop?"
                     )
         except BaseException:
             if self._live:
@@ -231,7 +443,20 @@ class Simulator:
         return count
 
     @property
+    def events_scheduled(self) -> int:
+        """Total events ever scheduled on this kernel (lane blocks
+        reserve their sequence numbers up front, so they are included).
+        After a drained run this equals the number of events processed
+        over the simulator's lifetime -- the fleet benchmark's
+        events-per-second numerator."""
+        return self._seq
+
+    @property
     def pending_events(self) -> int:
         # The in-flight event stays in the heap while its handler runs;
-        # it is no longer pending.
-        return len(self._heap) - (1 if self._live else 0)
+        # it is no longer pending.  Lane events are consumed (cursor
+        # advanced) before dispatch, so lane remainders count as-is.
+        n = len(self._heap) - (1 if self._live else 0)
+        for lane in self._lanes:
+            n += lane.n - lane.cursor
+        return n

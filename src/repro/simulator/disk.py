@@ -138,9 +138,27 @@ class ServiceTimeSampler:
     two vectorised calls on the disk's own stream, so runs remain fully
     deterministic per seed and the marginal service-time law is exactly
     that of the per-event path.
+
+    The hot :meth:`sample` path is a slot lookup, not a dict lookup: the
+    two round classes get dedicated buffer slots (one shared list when
+    ``index_rounds == 1``, so index and small-op draws interleave on a
+    single buffer exactly as the round-keyed dict did), and the fixed
+    transfer-time terms are hoisted to constants at construction.  The
+    refill draw pattern -- block size, call order, arithmetic -- is
+    byte-identical to the original, so seeded runs reproduce bit for bit.
     """
 
-    __slots__ = ("profile", "rng", "block", "_buffers")
+    __slots__ = (
+        "profile",
+        "rng",
+        "block",
+        "_pos1",
+        "_posx",
+        "_rate",
+        "_index_const",
+        "_meta_const",
+        "_flush",
+    )
 
     def __init__(
         self, profile: HddProfile, rng: np.random.Generator, block: int = 256
@@ -150,42 +168,70 @@ class ServiceTimeSampler:
         self.profile = profile
         self.rng = rng
         self.block = int(block)
-        # rounds -> [samples array, cursor]
-        self._buffers: dict[int, list] = {}
+        # [samples array | None, cursor]: one-round ops; index ops share
+        # the same list when index_rounds == 1 (one interleaved stream,
+        # as the round-keyed buffer dict produced).
+        self._pos1: list = [None, 0]
+        self._posx: list = self._pos1 if profile.index_rounds == 1 else [None, 0]
+        self._rate = profile.transfer_rate
+        self._index_const = profile.index_transfer_bytes / profile.transfer_rate
+        self._meta_const = profile.meta_transfer_bytes / profile.transfer_rate
+        self._flush = profile.write_flush_overhead
+
+    def _refill(self, buf: list, rounds: int) -> np.ndarray:
+        p = self.profile
+        n = self.block
+        seek = self.rng.gamma(
+            p.seek_shape * rounds, p.seek_mean / p.seek_shape, size=n
+        )
+        rotation = self.rng.random((n, rounds)).sum(axis=1) * p.rotation_period
+        buf[0] = seek + rotation + rounds * p.controller_overhead
+        buf[1] = 0
+        return buf[0]
 
     def _positioning(self, rounds: int) -> float:
-        buf = self._buffers.get(rounds)
-        if buf is None or buf[1] >= buf[0].size:
-            p = self.profile
-            n = self.block
-            seek = self.rng.gamma(
-                p.seek_shape * rounds, p.seek_mean / p.seek_shape, size=n
-            )
-            rotation = self.rng.random((n, rounds)).sum(axis=1) * p.rotation_period
-            samples = seek + rotation + rounds * p.controller_overhead
-            buf = [samples, 0]
-            self._buffers[rounds] = buf
-        value = buf[0][buf[1]]
-        buf[1] += 1
-        return float(value)
+        buf = self._posx if rounds == self.profile.index_rounds else self._pos1
+        samples, i = buf
+        if samples is None or i >= samples.size:
+            samples = self._refill(buf, rounds)
+            i = 0
+        buf[1] = i + 1
+        return float(samples[i])
 
     def sample(self, kind: str, nbytes: int) -> float:
         """Draw one service time; same dispatch as ``service_time``."""
-        p = self.profile
-        if kind == OP_INDEX:
-            return self._positioning(p.index_rounds) + (
-                p.index_transfer_bytes / p.transfer_rate
-            )
-        if kind == OP_META:
-            return self._positioning(1) + p.meta_transfer_bytes / p.transfer_rate
         if kind == OP_DATA:
-            return self._positioning(1) + nbytes / p.transfer_rate
+            buf = self._pos1
+            samples, i = buf
+            if samples is None or i >= samples.size:
+                samples = self._refill(buf, 1)
+                i = 0
+            buf[1] = i + 1
+            return float(samples[i]) + nbytes / self._rate
+        if kind == OP_INDEX:
+            buf = self._posx
+            samples, i = buf
+            if samples is None or i >= samples.size:
+                samples = self._refill(buf, self.profile.index_rounds)
+                i = 0
+            buf[1] = i + 1
+            return float(samples[i]) + self._index_const
+        if kind == OP_META:
+            buf = self._pos1
+            samples, i = buf
+            if samples is None or i >= samples.size:
+                samples = self._refill(buf, 1)
+                i = 0
+            buf[1] = i + 1
+            return float(samples[i]) + self._meta_const
         if kind == OP_WRITE:
-            return (
-                self._positioning(1)
-                + nbytes / p.transfer_rate
-                + p.write_flush_overhead
-            )
+            buf = self._pos1
+            samples, i = buf
+            if samples is None or i >= samples.size:
+                samples = self._refill(buf, 1)
+                i = 0
+            buf[1] = i + 1
+            return float(samples[i]) + nbytes / self._rate + self._flush
         raise ValueError(f"unknown disk operation kind {kind!r}")
 
 

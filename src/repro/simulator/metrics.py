@@ -37,6 +37,7 @@ __all__ = [
     "RequestTable",
     "PhaseStats",
     "HISTOGRAM_FAMILIES",
+    "merge_recorder_states",
     "sla_percentile",
     "sla_percentile_ci",
     "phase_attribution",
@@ -382,3 +383,137 @@ class MetricsRecorder:
 
             self._hists = {name: LatencyHistogram() for name in HISTOGRAM_FAMILIES}
             self._hist_count = 0
+
+    # ------------------------------------------------------------------
+    # shard state export / merge (fleet execution)
+    # ------------------------------------------------------------------
+    def state(self) -> dict:
+        """Picklable snapshot of everything this recorder accumulated.
+
+        The snapshot is the unit of cross-process metric reduction: a
+        fleet shard ships one per cluster back to the parent, which
+        combines them with :func:`merge_recorder_states` and rebuilds a
+        recorder via :meth:`from_state`.  Histogram sums are kept as a
+        *list* of partial sums (one entry per source recorder) rather
+        than a folded scalar, so merging stays exactly associative --
+        float addition is not, but the list concatenation is, and
+        :meth:`from_state` reduces it with :func:`math.fsum`, which is
+        correctly rounded regardless of grouping or order.
+        """
+        state = {
+            "latency_store": self.latency_store,
+            "record_disk_samples": self.record_disk_samples,
+            "rows": list(self._rows),
+            "disk": {k: list(v) for k, v in self._disk_samples.items()},
+            "hist_count": self._hist_count,
+            "hists": None,
+        }
+        if self._hists is not None:
+            hists = {}
+            for name, hist in self._hists.items():
+                doc = hist.to_dict()
+                doc["sums"] = [doc.pop("sum")]
+                hists[name] = doc
+            state["hists"] = hists
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MetricsRecorder":
+        """Rebuild a recorder from a :meth:`state` (or merged) snapshot."""
+        rec = cls(
+            record_disk_samples=state["record_disk_samples"],
+            latency_store=state["latency_store"],
+        )
+        rec._rows = [tuple(r) for r in state["rows"]]
+        rec._disk_samples = {k: list(v) for k, v in state["disk"].items()}
+        rec._hist_count = int(state["hist_count"])
+        if state["hists"] is not None:
+            from repro.obs.hist import LatencyHistogram
+
+            rec._hists = {
+                name: LatencyHistogram.from_dict(
+                    {**doc, "sum": math.fsum(doc["sums"])}
+                )
+                for name, doc in state["hists"].items()
+            }
+        return rec
+
+
+_HIST_GEOMETRY = ("min_value", "max_value", "buckets_per_decade")
+
+
+def merge_recorder_states(states) -> dict:
+    """Combine recorder snapshots into one canonical merged snapshot.
+
+    The merge is **associative, commutative and order-independent**:
+
+    * request rows and disk samples are multiset unions, canonicalised
+      by sorting (rows by their full tuple, samples by value);
+    * histogram bucket counts add (integer, exactly associative);
+    * histogram sums concatenate as lists of leaf partial sums, sorted
+      for canonical equality, and are only folded to a scalar -- with
+      the order-insensitive ``math.fsum`` -- when a recorder is rebuilt.
+
+    So ``merge(merge(a, b), c) == merge(a, merge(b, c)) == merge(c, a,
+    b)`` exactly, which is what makes a sharded fleet run's metrics
+    bit-identical to the serial run's no matter how clusters were
+    grouped into shards.  The output is itself a valid snapshot for
+    :meth:`MetricsRecorder.from_state` or further merging.
+    """
+    states = list(states)
+    if not states:
+        raise ValueError("need at least one recorder state to merge")
+    store = states[0]["latency_store"]
+    record_disk = states[0]["record_disk_samples"]
+    for s in states[1:]:
+        if s["latency_store"] != store or s["record_disk_samples"] != record_disk:
+            raise ValueError(
+                "cannot merge recorder states with different store modes"
+            )
+
+    rows: list[tuple] = []
+    for s in states:
+        rows.extend(tuple(r) for r in s["rows"])
+    rows.sort()
+
+    disk: dict[str, list[float]] = {}
+    for s in states:
+        for kind, vals in s["disk"].items():
+            disk.setdefault(kind, []).extend(vals)
+    for vals in disk.values():
+        vals.sort()
+
+    hists = None
+    if store == "histogram":
+        hists = {}
+        for name in HISTOGRAM_FAMILIES:
+            docs = [s["hists"][name] for s in states]
+            geometry = {k: docs[0][k] for k in _HIST_GEOMETRY}
+            counts: dict[int, int] = {}
+            count = 0
+            sums: list[float] = []
+            for doc in docs:
+                if any(doc[k] != geometry[k] for k in _HIST_GEOMETRY):
+                    raise ValueError(
+                        "cannot merge histograms with different geometry"
+                    )
+                for i, c in doc["counts"].items():
+                    counts[i] = counts.get(i, 0) + c
+                count += doc["count"]
+                sums.extend(doc["sums"])
+            sums.sort()
+            hists[name] = {
+                **geometry,
+                "count": count,
+                "sums": sums,
+                "counts": {i: counts[i] for i in sorted(counts)},
+            }
+
+    return {
+        "latency_store": store,
+        "record_disk_samples": record_disk,
+        "rows": rows,
+        "disk": {k: disk[k] for k in sorted(disk)},
+        "hist_count": sum(s["hist_count"] for s in states),
+        "hists": hists,
+    }

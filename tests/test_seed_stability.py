@@ -14,6 +14,13 @@ Two claims, audited together on a scaled-down S1 sweep at three seeds:
     windowed online metrics, so its predictions inherit *some* seed
     noise; this audit pins that it stays sub-dominant to the noise of
     the measurement it is compared against.
+
+(c) **Fleet shard transparency** -- the same mode-determinism claim one
+    level up: for every seed, a fleet episode sharded over a forced
+    process pool merges to a metric state bit-identical to the serial
+    run (:mod:`repro.experiments.fleet`; the per-plan matrix lives in
+    ``test_fleet.py``, this audit pins seed-transparency of the pooled
+    path).
 """
 
 from __future__ import annotations
@@ -72,6 +79,20 @@ class TestSeedStabilityAudit:
             assert len(pooled.points) == len(serial.points)
             for a, b in zip(serial.points, pooled.points):
                 assert_points_equal(a, b)
+
+    def test_fleet_pooled_shards_bit_identical_per_seed(self, monkeypatch):
+        from repro.experiments.fleet import FleetScenario, run_fleet
+
+        scenario = FleetScenario(
+            n_clusters=3, objects_per_cluster=300, rate=300.0,
+            duration=3.0, warm_accesses=1_500, write_fraction=0.05,
+        )
+        serial = {seed: run_fleet(scenario, seed=seed) for seed in SEEDS}
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        for seed in SEEDS:
+            pooled = run_fleet(scenario, seed=seed, shards=3, jobs=3)
+            assert pooled.state == serial[seed].state, seed
+            assert pooled.n_requests == serial[seed].n_requests
 
     def test_cross_seed_spread_below_simulator_ci(self, serial_runs):
         _, _, runs = serial_runs

@@ -219,3 +219,24 @@ class TestWarm:
         submit(sim, dev, object_id=3)
         sim.run_until_idle()
         assert dev.disk.ops_served == 0  # fully cached
+
+
+class TestDeepChunkChain:
+    def test_fully_cached_huge_object_does_not_overflow_stack(self):
+        """A warm read of a multi-hundred-chunk object completes its
+        whole cache-hit continuation chain synchronously; the worker's
+        trampolined queue must keep stack depth constant (a recursive
+        step overflowed at ~200 chunks under CPython's default limit)."""
+        n_chunks = 1_200
+        sizes = np.array([n_chunks * 65536], dtype=np.int64)
+        sim, dev, rec = make_device(
+            object_sizes=sizes, cache_bytes=(1 << 20, 1 << 20, 128 << 20)
+        )
+        dev.warm(np.zeros(1, dtype=np.int64))
+        assert dev.disk.ops_served == 0
+        submit(sim, dev, object_id=0)
+        sim.run_until_idle()
+        tab = rec.requests()
+        assert len(tab) == 1
+        assert int(tab.n_chunks[0]) == n_chunks
+        assert dev.disk.ops_served == 0  # never left the page cache

@@ -209,3 +209,152 @@ class TestBufferedIntegersResync:
         assert consumed == expected
         # Both streams must now produce identical direct draws.
         assert a.random(8).tolist() == b.random(8).tolist()
+
+
+class TestEventLanes:
+    """``schedule_runs`` keeps a sorted run as a cursor lane outside the
+    heap; these pin its equivalence to per-event scheduling, the
+    seq-block tie-break against heap events, run_until boundaries, and
+    exception semantics."""
+
+    def test_lane_matches_individual_scheduling(self):
+        times = [0.5, 0.5, 1.25, 2.0, 2.0, 2.0]
+        tags = list("abcdef")
+        flags = [True, False, True, False, True, False]
+
+        lane = Simulator()
+        log_lane = []
+        op = lane.register(lambda a, b: log_lane.append((lane.now, a, b)))
+        lane.schedule_runs(np.array(times), op, tags, b_seq=flags)
+        lane.run_until_idle()
+
+        single = Simulator()
+        log_single = []
+        op = single.register(lambda a, b: log_single.append((single.now, a, b)))
+        for t, tag, w in zip(times, tags, flags):
+            single.schedule_op_at(t, op, tag, w)
+        single.run_until_idle()
+
+        assert log_lane == log_single
+
+    def test_shared_b_payload(self):
+        sim = Simulator()
+        log = []
+        op = sim.register(lambda a, b: log.append((a, b)))
+        sim.schedule_runs([1.0, 2.0], op, ["x", "y"], b="shared")
+        sim.run_until_idle()
+        assert log == [("x", "shared"), ("y", "shared")]
+
+    def test_fifo_tie_break_against_heap_events(self):
+        """A lane reserves its whole seq block at schedule time, so ties
+        with heap events resolve by scheduling order -- exactly as if
+        every lane event had been pushed individually."""
+        for lane_first in (True, False):
+            sim = Simulator()
+            log = []
+            op = sim.register(lambda a, b: log.append(a))
+            if lane_first:
+                sim.schedule_runs([1.0, 1.0], op, ["lane0", "lane1"])
+                sim.schedule_op_at(1.0, op, "heap")
+                expected = ["lane0", "lane1", "heap"]
+            else:
+                sim.schedule_op_at(1.0, op, "heap")
+                sim.schedule_runs([1.0, 1.0], op, ["lane0", "lane1"])
+                expected = ["heap", "lane0", "lane1"]
+            sim.run_until_idle()
+            assert log == expected, f"lane_first={lane_first}"
+
+    def test_two_lanes_interleave_by_time_then_seq(self):
+        sim = Simulator()
+        log = []
+        op = sim.register(lambda a, b: log.append(a))
+        sim.schedule_runs([1.0, 3.0], op, ["a0", "a1"])
+        sim.schedule_runs([2.0, 3.0], op, ["b0", "b1"])
+        sim.run_until_idle()
+        assert log == ["a0", "b0", "a1", "b1"]
+
+    def test_run_until_boundary_and_persistence(self):
+        sim = Simulator()
+        log = []
+        op = sim.register(lambda a, b: log.append(a))
+        sim.schedule_runs([1.0, 2.0, 3.0], op, ["a", "b", "c"])
+        assert sim.pending_events == 3
+        sim.run_until(2.0)  # inclusive: events at exactly t_end fire
+        assert log == ["a", "b"]
+        assert sim.now == 2.0
+        assert sim.pending_events == 1
+        sim.run_until(10.0)  # the lane survives across run_until calls
+        assert log == ["a", "b", "c"]
+        assert sim.pending_events == 0
+
+    def test_raising_handler_consumes_lane_event(self):
+        sim = Simulator()
+        log = []
+
+        def handler(a, b):
+            if a == "boom":
+                raise RuntimeError("boom")
+            log.append(a)
+
+        op = sim.register(handler)
+        sim.schedule_runs([1.0, 2.0, 3.0], op, ["ok", "boom", "after"])
+        with pytest.raises(RuntimeError):
+            sim.run_until_idle()
+        # The faulting event was consumed; the run resumes after it,
+        # matching heap-event semantics.
+        sim.run_until_idle()
+        assert log == ["ok", "after"]
+        assert sim.pending_events == 0
+
+    def test_rejects_length_mismatch_and_unsorted(self):
+        sim = Simulator()
+        op = sim.register(lambda a, b: None)
+        with pytest.raises(SimulationError):
+            sim.schedule_runs([1.0, 2.0], op, ["a"])
+        with pytest.raises(SimulationError):
+            sim.schedule_runs([2.0, 1.0], op, ["a", "b"])
+        with pytest.raises(SimulationError):
+            sim.schedule_runs(np.array([1.0, np.nan]), op, ["a", "b"])
+        assert sim.pending_events == 0
+
+    def test_empty_run_is_noop(self):
+        sim = Simulator()
+        op = sim.register(lambda a, b: None)
+        sim.schedule_runs(np.array([]), op, [])
+        assert sim.pending_events == 0
+        sim.run_until_idle()
+
+
+class TestMaxEventsBoundary:
+    """``max_events`` is a budget on runaway loops, not a hard stop: a
+    run that drains exactly at the budget completes cleanly."""
+
+    def test_exactly_n_events_drain_cleanly(self):
+        sim = Simulator()
+        fired = []
+        op = sim.register(lambda a, b: fired.append(a))
+        for i in range(5):
+            sim.schedule_op_at(float(i), op, i)
+        assert sim.run_until_idle(max_events=5) == 5
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_budget_exhausted_with_pending_raises(self):
+        sim = Simulator()
+        op = sim.register(lambda a, b: None)
+        for i in range(5):
+            sim.schedule_op_at(float(i), op, i)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run_until_idle(max_events=4)
+
+    def test_budget_counts_lane_events(self):
+        sim = Simulator()
+        op = sim.register(lambda a, b: None)
+        sim.schedule_runs([1.0, 2.0, 3.0], op, ["a", "b", "c"])
+        assert sim.run_until_idle(max_events=3) == 3
+
+    def test_pending_lane_events_trip_the_guard(self):
+        sim = Simulator()
+        op = sim.register(lambda a, b: None)
+        sim.schedule_runs([1.0, 2.0, 3.0], op, ["a", "b", "c"])
+        with pytest.raises(SimulationError, match="2 still pending"):
+            sim.run_until_idle(max_events=1)
