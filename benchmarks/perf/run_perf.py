@@ -27,6 +27,12 @@ times three engine micro-kernels:
   and on must stay under 10% end to end), plus a model-only inversion
   micro-measure that isolates the per-call price of the self/cross
   checks;
+* ``redundancy``    -- one small cluster episode under single dispatch
+  vs speculative ``kofn@2`` (the probe/cancel machinery's end-to-end
+  cost), a ``kofn@1`` run asserted bit-identical to single dispatch
+  (the reduction guarantee, checked on every perf run), and an
+  order-statistic micro-measure timing the Poisson-binomial DP and the
+  iid ``betainc`` closed form on a shared evaluation grid;
 * ``fleet``         -- a fleet-scale episode (full: 16 clusters x 4
   devices = 64 devices under ~1M requests; quick: 4 clusters under
   ~50k) run serially and sharded over a process pool
@@ -115,6 +121,8 @@ CHECKED_METRICS = (
     (("kernels", "sim_dispatch", "typed_s"), "lower"),
     (("kernels", "laplace_batch", "batch_s"), "lower"),
     (("kernels", "diagnostics_overhead", "off_s"), "lower"),
+    (("kernels", "redundancy", "single_s"), "lower"),
+    (("kernels", "redundancy", "orderstat_s"), "lower"),
     (("kernels", "fleet", "events_per_sec_serial"), "higher"),
     (("kernels", "fleet", "lane_s"), "lower"),
 )
@@ -706,6 +714,92 @@ def bench_lane_drain(n_events: int = 200_000, reps: int = 3) -> dict:
     }
 
 
+def bench_redundancy(reps: int = 3) -> dict:
+    """Redundant dispatch episode cost + order-statistic micro-measure.
+
+    * ``single_s`` vs ``kofn_s`` -- the same small open-loop episode
+      under single dispatch and under speculative ``kofn@2``.  The
+      ratio is the end-to-end price of the probe/cancel machinery at
+      doubled read fan-out (``single_s`` is the tracked metric: the
+      dispatch refactor must not tax the default path).
+    * ``k1_bit_identical`` -- a ``kofn@1`` episode's metric state must
+      equal the single-dispatch state bit for bit; every perf run
+      re-checks the reduction guarantee.
+    * ``orderstat_s`` / ``iid_s`` -- CDF evaluation of the k-th order
+      statistic over a replica row on a 4096-point grid: the
+      heterogeneous Poisson-binomial DP vs the ``betainc`` closed form
+      the iid collapse buys.
+    """
+    from repro.distributions import Gamma
+    from repro.distributions.orderstats import KofN, OrderStatistic
+    from repro.simulator import Cluster, ClusterConfig
+    from repro.workload import ObjectCatalog
+    from repro.workload.ssbench import OpenLoopDriver
+    from repro.workload.wikipedia import WikipediaTraceGenerator
+
+    catalog = ObjectCatalog.synthetic(
+        5_000, mean_size=16_384.0, size_sigma=1.0, zipf_s=0.9,
+        rng=np.random.default_rng(7),
+    )
+
+    def episode(config: ClusterConfig) -> Cluster:
+        root = np.random.SeedSequence(42)
+        cluster_seed, trace_seed = root.spawn(2)
+        cluster = Cluster(config, catalog.sizes, seed=cluster_seed)
+        gen = WikipediaTraceGenerator(catalog, rng=np.random.default_rng(trace_seed))
+        cluster.warm_caches(gen.warmup_accesses(5_000))
+        OpenLoopDriver(cluster).run(gen.constant_rate(120.0, 8.0))
+        cluster.run_until(cluster.sim.now + 5.0)
+        return cluster
+
+    def timed(config: ClusterConfig):
+        best, cluster = math.inf, None
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            cluster = episode(config)
+            best = min(best, time.perf_counter() - t0)
+        return best, cluster
+
+    single_s, single = timed(ClusterConfig())
+    kofn_s, kofn = timed(ClusterConfig(read_strategy="kofn", read_fanout=2))
+    _, k1 = timed(ClusterConfig(read_strategy="kofn", read_fanout=1))
+    stats = kofn.metrics.redundant_stats()
+
+    # Order-statistic micro-measure: majority rank over a 3-replica row.
+    t = np.linspace(1e-4, 0.5, 4096)
+    hetero = [Gamma(shape=2.0 + 0.1 * j, rate=150.0 + 5.0 * j) for j in range(3)]
+    ordstat = OrderStatistic(hetero, k=2)
+    iid = KofN(hetero[0], k=2, n=3)
+    micro_reps = 50
+    ordstat.cdf(t)
+    t0 = time.perf_counter()
+    for _ in range(micro_reps):
+        ordstat.cdf(t)
+    orderstat_s = time.perf_counter() - t0
+    iid.cdf(t)
+    t0 = time.perf_counter()
+    for _ in range(micro_reps):
+        iid.cdf(t)
+    iid_s = time.perf_counter() - t0
+
+    return {
+        "reps": reps,
+        "n_requests": single.metrics.n_requests,
+        "single_s": round(single_s, 4),
+        "kofn_s": round(kofn_s, 4),
+        "kofn_overhead": round(kofn_s / single_s - 1.0, 4) if single_s > 0 else None,
+        "kofn_probes": stats["probes"],
+        "kofn_cancelled": stats["cancel_count"],
+        "kofn_wasted_chunks": stats["wasted_chunks"],
+        "k1_bit_identical": k1.metrics.state() == single.metrics.state(),
+        "grid_n": t.size,
+        "micro_reps": micro_reps,
+        "orderstat_s": round(orderstat_s, 4),
+        "iid_s": round(iid_s, 4),
+        "iid_speedup": round(orderstat_s / iid_s, 2) if iid_s > 0 else None,
+    }
+
+
 def bench_fleet(jobs: int = 4, quick: bool = False) -> dict:
     """Fleet-scale sharded episode + sorted-run lane micro-measure.
 
@@ -809,6 +903,7 @@ KERNELS = {
     "sim_dispatch": bench_sim_dispatch,
     "laplace_batch": bench_laplace_batch,
     "diagnostics_overhead": bench_diagnostics_overhead,
+    "redundancy": bench_redundancy,
     "fleet": bench_fleet,
 }
 
@@ -894,6 +989,14 @@ def main(argv=None) -> int:
             f"  diagnostics_overhead: off {dg['off_s']}s, on {dg['on_s']}s "
             f"(+{dg['on_overhead'] * 100:.1f}%, "
             f"bit_identical={dg['bit_identical']})"
+        )
+    if "redundancy" in kernels:
+        rd = kernels["redundancy"]
+        print(
+            f"  redundancy: single {rd['single_s']}s, kofn@2 {rd['kofn_s']}s "
+            f"(+{rd['kofn_overhead'] * 100:.1f}%), "
+            f"k1_bit_identical={rd['k1_bit_identical']}, "
+            f"orderstat dp {rd['orderstat_s']}s vs iid {rd['iid_s']}s"
         )
     if "fleet" in kernels:
         fl = kernels["fleet"]

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Redundant-read smoke check.
+#
+# Two guarantees, end to end (docs/REDUNDANCY.md):
+#
+# 1. k=1 reduction -- a kofn@1 episode's metric state is bit-identical
+#    to the single-dispatch episode from the same seed (the redundant
+#    path must cost the default path nothing, semantically).
+# 2. A paired kofn@2 strategy-vs-control episode runs through the full
+#    pipeline (calibrate, simulate both arms, order-statistic
+#    prediction) and produces finite predictions with probes actually
+#    racing.
+#
+# Usage: scripts/redundancy_smoke.sh
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+exec env PYTHONPATH="$REPO_ROOT/src" python - <<'EOF'
+import math
+import time
+
+import numpy as np
+
+from repro.experiments.redundancy import run_redundancy_scenario
+from repro.simulator import Cluster, ClusterConfig
+from repro.workload import ObjectCatalog, OpenLoopDriver, WikipediaTraceGenerator
+
+
+def episode(config):
+    catalog = ObjectCatalog.synthetic(
+        5_000, mean_size=16_384.0, size_sigma=1.0, zipf_s=0.9,
+        rng=np.random.default_rng(7),
+    )
+    root = np.random.SeedSequence(42)
+    cluster_seed, trace_seed = root.spawn(2)
+    cluster = Cluster(config, catalog.sizes, seed=cluster_seed)
+    gen = WikipediaTraceGenerator(catalog, rng=np.random.default_rng(trace_seed))
+    cluster.warm_caches(gen.warmup_accesses(5_000))
+    OpenLoopDriver(cluster).run(gen.constant_rate(120.0, 8.0))
+    cluster.run_until(cluster.sim.now + 5.0)
+    return cluster
+
+
+single = episode(ClusterConfig())
+k1 = episode(ClusterConfig(read_strategy="kofn", read_fanout=1))
+if k1.metrics.state() != single.metrics.state():
+    raise SystemExit("redundancy_smoke: FAIL -- kofn@1 state != single state")
+print(
+    f"redundancy_smoke: k=1 reduction OK -- kofn@1 bit-identical to single "
+    f"({single.metrics.n_requests} requests)"
+)
+
+t0 = time.perf_counter()
+# Moderate rate: kofn@2 doubles per-device read load, and the analytic
+# queue must stay stable for the prediction to be finite.
+result = run_redundancy_scenario(
+    strategy="kofn", fanout=2, workload="s1", rate=40.0, seed=0
+)
+elapsed = time.perf_counter() - t0
+treated, control = result.treated, result.control
+print(
+    f"redundancy_smoke: paired kofn@2 episode in {elapsed:.1f}s -- "
+    f"observed {treated.observed_sla:.4f} vs predicted "
+    f"{treated.predicted_sla:.4f} (control err {control.abs_error:.4f})"
+)
+if not math.isfinite(treated.predicted_sla):
+    raise SystemExit("redundancy_smoke: FAIL -- non-finite treated prediction")
+if not math.isfinite(control.predicted_sla):
+    raise SystemExit("redundancy_smoke: FAIL -- non-finite control prediction")
+if treated.probes <= treated.n_requests:
+    raise SystemExit("redundancy_smoke: FAIL -- kofn@2 issued no extra probes")
+if control.probes != 0:
+    raise SystemExit("redundancy_smoke: FAIL -- control arm issued probes")
+print("redundancy_smoke: OK")
+EOF

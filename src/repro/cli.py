@@ -17,6 +17,12 @@ Subcommands:
     docs/FAULTS.md).  ``--trace`` also records per-request spans of the
     fault episode to a JSONL file.
 
+``redundancy --strategy kofn --fanout 2 --sla 100ms``
+    Run one redundant-read scenario (strategy episode + single-dispatch
+    control episode), print the model-vs-simulation comparison with
+    probe economics and error attribution, and write the JSON artifact
+    plus its provenance manifest (see docs/REDUNDANCY.md).
+
 ``report <artifact>``
     Render an observability artifact: a trace JSONL (per-phase latency
     attribution), a ``*.manifest.json`` provenance sidecar, a saved
@@ -210,6 +216,46 @@ def _cmd_faults(args) -> int:
     if tracer is not None:
         tracer.write(args.trace)
         print(f"wrote {args.trace} ({len(tracer)} spans)")
+    return 0
+
+
+def _cmd_redundancy(args) -> int:
+    from repro.experiments.redundancy import (
+        run_redundancy_scenario,
+        write_artifact,
+    )
+    from repro.obs import build_manifest, write_manifest
+    from repro.obs.manifest import RunTimer
+
+    with RunTimer() as timer:
+        result = run_redundancy_scenario(
+            args.strategy,
+            args.fanout,
+            args.workload,
+            rate=args.rate,
+            sla=args.sla,
+            seed=args.seed,
+            scale=args.scale,
+        )
+    print(result.render())
+    out = args.out or f"redundancy-{result.treated.label.replace('@', '')}-{args.workload}.json"
+    write_artifact(result, out)
+    manifest = build_manifest(
+        command=(
+            f"cosmodel redundancy --strategy {args.strategy} "
+            f"--fanout {args.fanout} --workload {args.workload}"
+        ),
+        seed=args.seed,
+        config=vars(args),
+        wall_s=timer.wall_s,
+        cpu_s=timer.cpu_s,
+        extra={
+            "excess_error": result.excess_error,
+            "n_probes": result.treated.probes,
+        },
+    )
+    sidecar = write_manifest(manifest, out)
+    print(f"\nwrote {out} (+ {sidecar.name})")
     return 0
 
 
@@ -462,6 +508,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="record per-request spans of the fault episode to a JSONL file",
     )
     p.set_defaults(func=_cmd_faults)
+
+    p = sub.add_parser(
+        "redundancy",
+        help="redundant-read scenario: order-statistic model vs simulation",
+    )
+    p.add_argument(
+        "--strategy",
+        default="kofn",
+        choices=["kofn", "quorum", "forkjoin"],
+        help="read-dispatch strategy for the treated episode (default kofn)",
+    )
+    p.add_argument(
+        "--fanout",
+        type=int,
+        default=2,
+        help="k for kofn/forkjoin (ignored for quorum; default 2)",
+    )
+    p.add_argument("--workload", default="s1", choices=["s1", "s16"])
+    p.add_argument(
+        "--sla",
+        type=_parse_sla,
+        default=0.100,
+        help="SLA to evaluate, e.g. '100ms' or '0.05s' (default 100ms)",
+    )
+    p.add_argument("--rate", type=float, default=None, help="arrival rate (req/s)")
+    p.add_argument("--scale", default="ci", choices=["ci", "paper"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, help="JSON artifact path")
+    p.set_defaults(func=_cmd_redundancy)
 
     p = sub.add_parser(
         "report",

@@ -40,6 +40,7 @@ from repro.distributions.composite import (
     zero_inflate,
 )
 from repro.distributions.grid import GridDistribution, GridPMF, grid_of
+from repro.distributions.orderstats import KofN, OrderStatistic, order_statistic
 from repro.distributions.tails import Pareto, ShiftedExponential, Weibull
 from repro.distributions.fitting import (
     DEFAULT_FAMILIES,
@@ -78,6 +79,9 @@ __all__ = [
     "GridDistribution",
     "GridPMF",
     "grid_of",
+    "KofN",
+    "OrderStatistic",
+    "order_statistic",
     "Pareto",
     "ShiftedExponential",
     "Weibull",

@@ -1,0 +1,318 @@
+"""Order statistics of independent latency distributions.
+
+Redundant read dispatch (docs/REDUNDANCY.md) turns per-device sojourn
+laws into *order statistics*: a speculative ``k``-of-``n`` read responds
+at the minimum of ``k`` independent replica sojourns, a quorum GET at
+the majority-th, a fork-join striped read at the maximum of its ``k``
+fragment reads.  For independent components the CDF has the exact
+binomial form
+
+    F_(k:n)(t) = P(at least k of n components are <= t)
+               = sum_{j>=k} C(n,j) F(t)^j (1 - F(t))^(n-j)
+               = I_{F(t)}(k, n - k + 1)            (iid case)
+
+where ``I`` is the regularised incomplete beta function, and the
+Poisson-binomial generalisation when components differ.  Neither has a
+closed-form Laplace transform (``has_laplace`` is ``False``), so order
+statistics compose with the rest of the model in the *CDF/grid* domain:
+:meth:`Distribution.to_grid` differences the exact CDF, and
+:func:`repro.distributions.grid.grid_of` memoises the discretisation
+per ``cache_token`` through :mod:`repro.distributions.evalcache` --
+the same node-sharing that batches Mixture/Convolution evaluation.
+
+Node sharing inside one evaluation: :class:`KofN` calls its (shared)
+child CDF exactly once per ``t`` batch regardless of ``n``, and
+:class:`OrderStatistic` deduplicates children by value identity
+(``cache_token``) before running the Poisson-binomial recurrence, so a
+device set containing equal sojourn laws costs one child evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import betainc
+
+from repro.distributions.base import Distribution, DistributionError
+from repro.distributions.composite import _child_tokens
+
+__all__ = ["KofN", "OrderStatistic", "order_statistic"]
+
+#: "Token not yet computed" sentinel (see composite.py: ``None`` is a
+#: valid token value and the sentinel must survive pickling).
+_UNSET = False
+
+#: Trapezoid resolution for the numeric moments (order statistics have
+#: no closed-form moments in general).
+_MOMENT_BINS = 4096
+_MOMENT_TAIL = 1e-10
+
+
+def _binomial_tail(k: int, n: int, p):
+    """``P(Binomial(n, p) >= k)`` via the regularised incomplete beta
+    function ``I_p(k, n - k + 1)`` (exact, vectorised over ``p``)."""
+    return betainc(k, n - k + 1, p)
+
+
+def _poisson_binomial_tail(ps: np.ndarray, k: int) -> np.ndarray:
+    """``P(at least k successes)`` for independent heterogeneous trials.
+
+    ``ps`` has the trials on axis 0; the remaining axes are evaluation
+    points.  Maintains the coefficient array of ``prod_i (1 - p_i +
+    p_i z)`` -- the classic O(n^2) dynamic programme, vectorised over
+    the evaluation axes (replica sets are tiny, n <= replicas)."""
+    n = ps.shape[0]
+    coeffs = np.zeros((n + 1,) + ps.shape[1:], dtype=float)
+    coeffs[0] = 1.0
+    for i in range(n):
+        p = ps[i]
+        q = 1.0 - p
+        coeffs[i + 1] = coeffs[i] * p
+        for j in range(i, 0, -1):
+            coeffs[j] = coeffs[j] * q + coeffs[j - 1] * p
+        coeffs[0] = coeffs[0] * q
+    return coeffs[k:].sum(axis=0)
+
+
+def _numeric_moments(dist: Distribution, scale: float) -> tuple[float, float]:
+    """Mean and second moment by survival-function integration.
+
+    ``E[X] = int sf`` and ``E[X^2] = 2 int t sf`` on a horizon grown by
+    doubling until the tail mass drops below ``_MOMENT_TAIL``.  Children
+    with infinite moments (heavy Pareto tails) yield horizon-truncated
+    values -- the CDF itself stays exact.
+    """
+    if scale <= 0.0:
+        # Children carry no mass above zero: the order statistic is the
+        # point mass at zero as well.
+        return 0.0, 0.0
+    hi = scale if np.isfinite(scale) else 1.0
+    for _ in range(200):
+        if float(np.asarray(dist.cdf(hi))) >= 1.0 - _MOMENT_TAIL:
+            break
+        hi *= 2.0
+    t = np.linspace(0.0, hi, _MOMENT_BINS + 1)
+    sf = 1.0 - np.clip(np.asarray(dist.cdf(t), dtype=float), 0.0, 1.0)
+    mean = float(np.trapezoid(sf, t))
+    second = float(2.0 * np.trapezoid(t * sf, t))
+    return mean, second
+
+
+class KofN(Distribution):
+    """k-th order statistic of ``n`` iid copies of one distribution.
+
+    ``k = 1`` is the minimum (speculative first-response-wins), ``k = n``
+    the maximum (fork-join completion), ``k = n//2 + 1`` the majority
+    (quorum GET).  The CDF is the exact binomial identity evaluated
+    through ``betainc``; the shared child is evaluated once per batch.
+    """
+
+    __slots__ = ("component", "k", "n", "_token", "_moments")
+
+    has_laplace = False
+
+    def __init__(self, component: Distribution, k: int, n: int) -> None:
+        k = int(k)
+        n = int(n)
+        if n < 1:
+            raise DistributionError(f"need at least one component, got n={n}")
+        if not 1 <= k <= n:
+            raise DistributionError(f"order k={k} out of range for n={n}")
+        self.component = component
+        self.k = k
+        self.n = n
+        self._token = _UNSET
+        self._moments: tuple[float, float] | None = None
+
+    def cache_token(self) -> tuple | None:
+        token = self._token
+        if token is _UNSET:
+            child = self.component.cache_token()
+            token = None if child is None else ("kofn", self.k, self.n, child)
+            self._token = token
+        return token
+
+    @property
+    def atom_at_zero(self) -> float:
+        return float(_binomial_tail(self.k, self.n, self.component.atom_at_zero))
+
+    def laplace(self, s):
+        raise DistributionError(
+            "order statistics have no closed-form Laplace transform; "
+            "compose them in the CDF/grid domain (grid_of / to_grid)"
+        )
+
+    def cdf(self, t, **kwargs):
+        f = np.clip(
+            np.asarray(self.component.cdf(t, **kwargs), dtype=float), 0.0, 1.0
+        )
+        return np.asarray(_binomial_tail(self.k, self.n, f))[()]
+
+    def _ensure_moments(self) -> tuple[float, float]:
+        moments = self._moments
+        if moments is None:
+            moments = _numeric_moments(self, self.n * self.component.mean)
+            self._moments = moments
+        return moments
+
+    @property
+    def mean(self) -> float:
+        return self._ensure_moments()[0]
+
+    @property
+    def second_moment(self) -> float:
+        return self._ensure_moments()[1]
+
+    def sample(self, rng: np.random.Generator, size=None):
+        scalar = size is None
+        count = 1 if scalar else int(np.prod(size))
+        draws = np.asarray(
+            self.component.sample(rng, size=(self.n, count)), dtype=float
+        ).reshape(self.n, count)
+        out = np.partition(draws, self.k - 1, axis=0)[self.k - 1]
+        if scalar:
+            return float(out[0])
+        return out.reshape(size)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"KofN(k={self.k}, n={self.n}, component={self.component!r})"
+
+
+class OrderStatistic(Distribution):
+    """k-th order statistic of independent *heterogeneous* components.
+
+    The CDF is the Poisson-binomial tail ``P(at least k of the component
+    indicators 1{X_i <= t} fire)``, computed by the product-polynomial
+    recurrence vectorised over ``t``.  Children that denote the same law
+    (equal ``cache_token``) are evaluated once and their probabilities
+    reused -- mixed device sets with repeated sojourn laws batch like
+    the iid case.
+    """
+
+    __slots__ = ("components", "k", "_token", "_moments")
+
+    has_laplace = False
+
+    def __init__(self, components, k: int) -> None:
+        components = tuple(components)
+        n = len(components)
+        if n < 1:
+            raise DistributionError("need at least one component")
+        k = int(k)
+        if not 1 <= k <= n:
+            raise DistributionError(f"order k={k} out of range for n={n}")
+        self.components = components
+        self.k = k
+        self._token = _UNSET
+        self._moments: tuple[float, float] | None = None
+
+    @property
+    def n(self) -> int:
+        return len(self.components)
+
+    def cache_token(self) -> tuple | None:
+        token = self._token
+        if token is _UNSET:
+            children = _child_tokens(self.components)
+            token = None if children is None else ("ordstat", self.k, children)
+            self._token = token
+        return token
+
+    @property
+    def atom_at_zero(self) -> float:
+        atoms = np.asarray([c.atom_at_zero for c in self.components], dtype=float)
+        return float(_poisson_binomial_tail(atoms, self.k))
+
+    def laplace(self, s):
+        raise DistributionError(
+            "order statistics have no closed-form Laplace transform; "
+            "compose them in the CDF/grid domain (grid_of / to_grid)"
+        )
+
+    def _child_probs(self, t: np.ndarray, kwargs) -> np.ndarray:
+        # Node sharing: children with equal value identity share one CDF
+        # evaluation (identity fallback for uncacheable children).
+        cache: dict = {}
+        rows = []
+        for c in self.components:
+            key = c.cache_token()
+            if key is None:
+                key = id(c)
+            vals = cache.get(key)
+            if vals is None:
+                vals = np.broadcast_to(
+                    np.clip(
+                        np.asarray(c.cdf(t, **kwargs), dtype=float), 0.0, 1.0
+                    ),
+                    t.shape,
+                )
+                cache[key] = vals
+            rows.append(vals)
+        return np.stack(rows, axis=0)
+
+    def cdf(self, t, **kwargs):
+        t = np.asarray(t, dtype=float)
+        tail = _poisson_binomial_tail(self._child_probs(t, kwargs), self.k)
+        return np.clip(tail, 0.0, 1.0)[()]
+
+    def _ensure_moments(self) -> tuple[float, float]:
+        moments = self._moments
+        if moments is None:
+            scale = float(sum(c.mean for c in self.components))
+            moments = _numeric_moments(self, scale)
+            self._moments = moments
+        return moments
+
+    @property
+    def mean(self) -> float:
+        return self._ensure_moments()[0]
+
+    @property
+    def second_moment(self) -> float:
+        return self._ensure_moments()[1]
+
+    def sample(self, rng: np.random.Generator, size=None):
+        scalar = size is None
+        count = 1 if scalar else int(np.prod(size))
+        draws = np.stack(
+            [
+                np.asarray(c.sample(rng, size=count), dtype=float).reshape(count)
+                for c in self.components
+            ]
+        )
+        out = np.partition(draws, self.k - 1, axis=0)[self.k - 1]
+        if scalar:
+            return float(out[0])
+        return out.reshape(size)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OrderStatistic(k={self.k}, n={self.n} components)"
+
+
+def order_statistic(components, k: int) -> Distribution:
+    """Build the k-th order statistic of independent components.
+
+    Collapses trivial structure exactly:
+
+    * one component (``n = 1``, forcing ``k = 1``) returns the child
+      itself -- the identity the k=1 reduction argument rests on;
+    * components that all denote the same law (same object, or equal
+      non-``None`` cache tokens) build the iid :class:`KofN`, whose
+      binomial-identity CDF evaluates the shared child once;
+    * anything else builds the Poisson-binomial :class:`OrderStatistic`.
+    """
+    components = tuple(components)
+    n = len(components)
+    if n < 1:
+        raise DistributionError("need at least one component")
+    k = int(k)
+    if not 1 <= k <= n:
+        raise DistributionError(f"order k={k} out of range for n={n}")
+    if n == 1:
+        return components[0]
+    first = components[0]
+    if all(c is first for c in components[1:]):
+        return KofN(first, k, n)
+    tokens = [c.cache_token() for c in components]
+    if tokens[0] is not None and all(tok == tokens[0] for tok in tokens[1:]):
+        return KofN(first, k, n)
+    return OrderStatistic(components, k)

@@ -64,6 +64,12 @@ from repro.experiments.faults import (
     run_fault_scenario,
 )
 from repro.experiments.cdf_validation import CdfValidation, run_cdf_validation
+from repro.experiments.redundancy import (
+    RedundancyRunResult,
+    StrategyObservation,
+    run_kofn_sweep,
+    run_redundancy_scenario,
+)
 from repro.experiments.fleet import (
     ClusterTask,
     FleetResult,
@@ -126,6 +132,10 @@ __all__ = [
     "run_fault_scenario",
     "CdfValidation",
     "run_cdf_validation",
+    "RedundancyRunResult",
+    "StrategyObservation",
+    "run_kofn_sweep",
+    "run_redundancy_scenario",
     "ClusterTask",
     "FleetResult",
     "FleetScenario",

@@ -46,6 +46,10 @@ from repro.model.sensitivity import (
     rank_sensitivities,
     sla_sensitivities,
 )
+from repro.model.redundancy import (
+    RedundantLatencyModel,
+    replica_sets_from_ring,
+)
 from repro.model.whatif import (
     FaultImpact,
     admission_rate,
@@ -55,6 +59,8 @@ from repro.model.whatif import (
     min_devices_online,
     rank_devices,
     rank_faults,
+    rank_read_strategies,
+    redundant_sla_percentile,
     sla_met,
 )
 from repro.model.baselines import (
@@ -103,6 +109,10 @@ __all__ = [
     "degraded_sla_percentile",
     "fault_impact",
     "rank_faults",
+    "RedundantLatencyModel",
+    "replica_sets_from_ring",
+    "redundant_sla_percentile",
+    "rank_read_strategies",
     "distribution_from_spec",
     "distribution_to_spec",
     "system_from_doc",

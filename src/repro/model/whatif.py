@@ -50,6 +50,8 @@ __all__ = [
     "FaultImpact",
     "fault_impact",
     "rank_faults",
+    "redundant_sla_percentile",
+    "rank_read_strategies",
 ]
 
 
@@ -249,6 +251,76 @@ def fault_impact(
         params, schedule, window, sla_seconds, **model_kwargs
     )
     return FaultImpact(healthy=healthy, degraded=degraded)
+
+
+def redundant_sla_percentile(
+    params: SystemParameters,
+    replica_sets,
+    sla_seconds: float,
+    *,
+    strategy: str = "kofn",
+    fanout: int = 2,
+    **model_kwargs,
+) -> float:
+    """Predicted SLA percentile under a redundant read strategy.
+
+    ``NaN`` when the composition saturates, mirroring
+    :func:`degraded_sla_percentile` (redundant probe load can push an
+    otherwise-stable device past its union-operation capacity).
+    """
+    from repro.model.redundancy import RedundantLatencyModel
+
+    try:
+        model = RedundantLatencyModel(
+            params, replica_sets, strategy=strategy, fanout=fanout, **model_kwargs
+        )
+    except UnstableQueueError:
+        return float("nan")
+    return model.sla_percentile(sla_seconds)
+
+
+def rank_read_strategies(
+    params: SystemParameters,
+    replica_sets,
+    sla_seconds: float,
+    *,
+    fanouts: tuple[int, ...] = (2, 3),
+    **model_kwargs,
+) -> list[tuple[str, float]]:
+    """Rank read-dispatch strategies by predicted SLA percentile.
+
+    Candidates are ``single``, ``quorum`` and ``kofn``/``forkjoin`` at
+    each fanout in ``fanouts``, labelled ``"kofn@2"`` style.  Sorted
+    best first (highest predicted percentile); NaN -- saturated --
+    candidates sort last.  The caveat of :mod:`repro.model.redundancy`
+    applies: all candidates are evaluated on the *same* calibrated
+    parameters, so this ranks "what the model family predicts", not a
+    counterfactual re-calibration per strategy.
+    """
+    import math as _math
+
+    candidates: list[tuple[str, str, int]] = [("single", "single", 1)]
+    for f in fanouts:
+        candidates.append((f"kofn@{f}", "kofn", f))
+    candidates.append(("quorum", "quorum", 1))
+    for f in fanouts:
+        candidates.append((f"forkjoin@{f}", "forkjoin", f))
+    ranked = [
+        (
+            label,
+            redundant_sla_percentile(
+                params,
+                replica_sets,
+                sla_seconds,
+                strategy=strategy,
+                fanout=fanout,
+                **model_kwargs,
+            ),
+        )
+        for label, strategy, fanout in candidates
+    ]
+    ranked.sort(key=lambda pair: (_math.isnan(pair[1]), -pair[1]))
+    return ranked
 
 
 def rank_faults(

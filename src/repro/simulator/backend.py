@@ -221,6 +221,12 @@ class StorageProcess:
     # request start: parse + index + meta + first chunk
     # ------------------------------------------------------------------
     def _run_start(self, req: Request, _idx) -> None:
+        if req.cancelled:
+            # A redundant-read cancel reached this replica before the
+            # request was picked up: drop it without touching the disk.
+            self.device.abort_probe(req, 0)
+            self._next()
+            return
         parse_time = self.device.sample_parse()
         if parse_time > 0.0:
             self.sim.schedule_op(parse_time, self._parse_op, req)
@@ -253,6 +259,13 @@ class StorageProcess:
     # chunk continuation
     # ------------------------------------------------------------------
     def _run_chunk(self, req: Request, idx: int) -> None:
+        if req.cancelled:
+            # Cancel landed mid-transfer: the worker stops before the
+            # next chunk read (a blocked disk op cannot be interrupted,
+            # matching real event-driven backends).
+            self.device.abort_probe(req, idx)
+            self._next()
+            return
         self.device.read_chunk(req, idx, self._after_chunk)
 
     def _after_chunk(self, req: Request, idx: int) -> None:
@@ -447,7 +460,10 @@ class StorageDevice:
     def read_chunk(self, req: Request, idx: int, cont) -> None:
         self.counters.chunk_reads += 1
         nbytes = self.chunk_size_of(req, idx)
-        if self.data_cache.access((req.object_id, idx), nbytes):
+        # chunk_offset shifts fork-join fragment reads into the parent
+        # object's chunk space (0 for whole-object requests), so cache
+        # keys stay per-object-chunk across fragments.
+        if self.data_cache.access((req.object_id, req.chunk_offset + idx), nbytes):
             self.counters.data_hits += 1
             cont(req, idx)
         else:
@@ -540,13 +556,30 @@ class StorageDevice:
         # replicas; the first arrival wins.
         if req.first_byte_time < 0.0:
             req.first_byte_time = self.sim.now
+            if req.parent is not None:
+                req.parent.red.owner.probe_first_byte(req)
 
     def deliver_completion(self, req: Request, _b=None) -> None:
         if req.is_complete:
             return  # duplicate delivery from a pre-retry replica
         req.completion_time = self.sim.now
+        if req.parent is not None:
+            # Redundant-read probe: aggregate at the owning frontend
+            # instead of recording this per-replica leg as a request.
+            req.parent.red.owner.probe_completed(req)
+            return
         if self.on_complete is not None:
             self.on_complete(req)
+
+    def abort_probe(self, req: Request, idx: int) -> None:
+        """Terminal event of a cancelled redundant-read probe.
+
+        ``idx`` is the number of chunks the replica served before the
+        cancel took effect (wasted-work accounting); the probe's
+        completion timestamp marks when it stopped occupying the worker.
+        """
+        req.completion_time = self.sim.now
+        req.parent.red.owner.probe_aborted(req, idx)
 
     # ------------------------------------------------------------------
     def warm(self, object_ids: np.ndarray) -> None:

@@ -82,6 +82,12 @@ class ClusterConfig:
     #: up to ``max_retries`` times.
     request_timeout: float | None = None
     max_retries: int = 1
+    #: Read-dispatch strategy (see ``frontend.READ_STRATEGIES`` and
+    #: docs/REDUNDANCY.md): ``single`` | ``kofn`` | ``quorum`` |
+    #: ``forkjoin``.  ``read_fanout`` is ``k`` for kofn/forkjoin;
+    #: quorum always uses the full replica row.
+    read_strategy: str = "single"
+    read_fanout: int = 1
 
     def __post_init__(self) -> None:
         if self.n_frontend_processes < 1 or self.n_devices < 1:
@@ -98,6 +104,29 @@ class ClusterConfig:
         split = self.cache_split
         if len(split) != 3 or any(f < 0.0 for f in split) or sum(split) > 1.0 + 1e-9:
             raise ValueError("cache_split must be three fractions summing to <= 1")
+        from repro.simulator.frontend import READ_STRATEGIES
+
+        if self.read_strategy not in READ_STRATEGIES:
+            raise ValueError(
+                f"read_strategy must be one of {READ_STRATEGIES}, "
+                f"got {self.read_strategy!r}"
+            )
+        if self.read_strategy in ("single", "quorum"):
+            if self.read_fanout != 1:
+                raise ValueError(
+                    f"read_fanout is meaningless for {self.read_strategy!r} "
+                    "(single reads one replica; quorum always uses the row)"
+                )
+        elif not 1 <= self.read_fanout <= self.replicas:
+            raise ValueError(
+                f"read_fanout must be in [1, replicas={self.replicas}], "
+                f"got {self.read_fanout}"
+            )
+        if self.read_strategy != "single" and self.request_timeout is not None:
+            raise ValueError(
+                "redundant read dispatch replaces timeout/retry hedging; "
+                "set request_timeout=None"
+            )
 
     @property
     def n_backend_servers(self) -> int:
@@ -245,9 +274,19 @@ class Cluster:
                 rng=self.rng.stream(f"fe{f}"),
                 timeout=config.request_timeout,
                 max_retries=config.max_retries,
+                read_strategy=config.read_strategy,
+                read_fanout=config.read_fanout,
+                chunk_bytes=config.chunk_bytes,
             )
             for f in range(config.n_frontend_processes)
         ]
+        for fe in self.frontends:
+            # Redundantly-dispatched reads complete at the frontend, not
+            # at a device: route them into the same recording sinks.
+            fe.on_read_complete = (
+                self.metrics.record_request if tracer is None else self._traced_complete
+            )
+            fe.on_redundant_done = self.metrics.record_redundant
         if tracer is not None:
             for fe in self.frontends:
                 fe.tracer = tracer

@@ -29,12 +29,23 @@ import numpy as np
 from repro.distributions import Degenerate, Distribution
 from repro.simulator.backend import Connection, StorageDevice
 from repro.simulator.rng import BufferedIntegers
-from repro.simulator.core import Simulator
+from repro.simulator.core import SimulationError, Simulator
 from repro.simulator.network import NetworkProfile
-from repro.simulator.request import Request
+from repro.simulator.request import RedundantRead, Request
 from repro.simulator.ring import HashRing
 
-__all__ = ["FrontendProcess"]
+__all__ = ["FrontendProcess", "READ_STRATEGIES"]
+
+#: Read-dispatch strategies (docs/REDUNDANCY.md):
+#:
+#: * ``single``   -- one random replica (Swift proxy; today's behaviour);
+#: * ``kofn``     -- speculative reads to ``k`` distinct replicas,
+#:   first first-byte wins, the losers are cancelled;
+#: * ``quorum``   -- read from *all* replicas, respond at the majority
+#:   (read-repair-free quorum GET), cancel the stragglers;
+#: * ``forkjoin`` -- stripe the object across ``k`` replicas at chunk
+#:   granularity and join all fragments before responding.
+READ_STRATEGIES = ("single", "kofn", "quorum", "forkjoin")
 
 
 class FrontendProcess:
@@ -54,6 +65,13 @@ class FrontendProcess:
         "timeouts_fired",
         "fault_filter",
         "tracer",
+        "read_strategy",
+        "read_fanout",
+        "chunk_bytes",
+        "on_read_complete",
+        "on_redundant_done",
+        "_redundant",
+        "_cancel_op",
         "_rng",
         "_parse_op",
         "_parse_const",
@@ -72,11 +90,29 @@ class FrontendProcess:
         *,
         timeout: float | None = None,
         max_retries: int = 1,
+        read_strategy: str = "single",
+        read_fanout: int = 1,
+        chunk_bytes: int = 1,
     ) -> None:
         if timeout is not None and timeout <= 0.0:
             raise ValueError("timeout must be positive (or None)")
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if read_strategy not in READ_STRATEGIES:
+            raise ValueError(f"unknown read strategy {read_strategy!r}")
+        if read_fanout < 1:
+            raise ValueError("read_fanout must be >= 1")
+        # kofn / forkjoin with fanout 1 degenerate to the single-replica
+        # path *exactly* (no probe objects, no extra events): this is
+        # the k=1 bit-identity reduction the goldens pin down.
+        redundant = read_strategy == "quorum" or (
+            read_strategy in ("kofn", "forkjoin") and read_fanout > 1
+        )
+        if redundant and timeout is not None:
+            raise ValueError(
+                "redundant read dispatch replaces timeout/retry hedging; "
+                "configure one or the other"
+            )
         self.sim = sim
         self.fid = fid
         self.parse_dist = parse_dist
@@ -95,7 +131,18 @@ class FrontendProcess:
         #: Optional :class:`repro.obs.trace.Tracer` (wired by the
         #: cluster; ``None`` = tracing off).
         self.tracer = None
+        self.read_strategy = read_strategy
+        self.read_fanout = read_fanout
+        self.chunk_bytes = chunk_bytes
+        #: Completion sink for reads the *frontend* finishes (redundant
+        #: dispatch); wired by the cluster like ``device.on_complete``.
+        self.on_read_complete = None
+        #: Per-strategy accounting sink, fired once all probes of a
+        #: redundant read are terminal (wired to the metrics recorder).
+        self.on_redundant_done = None
+        self._redundant = redundant
         self._rng = rng
+        self._cancel_op = sim.register(self._deliver_cancel)
         self._parse_op = sim.register(self._after_parse)
         # Degenerate parse never touches the stream: hoist the constant.
         self._parse_const = (
@@ -133,6 +180,8 @@ class FrontendProcess:
             )
         if req.is_write:
             self._send_write(req)
+        elif self._redundant:
+            self._send_read_redundant(req)
         else:
             self._send_read(req, exclude=-1)
         self._next()
@@ -215,16 +264,198 @@ class FrontendProcess:
         self._send_read(req, exclude=device_id)
 
     # ------------------------------------------------------------------
+    # redundant reads: probe fan-out, first-k aggregation, cancellation
+    # ------------------------------------------------------------------
+    def _send_read_redundant(self, req: Request) -> None:
+        """Fan a read out as per-replica *probe* requests.
+
+        Each probe is its own :class:`Request` (own timestamps, own
+        response-stream clock) pointing back at the parent; the parent
+        carries the :class:`RedundantRead` aggregator and never touches
+        a device itself.  Fail-stopped replicas shrink the candidate
+        set exactly like the single-replica path (full-row fallback when
+        everything is down).
+        """
+        row = self.ring.replica_row(req.object_id)
+        if self.fault_filter:
+            devices = self.devices
+            row = [d for d in row if not devices[d].failed] or row
+        strategy = self.read_strategy
+        if strategy == "quorum":
+            # All replicas, respond at the majority of the *dispatched*
+            # set -- a dead replica shrinks the quorum like writes do.
+            targets = list(row)
+            need = len(targets) // 2 + 1
+            red = RedundantRead("quorum", self, len(targets), need, need)
+            self._spawn_probes(req, red, targets)
+        elif strategy == "kofn":
+            k = min(self.read_fanout, len(row))
+            targets = self._pick_distinct(row, k)
+            red = RedundantRead("kofn", self, k, 1, 1)
+            self._spawn_probes(req, red, targets)
+        else:  # forkjoin
+            k = min(self.read_fanout, len(row), req.n_chunks)
+            targets = self._pick_distinct(row, k)
+            red = RedundantRead("forkjoin", self, k, k, k)
+            self._spawn_fragments(req, red, targets)
+
+    def _pick_distinct(self, row, k: int):
+        """``k`` distinct replicas by partial Fisher-Yates.
+
+        For ``k = 1`` this is exactly one ``integers(len(row))`` draw --
+        the same stream consumption as the single-replica scalar path.
+        """
+        pool = list(row)
+        n = len(pool)
+        rng = self._rng
+        out = []
+        for i in range(k):
+            j = i + int(rng.integers(n - i))
+            pool[i], pool[j] = pool[j], pool[i]
+            out.append(pool[i])
+        return out
+
+    def _make_probe(self, req: Request, size_bytes: int) -> Request:
+        probe = Request(req.rid, req.object_id, size_bytes, self.chunk_bytes)
+        probe.parent = req
+        probe.arrival_time = req.arrival_time
+        probe.frontend_id = self.fid
+        req.red.probes.append(probe)
+        return probe
+
+    def _spawn_probes(self, req: Request, red: RedundantRead, targets) -> None:
+        req.red = red
+        latency = self.network.latency
+        for dev_idx in targets:
+            probe = self._make_probe(req, req.size_bytes)
+            device = self.devices[dev_idx]
+            self.sim.schedule_op(latency, device.connect_op, Connection(probe, self))
+
+    def _spawn_fragments(self, req: Request, red: RedundantRead, targets) -> None:
+        """Stripe the object across ``k`` replicas at chunk granularity.
+
+        Fragment ``i`` reads a contiguous chunk range (range read); the
+        first ``n_chunks % k`` fragments take one extra chunk, and the
+        final fragment ends with the object's short tail chunk.  The
+        probes' ``chunk_offset`` keeps backend cache keys in the parent
+        object's chunk space.
+        """
+        req.red = red
+        n_chunks = req.n_chunks
+        chunk_bytes = self.chunk_bytes
+        tail = req.size_bytes - (n_chunks - 1) * chunk_bytes
+        base, rem = divmod(n_chunks, red.fanout)
+        latency = self.network.latency
+        offset = 0
+        for i, dev_idx in enumerate(targets):
+            count = base + 1 if i < rem else base
+            if offset + count == n_chunks:
+                nbytes = (count - 1) * chunk_bytes + tail
+            else:
+                nbytes = count * chunk_bytes
+            probe = self._make_probe(req, nbytes)
+            probe.chunk_offset = offset
+            offset += count
+            device = self.devices[dev_idx]
+            self.sim.schedule_op(latency, device.connect_op, Connection(probe, self))
+
+    # -- probe event aggregation (called by the backend deliveries) ----
+    def probe_first_byte(self, probe: Request) -> None:
+        parent = probe.parent
+        red = parent.red
+        red.fb_count += 1
+        if red.fb_count != red.fb_need:
+            return
+        # The deciding probe: kofn's first responder, quorum's
+        # majority-th first byte, forkjoin's slowest fragment.  The
+        # parent's stage attribution follows it.
+        now = self.sim.now
+        red.winner_probe = probe
+        red.winner_device = probe.device_id
+        red.decided_time = now
+        parent.device_id = probe.device_id
+        parent.connect_time = probe.connect_time
+        parent.accepted_time = probe.accepted_time
+        parent.backend_enqueue_time = probe.backend_enqueue_time
+        parent.backend_start_time = probe.backend_start_time
+        parent.first_byte_time = now
+        if red.strategy == "kofn":
+            # First response wins: the client streams from the winner,
+            # everything else is cancelled.
+            self._cancel_losers(red)
+
+    def probe_completed(self, probe: Request) -> None:
+        red = probe.parent.red
+        red.done_count += 1
+        red.total_chunks += probe.n_chunks
+        if red.strategy == "kofn":
+            # The parent streams from the winner; a losing replica that
+            # finished before its cancel landed does not complete it.
+            if probe is red.winner_probe:
+                self._finish_parent(probe.parent)
+        elif red.done_count == red.done_need:
+            self._finish_parent(probe.parent)
+            if red.strategy == "quorum":
+                self._cancel_losers(red)
+        self._probe_terminal(red, probe)
+
+    def probe_aborted(self, probe: Request, served_chunks: int) -> None:
+        red = probe.parent.red
+        red.aborted += 1
+        red.total_chunks += served_chunks
+        self._probe_terminal(red, probe)
+
+    def _probe_terminal(self, red: RedundantRead, probe: Request) -> None:
+        red.pending -= 1
+        if red.cancel_time >= 0.0 and probe is not red.winner_probe:
+            # Cancellation latency: how long this replica kept working
+            # after the cancel went out (whether it aborted or managed
+            # to finish anyway).
+            red.cancel_count += 1
+            red.cancel_latency_sum += self.sim.now - red.cancel_time
+        if red.pending == 0 and self.on_redundant_done is not None:
+            self.on_redundant_done(probe.parent)
+
+    def _finish_parent(self, parent: Request) -> None:
+        parent.completion_time = self.sim.now
+        if self.on_read_complete is not None:
+            self.on_read_complete(parent)
+
+    def _cancel_losers(self, red: RedundantRead) -> None:
+        """Send cancels to every probe still streaming (winner excluded:
+        kofn's parent completes at the winner's completion, and quorum
+        keeps the deciding connection open).  The cancel takes effect at
+        the replica's next scheduling point, one network latency away.
+        """
+        red.cancel_time = self.sim.now
+        latency = self.network.latency
+        winner = red.winner_probe
+        for probe in red.probes:
+            if probe is winner or probe.is_complete:
+                continue
+            self.sim.schedule_op(latency, self._cancel_op, probe)
+
+    def _deliver_cancel(self, probe: Request, _b=None) -> None:
+        if not probe.is_complete:
+            probe.cancelled = True
+
+    # ------------------------------------------------------------------
     # writes: fan out to every replica, majority quorum
     # ------------------------------------------------------------------
     def _send_write(self, req: Request) -> None:
         replicas = [int(d) for d in self.ring.devices_for(req.object_id)]
         if self.fault_filter:
             # Fan out to alive replicas only; the quorum shrinks with
-            # the alive set (Swift writes to reachable nodes).  All
-            # replicas down degenerates to the full set, as for reads.
+            # the alive set (Swift writes to reachable nodes).  A write
+            # with *no* alive replica cannot be made durable anywhere:
+            # fail loudly instead of pretending a dead quorum exists.
             devices = self.devices
-            replicas = [d for d in replicas if not devices[d].failed] or replicas
+            replicas = [d for d in replicas if not devices[d].failed]
+            if not replicas:
+                raise SimulationError(
+                    f"write rid={req.rid} obj={req.object_id}: "
+                    "every replica is fail-stopped; no quorum is reachable"
+                )
         req.write_quorum = len(replicas) // 2 + 1
         for dev_idx in replicas:
             device = self.devices[dev_idx]

@@ -215,6 +215,36 @@ HISTOGRAM_FAMILIES = (
 )
 
 
+def _new_strategy_stats() -> dict:
+    """Fresh per-strategy attribution leaf (redundant read dispatch).
+
+    ``strategy`` is ``None`` until the first redundant request lands and
+    absorbs to ``"mixed"`` when recorders with different strategies are
+    merged (a commutative semilattice join, so the merge stays exactly
+    associative).  ``cancel_sum`` is the only float accumulator; its
+    snapshot form is a *list* of leaf partial sums, same as the
+    histogram sums, so merging never reassociates float additions.
+    """
+    return {
+        "strategy": None,
+        "requests": 0,
+        "probes": 0,
+        "aborted": 0,
+        "wasted_chunks": 0,
+        "cancel_count": 0,
+        "cancel_sum": 0.0,
+        "winners": {},
+    }
+
+
+def _merge_strategy_name(a, b):
+    if a is None:
+        return b
+    if b is None or a == b:
+        return a
+    return "mixed"
+
+
 class MetricsRecorder:
     """Accumulates request completions and disk-op samples.
 
@@ -234,6 +264,7 @@ class MetricsRecorder:
         "latency_store",
         "_hists",
         "_hist_count",
+        "_strategy",
     )
 
     def __init__(
@@ -252,6 +283,7 @@ class MetricsRecorder:
         self.latency_store = latency_store
         self._hists = None
         self._hist_count = 0
+        self._strategy = _new_strategy_stats()
         if latency_store == "histogram":
             from repro.obs.hist import LatencyHistogram
 
@@ -287,6 +319,42 @@ class MetricsRecorder:
         hists["frontend_sojourn"].record(max(req.frontend_sojourn, 0.0))
         hists["backend_response"].record(max(req.backend_response, 0.0))
         self._hist_count += 1
+
+    def record_redundant(self, req: Request) -> None:
+        """Per-strategy attribution for one finished redundant read.
+
+        Called by the frontend once *every* probe of the request is
+        terminal (completed or aborted), so wasted work and cancellation
+        lag are final.  The latency row itself was already recorded by
+        :meth:`record_request` when the parent completed.
+        """
+        red = req.red
+        stats = self._strategy
+        stats["strategy"] = _merge_strategy_name(stats["strategy"], red.strategy)
+        stats["requests"] += 1
+        stats["probes"] += len(red.probes)
+        stats["aborted"] += red.aborted
+        # Chunks served beyond what one clean single-replica read would
+        # have needed: speculative losers, quorum stragglers, aborted
+        # partial transfers.
+        stats["wasted_chunks"] += max(0, red.total_chunks - req.n_chunks)
+        stats["cancel_count"] += red.cancel_count
+        stats["cancel_sum"] += red.cancel_latency_sum
+        winners = stats["winners"]
+        dev = red.winner_device
+        winners[dev] = winners.get(dev, 0) + 1
+
+    def redundant_stats(self) -> dict:
+        """Copy of the per-strategy attribution leaf, with the mean
+        post-cancel lag derived for convenience."""
+        stats = self._strategy
+        out = dict(stats)
+        out["winners"] = dict(stats["winners"])
+        count = stats["cancel_count"]
+        out["mean_cancel_latency"] = (
+            stats["cancel_sum"] / count if count else float("nan")
+        )
+        return out
 
     def record_disk_op(self, kind: str, service_time: float) -> None:
         if not self.record_disk_samples:
@@ -370,11 +438,13 @@ class MetricsRecorder:
     def clear_requests(self) -> None:
         """Drop request rows (window boundaries) but keep disk samples."""
         self._rows.clear()
+        self._strategy = _new_strategy_stats()
         self._reset_histograms()
 
     def clear(self) -> None:
         self._rows.clear()
         self._disk_samples.clear()
+        self._strategy = _new_strategy_stats()
         self._reset_histograms()
 
     def _reset_histograms(self) -> None:
@@ -400,6 +470,7 @@ class MetricsRecorder:
         :meth:`from_state` reduces it with :func:`math.fsum`, which is
         correctly rounded regardless of grouping or order.
         """
+        stats = self._strategy
         state = {
             "latency_store": self.latency_store,
             "record_disk_samples": self.record_disk_samples,
@@ -407,6 +478,21 @@ class MetricsRecorder:
             "disk": {k: list(v) for k, v in self._disk_samples.items()},
             "hist_count": self._hist_count,
             "hists": None,
+            "redundant": {
+                "strategy": stats["strategy"],
+                "requests": stats["requests"],
+                "probes": stats["probes"],
+                "aborted": stats["aborted"],
+                "wasted_chunks": stats["wasted_chunks"],
+                "cancel_count": stats["cancel_count"],
+                # Zero partial sums are dropped so a recorder that saw no
+                # cancellations exports the same canonical leaf whether it
+                # is fresh, rebuilt, or a merge of many idle shards.
+                "cancel_sums": (
+                    [stats["cancel_sum"]] if stats["cancel_sum"] != 0.0 else []
+                ),
+                "winners": {d: stats["winners"][d] for d in sorted(stats["winners"])},
+            },
         }
         if self._hists is not None:
             hists = {}
@@ -427,6 +513,15 @@ class MetricsRecorder:
         rec._rows = [tuple(r) for r in state["rows"]]
         rec._disk_samples = {k: list(v) for k, v in state["disk"].items()}
         rec._hist_count = int(state["hist_count"])
+        red = state.get("redundant")
+        if red is not None:
+            stats = rec._strategy
+            stats["strategy"] = red["strategy"]
+            for key in ("requests", "probes", "aborted", "wasted_chunks",
+                        "cancel_count"):
+                stats[key] = int(red[key])
+            stats["cancel_sum"] = math.fsum(red["cancel_sums"])
+            stats["winners"] = {int(d): int(c) for d, c in red["winners"].items()}
         if state["hists"] is not None:
             from repro.obs.hist import LatencyHistogram
 
@@ -509,6 +604,36 @@ def merge_recorder_states(states) -> dict:
                 "counts": {i: counts[i] for i in sorted(counts)},
             }
 
+    # Per-strategy redundancy leaf: integer adds, winner-count adds with
+    # sorted keys, cancel partial-sum concatenation (sorted, folded only
+    # at from_state with fsum) -- the same algebra as the histograms, so
+    # the whole snapshot merge stays associative and order-independent.
+    # States predating the leaf merge as empty.
+    _empty = _new_strategy_stats()
+    del _empty["cancel_sum"]
+    _empty["cancel_sums"] = []
+    red_docs = [s.get("redundant", _empty) for s in states]
+    strategy = None
+    for doc in red_docs:
+        strategy = _merge_strategy_name(strategy, doc["strategy"])
+    winners: dict[int, int] = {}
+    cancel_sums: list[float] = []
+    for doc in red_docs:
+        for d, c in doc["winners"].items():
+            winners[d] = winners.get(d, 0) + c
+        cancel_sums.extend(doc["cancel_sums"])
+    cancel_sums.sort()
+    redundant = {
+        "strategy": strategy,
+        "requests": sum(doc["requests"] for doc in red_docs),
+        "probes": sum(doc["probes"] for doc in red_docs),
+        "aborted": sum(doc["aborted"] for doc in red_docs),
+        "wasted_chunks": sum(doc["wasted_chunks"] for doc in red_docs),
+        "cancel_count": sum(doc["cancel_count"] for doc in red_docs),
+        "cancel_sums": cancel_sums,
+        "winners": {d: winners[d] for d in sorted(winners)},
+    }
+
     return {
         "latency_store": store,
         "record_disk_samples": record_disk,
@@ -516,4 +641,5 @@ def merge_recorder_states(states) -> dict:
         "disk": {k: disk[k] for k in sorted(disk)},
         "hist_count": sum(s["hist_count"] for s in states),
         "hists": hists,
+        "redundant": redundant,
     }

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 
-__all__ = ["Request"]
+__all__ = ["Request", "RedundantRead"]
 
 _UNSET = -1.0
 
@@ -46,6 +46,10 @@ class Request:
         "write_quorum",
         "retries",
         "timed_out",
+        "parent",
+        "red",
+        "cancelled",
+        "chunk_offset",
     )
 
     def __init__(
@@ -87,6 +91,17 @@ class Request:
         # Timeout/retry state (normal status = both stay zero/False).
         self.retries = 0
         self.timed_out = False
+        # Redundant-dispatch state (docs/REDUNDANCY.md).  A logical read
+        # served redundantly carries a RedundantRead aggregator in
+        # ``red``; the per-replica probe requests it fans out point back
+        # via ``parent``.  ``cancelled`` marks a probe whose work should
+        # be dropped at the next backend scheduling point, and
+        # ``chunk_offset`` shifts a fork-join fragment's chunk indices
+        # into the parent object's chunk space (range reads).
+        self.parent = None
+        self.red = None
+        self.cancelled = False
+        self.chunk_offset = 0
 
     # ------------------------------------------------------------------
     @property
@@ -123,3 +138,64 @@ class Request:
             f"Request(rid={self.rid}, obj={self.object_id}, "
             f"size={self.size_bytes}, chunks={self.n_chunks})"
         )
+
+
+class RedundantRead:
+    """Aggregation state for one redundantly-dispatched read.
+
+    Lives on the *parent* request while its per-replica probes are in
+    flight; the owning frontend advances it from probe first-byte /
+    completion / abort events (see ``FrontendProcess.probe_*``).  The
+    counters feed the per-strategy metrics leaf: which replica decided
+    the response, how much served work was wasted, and how long
+    cancelled replicas kept working after the cancel was sent.
+    """
+
+    __slots__ = (
+        "strategy",
+        "owner",
+        "probes",
+        "fanout",
+        "fb_need",
+        "done_need",
+        "fb_count",
+        "done_count",
+        "pending",
+        "winner_probe",
+        "winner_device",
+        "decided_time",
+        "cancel_time",
+        "total_chunks",
+        "aborted",
+        "cancel_count",
+        "cancel_latency_sum",
+    )
+
+    def __init__(
+        self, strategy: str, owner, fanout: int, fb_need: int, done_need: int
+    ) -> None:
+        self.strategy = strategy
+        self.owner = owner
+        self.probes: list[Request] = []
+        self.fanout = fanout
+        #: Probe first bytes needed before the parent's first byte.
+        self.fb_need = fb_need
+        #: Probe completions needed before the parent completes.
+        self.done_need = done_need
+        self.fb_count = 0
+        self.done_count = 0
+        #: Probes not yet terminal (completed or aborted).
+        self.pending = fanout
+        self.winner_probe: Request | None = None
+        self.winner_device = -1
+        self.decided_time = _UNSET
+        #: When cancels went out to the losing replicas (-1 = never).
+        self.cancel_time = _UNSET
+        #: Chunks served across all probes (wasted work accounting).
+        self.total_chunks = 0
+        #: Probes that stopped early because of a cancel.
+        self.aborted = 0
+        #: Probes observed terminal after a cancel was sent, and the
+        #: summed lag between cancel send and their terminal event.
+        self.cancel_count = 0
+        self.cancel_latency_sum = 0.0

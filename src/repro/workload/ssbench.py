@@ -75,7 +75,6 @@ class ClosedLoopDriver:
     def _install_hook(self) -> None:
         if self._chain_hook_installed:
             return
-        original_hooks = [dev.on_complete for dev in self.cluster.devices]
 
         def make_hook(orig):
             def hook(req: Request) -> None:
@@ -85,8 +84,14 @@ class ClosedLoopDriver:
 
             return hook
 
-        for dev, orig in zip(self.cluster.devices, original_hooks):
-            dev.on_complete = make_hook(orig)
+        for dev in self.cluster.devices:
+            dev.on_complete = make_hook(dev.on_complete)
+        # Redundant-read parents never touch a device: they complete at
+        # the owning frontend once the strategy's quorum of probes is
+        # in.  Chain those hooks too so the closed loop advances under
+        # any dispatch strategy (they never fire for single dispatch).
+        for fe in self.cluster.frontends:
+            fe.on_read_complete = make_hook(fe.on_read_complete)
         self._chain_hook_installed = True
 
     def _issue_next(self) -> None:

@@ -29,7 +29,7 @@ from repro.experiments.fleet import (
     run_fleet,
 )
 from repro.simulator.metrics import MetricsRecorder, merge_recorder_states
-from repro.simulator.request import Request
+from repro.simulator.request import RedundantRead, Request
 
 SEEDS = (11, 12, 13)
 
@@ -232,6 +232,35 @@ def recorder_states(draw, latency_store=None):
         st.lists(st.sampled_from(("data", "index", "meta")), max_size=4)
     ):
         rec.record_disk_op(kind, draw(_lat))
+    # Per-strategy redundancy leaves, recorded through the real API so
+    # the merge algebra is audited with winners / wasted-work / cancel
+    # partial sums in play (including cross-state strategy mixing).
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        strategy = draw(st.sampled_from(("kofn", "quorum", "forkjoin")))
+        fanout = draw(st.integers(min_value=2, max_value=3))
+        parent = Request(
+            rid=draw(st.integers(min_value=0, max_value=99)),
+            object_id=draw(st.integers(min_value=0, max_value=999)),
+            size_bytes=draw(st.integers(min_value=1, max_value=1 << 20)),
+            chunk_bytes=65_536,
+        )
+        red = RedundantRead(strategy, None, fanout, 1, 1)
+        parent.red = red
+        for _i in range(fanout):
+            probe = Request(
+                rid=parent.rid,
+                object_id=parent.object_id,
+                size_bytes=parent.size_bytes,
+                chunk_bytes=65_536,
+            )
+            probe.parent = parent
+            red.probes.append(probe)
+        red.winner_device = draw(st.integers(min_value=0, max_value=7))
+        red.total_chunks = draw(st.integers(min_value=0, max_value=64))
+        red.aborted = draw(st.integers(min_value=0, max_value=fanout - 1))
+        red.cancel_count = draw(st.integers(min_value=0, max_value=fanout - 1))
+        red.cancel_latency_sum = draw(_lat) if red.cancel_count else 0.0
+        rec.record_redundant(parent)
     return rec.state()
 
 

@@ -29,6 +29,7 @@ from repro.experiments import (
     build_table2,
     calibrate,
     run_fig5,
+    run_kofn_sweep,
     run_sweeps,
     scenario_s1,
     scenario_s16,
@@ -169,3 +170,85 @@ def test_fig5_golden(update_goldens):
         "ks": {k: float(v) for k, v in fig.ks.items()},
     }
     _check_golden("fig5.json", doc, update_goldens)
+
+
+def test_redundancy_kofn_sweep_golden(update_goldens):
+    """Pin the k-of-n sweep (paired strategy/control episodes plus the
+    order-statistic predictions) over S1/S16 at k in {1, 2, 3}.  The
+    k=1 rows double as a reduction check: treated and control columns
+    must already be identical before they ever reach the golden."""
+    scenarios = {
+        "s1": _small(scenario_s1(), (40.0, 100.0, 160.0)),
+        "s16": _small(scenario_s16(), (60.0, 140.0, 220.0)),
+    }
+    calibrations = {
+        key: calibrate(s, disk_objects=800, parse_requests=50, seed=3)
+        for key, s in scenarios.items()
+    }
+    results = run_kofn_sweep(
+        workloads=("s1", "s16"),
+        fanouts=(1, 2, 3),
+        seed=SEED,
+        scenarios=scenarios,
+        calibrations=calibrations,
+    )
+    doc = {}
+    for (workload, k), result in sorted(results.items()):
+        if k == 1:
+            assert result.treated.observed_sla == result.control.observed_sla
+            assert result.treated.predicted_sla == result.control.predicted_sla
+        doc[f"{workload}-k{k}"] = result.to_doc()
+    _check_golden("redundancy_kofn.json", doc, update_goldens)
+
+
+def test_redundancy_pareto_stress_golden(update_goldens):
+    """Speculative reads over a Pareto (heavy-tailed) size catalog: the
+    tail objects stripe into many chunks, so cancellation and wasted
+    work are exercised far from the lognormal comfort zone."""
+    import numpy as np
+
+    from repro.distributions.tails import Pareto
+    from repro.simulator import Cluster, ClusterConfig
+    from repro.workload import ObjectCatalog, OpenLoopDriver, WikipediaTraceGenerator
+
+    rng = np.random.default_rng(SEED)
+    sizes = np.maximum(
+        Pareto(1.6, 24_576.0, allow_heavy=True).sample(rng, 4_000), 512.0
+    ).astype(np.int64)
+    popularity = np.full(sizes.shape, 1.0 / sizes.size)
+    catalog = ObjectCatalog(sizes=sizes, popularity=popularity)
+    cluster = Cluster(
+        ClusterConfig(
+            cache_bytes_per_server=16 << 20,
+            read_strategy="kofn",
+            read_fanout=2,
+        ),
+        catalog.sizes,
+        seed=SEED,
+    )
+    gen = WikipediaTraceGenerator(catalog, rng=np.random.default_rng(SEED + 1))
+    OpenLoopDriver(cluster).run(gen.constant_rate(40.0, 10.0))
+    cluster.drain()
+    table = cluster.metrics.requests()
+    stats = cluster.metrics.redundant_stats()
+    doc = {
+        "n_requests": int(cluster.metrics.n_requests),
+        "quantiles_ms": {
+            f"p{q:g}": float(np.percentile(table.response_latency, q) * 1e3)
+            for q in (50, 90, 99)
+        },
+        "redundant": {
+            k: stats[k]
+            for k in (
+                "strategy",
+                "requests",
+                "probes",
+                "aborted",
+                "wasted_chunks",
+                "cancel_count",
+                "mean_cancel_latency",
+            )
+        },
+        "winners": {str(k): v for k, v in sorted(stats["winners"].items())},
+    }
+    _check_golden("redundancy_pareto.json", doc, update_goldens)

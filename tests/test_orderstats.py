@@ -1,0 +1,244 @@
+"""Property tests for the order-statistic combinators.
+
+The redundancy model (docs/REDUNDANCY.md) rests on
+:mod:`repro.distributions.orderstats`; order statistics have exact
+closed forms, so every claim here is independently provable:
+
+* min/max of iid exponentials against their closed forms, < 1e-8;
+* the binomial k-of-n identity against brute-force enumeration, both on
+  grid PMFs (exact child CDFs) and for the heterogeneous
+  Poisson-binomial recurrence;
+* monotonicity in ``k`` (higher order statistics are larger) and in
+  ``n`` (more redundancy makes the k-th smallest smaller);
+* ``k=1, n=1`` collapsing to the child distribution *exactly* (object
+  identity through the factory), the reduction the simulator's
+  bit-identity guarantee mirrors.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    Exponential,
+    GridDistribution,
+    GridPMF,
+    KofN,
+    OrderStatistic,
+    ZeroInflated,
+    order_statistic,
+)
+from repro.distributions.base import DistributionError
+
+TS = np.linspace(0.0, 5.0, 101)
+
+rates = st.floats(min_value=0.1, max_value=20.0)
+orders = st.integers(min_value=1, max_value=5)
+
+
+def _brute_binomial_tail(k: int, n: int, p: float) -> float:
+    return sum(
+        math.comb(n, j) * p**j * (1.0 - p) ** (n - j) for j in range(k, n + 1)
+    )
+
+
+def _brute_poisson_binomial_tail(ps, k: int) -> float:
+    total = 0.0
+    for pattern in itertools.product((0, 1), repeat=len(ps)):
+        if sum(pattern) >= k:
+            prob = 1.0
+            for p, hit in zip(ps, pattern):
+                prob *= p if hit else (1.0 - p)
+            total += prob
+    return total
+
+
+# ----------------------------------------------------------------------
+# closed forms (< 1e-8)
+# ----------------------------------------------------------------------
+class TestClosedForms:
+    @given(rate=rates, n=orders)
+    @settings(max_examples=40, deadline=None)
+    def test_min_of_iid_exponentials_is_exponential(self, rate, n):
+        got = np.asarray(KofN(Exponential(rate), 1, n).cdf(TS))
+        want = np.asarray(Exponential(n * rate).cdf(TS))
+        assert np.max(np.abs(got - want)) < 1e-8
+
+    @given(rate=rates, n=orders)
+    @settings(max_examples=40, deadline=None)
+    def test_max_of_iid_exponentials_is_cdf_power(self, rate, n):
+        got = np.asarray(KofN(Exponential(rate), n, n).cdf(TS))
+        want = np.asarray(Exponential(rate).cdf(TS)) ** n
+        assert np.max(np.abs(got - want)) < 1e-8
+
+    def test_min_of_two_exponentials_mean(self):
+        # E[min of 2 iid Exp(3)] = 1/6; the trapezoid moment integrator
+        # must recover the closed form to its grid resolution.
+        dist = KofN(Exponential(3.0), 1, 2)
+        assert math.isclose(dist.mean, 1.0 / 6.0, rel_tol=1e-4)
+        # Second moment of Exp(6): 2/36.
+        assert math.isclose(dist.second_moment, 2.0 / 36.0, rel_tol=1e-3)
+
+
+# ----------------------------------------------------------------------
+# binomial identity vs brute force
+# ----------------------------------------------------------------------
+grid_pmfs = st.lists(
+    st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=8
+).filter(lambda ws: sum(ws) > 1e-6)
+
+
+class TestBinomialIdentity:
+    @given(weights=grid_pmfs, n=st.integers(min_value=1, max_value=4), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_kofn_matches_enumeration_on_grid_pmfs(self, weights, n, data):
+        k = data.draw(st.integers(min_value=1, max_value=n))
+        probs = np.asarray(weights) / sum(weights)
+        child = GridDistribution(GridPMF(0.01, probs))
+        dist = KofN(child, k, n)
+        for t in (0.0, 0.005, 0.015, 0.02 * len(weights), 1.0):
+            p = float(np.asarray(child.cdf(t)))
+            want = _brute_binomial_tail(k, n, p)
+            assert math.isclose(
+                float(np.asarray(dist.cdf(t))), want, rel_tol=0.0, abs_tol=1e-8
+            )
+
+    @given(
+        rs=st.lists(rates, min_size=2, max_size=4),
+        t=st.floats(min_value=0.0, max_value=4.0),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_poisson_binomial_matches_enumeration(self, rs, t, data):
+        k = data.draw(st.integers(min_value=1, max_value=len(rs)))
+        components = [Exponential(r) for r in rs]
+        dist = OrderStatistic(components, k)
+        ps = [float(np.asarray(c.cdf(t))) for c in components]
+        want = _brute_poisson_binomial_tail(ps, k)
+        assert math.isclose(
+            float(np.asarray(dist.cdf(t))), want, rel_tol=0.0, abs_tol=1e-8
+        )
+
+    def test_heterogeneous_reduces_to_iid_when_components_equal(self):
+        comps = [Exponential(2.5) for _ in range(3)]
+        hetero = OrderStatistic(comps, 2)
+        iid = KofN(Exponential(2.5), 2, 3)
+        assert np.max(np.abs(np.asarray(hetero.cdf(TS)) - np.asarray(iid.cdf(TS)))) < 1e-12
+
+    def test_atom_at_zero_follows_the_same_combinatorics(self):
+        child = ZeroInflated(Exponential(1.0), 0.7)  # atom 0.3
+        for n in (1, 2, 3):
+            for k in range(1, n + 1):
+                got = KofN(child, k, n).atom_at_zero
+                want = _brute_binomial_tail(k, n, child.atom_at_zero)
+                assert math.isclose(got, want, rel_tol=0.0, abs_tol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# monotonicity
+# ----------------------------------------------------------------------
+class TestMonotonicity:
+    @given(rate=rates, n=st.integers(min_value=2, max_value=5), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_cdf_decreases_in_k(self, rate, n, data):
+        k = data.draw(st.integers(min_value=1, max_value=n - 1))
+        child = Exponential(rate)
+        lower = np.asarray(KofN(child, k, n).cdf(TS))
+        higher = np.asarray(KofN(child, k + 1, n).cdf(TS))
+        assert np.all(lower >= higher - 1e-12)
+
+    @given(rate=rates, n=orders, data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_cdf_increases_in_n(self, rate, n, data):
+        k = data.draw(st.integers(min_value=1, max_value=n))
+        child = Exponential(rate)
+        fewer = np.asarray(KofN(child, k, n).cdf(TS))
+        more = np.asarray(KofN(child, k, n + 1).cdf(TS))
+        assert np.all(more >= fewer - 1e-12)
+
+
+# ----------------------------------------------------------------------
+# exact collapses & factory routing
+# ----------------------------------------------------------------------
+class TestFactory:
+    def test_single_component_collapses_to_child_exactly(self):
+        child = Exponential(4.0)
+        assert order_statistic([child], 1) is child
+
+    def test_kofn_with_k1_n1_is_the_child_law(self):
+        child = Exponential(4.0)
+        got = np.asarray(KofN(child, 1, 1).cdf(TS))
+        assert np.max(np.abs(got - np.asarray(child.cdf(TS)))) < 1e-12
+
+    def test_equal_tokens_build_iid_kofn(self):
+        built = order_statistic([Exponential(2.0), Exponential(2.0)], 1)
+        assert isinstance(built, KofN)
+        assert built.n == 2
+
+    def test_shared_object_builds_iid_kofn(self):
+        child = OrderStatistic([Exponential(1.0), Exponential(2.0)], 1)
+        # The heterogeneous child is cacheable, but sharing the *object*
+        # must suffice even for uncacheable children.
+        built = order_statistic([child, child, child], 2)
+        assert isinstance(built, KofN)
+        assert built.component is child
+
+    def test_heterogeneous_builds_poisson_binomial(self):
+        built = order_statistic([Exponential(1.0), Exponential(2.0)], 2)
+        assert isinstance(built, OrderStatistic)
+
+    def test_order_out_of_range_rejected(self):
+        with pytest.raises(DistributionError):
+            order_statistic([Exponential(1.0)], 2)
+        with pytest.raises(DistributionError):
+            KofN(Exponential(1.0), 0, 2)
+        with pytest.raises(DistributionError):
+            OrderStatistic([Exponential(1.0), Exponential(2.0)], 3)
+
+    def test_cache_tokens_distinguish_k_and_n(self):
+        child = Exponential(1.0)
+        tokens = {
+            KofN(child, k, n).cache_token()
+            for n in (1, 2, 3)
+            for k in range(1, n + 1)
+        }
+        assert len(tokens) == 6
+
+    def test_no_laplace_transform(self):
+        dist = KofN(Exponential(1.0), 1, 2)
+        assert not dist.has_laplace
+        with pytest.raises(DistributionError):
+            dist.laplace(1.0)
+
+
+# ----------------------------------------------------------------------
+# sampling agrees with the analytic CDF
+# ----------------------------------------------------------------------
+class TestSampling:
+    def test_kofn_samples_match_cdf(self):
+        rng = np.random.default_rng(7)
+        dist = KofN(Exponential(2.0), 2, 3)
+        draws = dist.sample(rng, size=4000)
+        for t in (0.1, 0.3, 0.8):
+            emp = float(np.mean(draws <= t))
+            assert abs(emp - float(np.asarray(dist.cdf(t)))) < 0.03
+
+    def test_heterogeneous_samples_match_cdf(self):
+        rng = np.random.default_rng(11)
+        dist = OrderStatistic([Exponential(1.0), Exponential(5.0)], 2)
+        draws = dist.sample(rng, size=4000)
+        for t in (0.2, 0.6, 1.5):
+            emp = float(np.mean(draws <= t))
+            assert abs(emp - float(np.asarray(dist.cdf(t)))) < 0.03
+
+    def test_quantile_roundtrip(self):
+        dist = KofN(Exponential(2.0), 1, 3)  # = Exp(6)
+        for q in (0.5, 0.9, 0.99):
+            t = dist.quantile(q)
+            assert math.isclose(float(np.asarray(dist.cdf(t))), q, abs_tol=1e-6)

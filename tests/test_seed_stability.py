@@ -94,6 +94,52 @@ class TestSeedStabilityAudit:
             assert pooled.state == serial[seed].state, seed
             assert pooled.n_requests == serial[seed].n_requests
 
+    def test_pooled_runs_bit_identical_redundant_dispatch(self, monkeypatch):
+        """Mode determinism must survive the redundant read path: the
+        probe/cancel machinery draws from the same per-frontend streams,
+        so a pooled run under kofn@2 stays bit-identical per seed."""
+        scenario = _scenario()
+        scenario = dataclasses.replace(
+            scenario,
+            cluster=dataclasses.replace(
+                scenario.cluster, read_strategy="kofn", read_fanout=2
+            ),
+        )
+        cal = calibrate(scenario, disk_objects=800, parse_requests=50, seed=3)
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        for seed in SEEDS:
+            serial = run_sweep(
+                scenario, seed=seed, calibration=cal, jobs=1, models=("ours",)
+            )
+            pooled = run_sweep(
+                scenario, seed=seed, calibration=cal, jobs=2, models=("ours",)
+            )
+            assert len(pooled.points) == len(serial.points)
+            for a, b in zip(serial.points, pooled.points):
+                assert_points_equal(a, b)
+
+    def test_fleet_pooled_shards_bit_identical_redundant_dispatch(
+        self, monkeypatch
+    ):
+        """Shard transparency with the per-strategy metric leaf in play:
+        merged shard states (including winners / wasted-work counters)
+        must equal the serial fleet state bit for bit."""
+        from repro.experiments.fleet import FleetScenario, run_fleet
+        from repro.simulator import ClusterConfig
+
+        scenario = FleetScenario(
+            n_clusters=3, objects_per_cluster=300, rate=300.0,
+            duration=3.0, warm_accesses=1_500,
+            cluster=ClusterConfig(read_strategy="kofn", read_fanout=2),
+        )
+        serial = {seed: run_fleet(scenario, seed=seed) for seed in SEEDS}
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        for seed in SEEDS:
+            pooled = run_fleet(scenario, seed=seed, shards=3, jobs=3)
+            assert pooled.state == serial[seed].state, seed
+            assert pooled.state["redundant"]["strategy"] == "kofn"
+            assert pooled.state["redundant"]["requests"] > 0
+
     def test_cross_seed_spread_below_simulator_ci(self, serial_runs):
         _, _, runs = serial_runs
         some = next(iter(runs.values()))
