@@ -33,6 +33,11 @@ times three engine micro-kernels:
   (the reduction guarantee, checked on every perf run), and an
   order-statistic micro-measure timing the Poisson-binomial DP and the
   iid ``betainc`` closed form on a shared evaluation grid;
+* ``dispatch``    -- one small cluster episode under the default random
+  replica choice vs ``power_of_d`` (the per-read load-scan cost), with
+  the ``dispatch_policy="random"`` state asserted bit-identical to the
+  default config on every run (the policy layer must not tax or
+  perturb the default path);
 * ``fleet``         -- a fleet-scale episode (full: 16 clusters x 4
   devices = 64 devices under ~1M requests; quick: 4 clusters under
   ~50k) run serially and sharded over a process pool
@@ -123,6 +128,7 @@ CHECKED_METRICS = (
     (("kernels", "diagnostics_overhead", "off_s"), "lower"),
     (("kernels", "redundancy", "single_s"), "lower"),
     (("kernels", "redundancy", "orderstat_s"), "lower"),
+    (("kernels", "dispatch", "random_s"), "lower"),
     (("kernels", "fleet", "events_per_sec_serial"), "higher"),
     (("kernels", "fleet", "lane_s"), "lower"),
 )
@@ -800,6 +806,70 @@ def bench_redundancy(reps: int = 3) -> dict:
     }
 
 
+def bench_dispatch(reps: int = 3) -> dict:
+    """Dispatch-policy episode cost + the random-identity guarantee.
+
+    * ``random_s`` vs ``power_of_d_s`` -- the same small open-loop
+      episode under the default random replica choice and under
+      power-of-2-choices.  ``random_s`` is the tracked metric: the
+      policy layer must not tax the default path (random = no policy
+      object, only an ``is not None`` check and the dispatch-count
+      sink on the hot path).  The power-of-d ratio prices the per-read
+      load scan.
+    * ``random_bit_identical`` -- a ``dispatch_policy="random"``
+      episode's metric state must equal the default-config state bit
+      for bit; every perf run re-checks the identity guarantee
+      (docs/DISPATCH.md).
+    """
+    from repro.simulator import Cluster, ClusterConfig
+    from repro.workload import ObjectCatalog
+    from repro.workload.ssbench import OpenLoopDriver
+    from repro.workload.wikipedia import WikipediaTraceGenerator
+
+    catalog = ObjectCatalog.synthetic(
+        5_000, mean_size=16_384.0, size_sigma=1.0, zipf_s=0.9,
+        rng=np.random.default_rng(7),
+    )
+
+    def episode(config: ClusterConfig) -> Cluster:
+        root = np.random.SeedSequence(42)
+        cluster_seed, trace_seed = root.spawn(2)
+        cluster = Cluster(config, catalog.sizes, seed=cluster_seed)
+        gen = WikipediaTraceGenerator(catalog, rng=np.random.default_rng(trace_seed))
+        cluster.warm_caches(gen.warmup_accesses(5_000))
+        OpenLoopDriver(cluster).run(gen.constant_rate(120.0, 8.0))
+        cluster.run_until(cluster.sim.now + 5.0)
+        return cluster
+
+    def timed(config: ClusterConfig):
+        best, cluster = math.inf, None
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            cluster = episode(config)
+            best = min(best, time.perf_counter() - t0)
+        return best, cluster
+
+    random_s, default = timed(ClusterConfig())
+    _, random_pol = timed(ClusterConfig(dispatch_policy="random"))
+    pod_s, pod = timed(ClusterConfig(dispatch_policy="power_of_d"))
+    stats = pod.metrics.dispatch_stats(pod.config.n_devices)
+
+    return {
+        "reps": reps,
+        "n_requests": default.metrics.n_requests,
+        "random_s": round(random_s, 4),
+        "power_of_d_s": round(pod_s, 4),
+        "power_of_d_overhead": (
+            round(pod_s / random_s - 1.0, 4) if random_s > 0 else None
+        ),
+        "power_of_d_dispatches": stats["dispatches"],
+        "power_of_d_imbalance": round(stats["imbalance"], 4),
+        "random_bit_identical": (
+            random_pol.metrics.state() == default.metrics.state()
+        ),
+    }
+
+
 def bench_fleet(jobs: int = 4, quick: bool = False) -> dict:
     """Fleet-scale sharded episode + sorted-run lane micro-measure.
 
@@ -904,6 +974,7 @@ KERNELS = {
     "laplace_batch": bench_laplace_batch,
     "diagnostics_overhead": bench_diagnostics_overhead,
     "redundancy": bench_redundancy,
+    "dispatch": bench_dispatch,
     "fleet": bench_fleet,
 }
 
@@ -997,6 +1068,14 @@ def main(argv=None) -> int:
             f"(+{rd['kofn_overhead'] * 100:.1f}%), "
             f"k1_bit_identical={rd['k1_bit_identical']}, "
             f"orderstat dp {rd['orderstat_s']}s vs iid {rd['iid_s']}s"
+        )
+    if "dispatch" in kernels:
+        dp = kernels["dispatch"]
+        print(
+            f"  dispatch: random {dp['random_s']}s, power_of_d {dp['power_of_d_s']}s "
+            f"(+{dp['power_of_d_overhead'] * 100:.1f}%), "
+            f"imbalance {dp['power_of_d_imbalance']}, "
+            f"random_bit_identical={dp['random_bit_identical']}"
         )
     if "fleet" in kernels:
         fl = kernels["fleet"]

@@ -23,6 +23,13 @@ Subcommands:
     probe economics and error attribution, and write the JSON artifact
     plus its provenance manifest (see docs/REDUNDANCY.md).
 
+``dispatch --workload s16 --zipf 1.2 --sla 100ms``
+    Sweep frontend dispatch policies (round-robin, power-of-d, JBSQ,
+    key-affinity) against the ``random`` baseline at one load: paired
+    episodes from the same seed and trace, reporting tail-latency and
+    load-imbalance deltas per policy, and writing the JSON artifact
+    plus its provenance manifest (see docs/DISPATCH.md).
+
 ``report <artifact>``
     Render an observability artifact: a trace JSONL (per-phase latency
     attribution), a ``*.manifest.json`` provenance sidecar, a saved
@@ -252,6 +259,55 @@ def _cmd_redundancy(args) -> int:
         extra={
             "excess_error": result.excess_error,
             "n_probes": result.treated.probes,
+        },
+    )
+    sidecar = write_manifest(manifest, out)
+    print(f"\nwrote {out} (+ {sidecar.name})")
+    return 0
+
+
+def _cmd_dispatch(args) -> int:
+    from repro.experiments.dispatch import (
+        DEFAULT_POLICIES,
+        run_dispatch_scenario,
+        write_artifact,
+    )
+    from repro.obs import build_manifest, write_manifest
+    from repro.obs.manifest import RunTimer
+
+    policies = (
+        tuple(p.strip() for p in args.policies.split(",") if p.strip())
+        if args.policies
+        else DEFAULT_POLICIES
+    )
+    with RunTimer() as timer:
+        result = run_dispatch_scenario(
+            policies,
+            args.workload,
+            rate=args.rate,
+            sla=args.sla,
+            seed=args.seed,
+            scale=args.scale,
+            d=args.d,
+            read_strategy=args.strategy,
+            read_fanout=args.fanout,
+            zipf_s=args.zipf,
+            cache_mb=args.cache_mb,
+        )
+    print(result.render())
+    out = args.out or f"dispatch-{args.workload}.json"
+    write_artifact(result, out)
+    best = result.ranking()[0]
+    manifest = build_manifest(
+        command=f"cosmodel dispatch --workload {args.workload}",
+        seed=args.seed,
+        config=vars(args),
+        wall_s=timer.wall_s,
+        cpu_s=timer.cpu_s,
+        extra={
+            "best_policy": best.policy,
+            "baseline_p99": result.baseline.p99,
+            "baseline_imbalance": result.baseline.imbalance,
         },
     )
     sidecar = write_manifest(manifest, out)
@@ -537,6 +593,70 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default=None, help="JSON artifact path")
     p.set_defaults(func=_cmd_redundancy)
+
+    p = sub.add_parser(
+        "dispatch",
+        help="dispatch-policy sweep: tail latency + load imbalance vs random",
+    )
+    p.add_argument(
+        "--policies",
+        default=None,
+        metavar="P1,P2,...",
+        help="comma-separated policies to sweep (default: round_robin,"
+        "power_of_d,join_idle_queue,key_affinity; 'random' always runs"
+        " as the baseline)",
+    )
+    p.add_argument("--workload", default="s16", choices=["s1", "s16"])
+    p.add_argument(
+        "--d",
+        type=int,
+        default=2,
+        help="candidate count for power_of_d / credit bound for JBSQ"
+        " (default 2)",
+    )
+    p.add_argument(
+        "--strategy",
+        default="single",
+        choices=["single", "kofn", "quorum", "forkjoin"],
+        help="read strategy to compose the policies with (default single)",
+    )
+    p.add_argument(
+        "--fanout",
+        type=int,
+        default=1,
+        help="k for kofn/forkjoin (default 1)",
+    )
+    p.add_argument(
+        "--zipf",
+        type=float,
+        default=None,
+        help="override the catalog's Zipf popularity skew (hot keys"
+        " make the imbalance story visible; scenario default 0.9)",
+    )
+    p.add_argument(
+        "--cache-mb",
+        type=float,
+        default=None,
+        help="override the per-server cache budget (MB); shrinking it"
+        " keeps hot keys on disk so device load is visible to the"
+        " policies",
+    )
+    p.add_argument(
+        "--sla",
+        type=_parse_sla,
+        default=0.100,
+        help="SLA to evaluate, e.g. '100ms' or '0.05s' (default 100ms)",
+    )
+    p.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="arrival rate (req/s; default: the scenario grid's 3/4 point)",
+    )
+    p.add_argument("--scale", default="ci", choices=["ci", "paper"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, help="JSON artifact path")
+    p.set_defaults(func=_cmd_dispatch)
 
     p = sub.add_parser(
         "report",

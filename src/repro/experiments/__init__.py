@@ -70,6 +70,12 @@ from repro.experiments.redundancy import (
     run_kofn_sweep,
     run_redundancy_scenario,
 )
+from repro.experiments.dispatch import (
+    DispatchRunResult,
+    PolicyObservation,
+    rank_dispatch_policies,
+    run_dispatch_scenario,
+)
 from repro.experiments.fleet import (
     ClusterTask,
     FleetResult,
@@ -136,6 +142,10 @@ __all__ = [
     "StrategyObservation",
     "run_kofn_sweep",
     "run_redundancy_scenario",
+    "DispatchRunResult",
+    "PolicyObservation",
+    "rank_dispatch_policies",
+    "run_dispatch_scenario",
     "ClusterTask",
     "FleetResult",
     "FleetScenario",

@@ -1,0 +1,302 @@
+"""Dispatch-policy experiments: rank load balancers at a target load.
+
+The empirical half of docs/DISPATCH.md.  :func:`run_dispatch_scenario`
+reuses the paired episode harness from :mod:`repro.experiments.
+redundancy` -- same root seed, same trace, same warm/settle/window
+phases -- and varies only ``ClusterConfig.dispatch_policy``: a
+``random`` **baseline** episode (bit-identical to the cluster before
+policies existed) plus one **treatment** episode per requested policy.
+Because every episode replays the identical arrival trace, the deltas
+in tail latency and in the per-device load-imbalance coefficient are
+attributable to the policy alone.
+
+Unlike the redundancy experiments there is no analytic predictor arm:
+the paper's model assumes uniform-random replica choice, and the S16
+batch-accept imbalance it documents as its largest residual error is
+precisely what these policies manipulate.  The experiment is therefore
+simulator-episode-based end to end; :func:`rank_dispatch_policies` is
+re-exported through ``repro.model.whatif`` as the what-if entry point.
+
+``cosmodel dispatch`` runs one sweep and writes the JSON + table
+artifact with a provenance manifest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.redundancy import _run_episode
+from repro.experiments.scenarios import Scenario, scenario_s1, scenario_s16
+
+__all__ = [
+    "DEFAULT_POLICIES",
+    "PolicyObservation",
+    "DispatchRunResult",
+    "run_dispatch_scenario",
+    "rank_dispatch_policies",
+    "write_artifact",
+]
+
+#: Treatment policies swept by default (the ``random`` baseline always
+#: runs in addition).
+DEFAULT_POLICIES = ("round_robin", "power_of_d", "join_idle_queue", "key_affinity")
+
+#: The latency quantiles each episode reports.
+QUANTILES = (0.50, 0.90, 0.99)
+
+
+@dataclasses.dataclass(frozen=True)
+class PolicyObservation:
+    """One policy episode's observed tail and load-spread behaviour."""
+
+    policy: str
+    n_requests: int
+    observed_sla: float
+    observed_quantiles: tuple[float, ...]
+    dispatches: int
+    imbalance: float
+    per_device: tuple[int, ...]
+
+    @property
+    def p99(self) -> float:
+        return self.observed_quantiles[-1]
+
+
+@dataclasses.dataclass(frozen=True)
+class DispatchRunResult:
+    """One full policy sweep at a fixed load."""
+
+    workload: str
+    rate: float
+    sla: float
+    seed: int
+    d: int
+    read_strategy: str
+    read_fanout: int
+    window: tuple[float, float]
+    baseline: PolicyObservation
+    policies: tuple[PolicyObservation, ...]
+
+    def observations(self) -> tuple[PolicyObservation, ...]:
+        return (self.baseline, *self.policies)
+
+    def ranking(self) -> list[PolicyObservation]:
+        """All episodes (baseline included), best observed p99 first;
+        NaN (empty-window) episodes sink to the bottom."""
+        return sorted(
+            self.observations(), key=lambda o: (math.isnan(o.p99), o.p99)
+        )
+
+    # ------------------------------------------------------------------
+    def to_doc(self) -> dict:
+        """JSON-ready document (the machine half of the artifact)."""
+
+        def finite(x):
+            if isinstance(x, float) and not math.isfinite(x):
+                return None
+            return x
+
+        def obs_doc(o: PolicyObservation) -> dict:
+            return {
+                "policy": o.policy,
+                "n_requests": o.n_requests,
+                "observed_sla": finite(o.observed_sla),
+                "observed_quantiles": [finite(v) for v in o.observed_quantiles],
+                "dispatches": o.dispatches,
+                "imbalance": finite(o.imbalance),
+                "per_device": list(o.per_device),
+            }
+
+        return {
+            "workload": self.workload,
+            "rate": self.rate,
+            "sla_seconds": self.sla,
+            "seed": self.seed,
+            "dispatch_d": self.d,
+            "read_strategy": self.read_strategy,
+            "read_fanout": self.read_fanout,
+            "window": list(self.window),
+            "quantiles": list(QUANTILES),
+            "baseline": obs_doc(self.baseline),
+            "policies": [obs_doc(o) for o in self.policies],
+            "ranking": [o.policy for o in self.ranking()],
+        }
+
+    def render(self) -> str:
+        """Human-readable comparison table (the other half)."""
+        base = self.baseline
+        lines = [
+            f"dispatch policies on {self.workload}"
+            f"  (read_strategy {self.read_strategy!r}, rate {self.rate:g}"
+            f" req/s, SLA {self.sla * 1e3:g} ms, d={self.d}, seed {self.seed})",
+            "",
+            f"  {'policy':16s} {'n':>6s} {'sla':>7s}"
+            + "".join(f" {'p' + format(q * 100, 'g'):>9s}" for q in QUANTILES)
+            + f" {'imbal':>7s} {'d_p99':>8s} {'d_imbal':>8s}",
+        ]
+        lines.append("  " + "-" * (len(lines[-1]) - 2))
+        for o in self.observations():
+            cells = "".join(
+                f" {q * 1e3:7.2f}ms" for q in o.observed_quantiles
+            )
+            if o is base:
+                deltas = f" {'--':>8s} {'--':>8s}"
+            else:
+                deltas = (
+                    f" {(o.p99 - base.p99) * 1e3:+7.2f}m"
+                    f" {o.imbalance - base.imbalance:+8.4f}"
+                )
+            lines.append(
+                f"  {o.policy:16s} {o.n_requests:>6d} {o.observed_sla:7.4f}"
+                f"{cells} {o.imbalance:7.4f}{deltas}"
+            )
+        best = self.ranking()[0]
+        lines.append("")
+        lines.append(
+            f"  best p99: {best.policy!r}"
+            f" ({best.p99 * 1e3:.2f} ms vs random {base.p99 * 1e3:.2f} ms)"
+        )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# the paired runner
+# ----------------------------------------------------------------------
+
+
+def _observe_policy(
+    policy: str, cluster, table, sla: float, n_devices: int
+) -> PolicyObservation:
+    latencies = table.response_latency
+    n = len(table)
+    observed_sla = float((latencies <= sla).mean()) if n else float("nan")
+    observed_q = tuple(
+        float(np.percentile(latencies, q * 100.0)) if n else float("nan")
+        for q in QUANTILES
+    )
+    stats = cluster.metrics.dispatch_stats(n_devices)
+    return PolicyObservation(
+        policy=policy,
+        n_requests=n,
+        observed_sla=observed_sla,
+        observed_quantiles=observed_q,
+        dispatches=stats["dispatches"],
+        imbalance=stats["imbalance"],
+        per_device=tuple(
+            stats["per_device"].get(d, 0) for d in range(n_devices)
+        ),
+    )
+
+
+def run_dispatch_scenario(
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    workload: str = "s16",
+    *,
+    rate: float | None = None,
+    sla: float = 0.100,
+    seed: int = 0,
+    scale: str = "ci",
+    scenario: Scenario | None = None,
+    d: int = 2,
+    read_strategy: str = "single",
+    read_fanout: int = 1,
+    zipf_s: float | None = None,
+    cache_mb: float | None = None,
+) -> DispatchRunResult:
+    """Sweep dispatch policies at one load: a ``random`` baseline
+    episode plus one treatment episode per policy, all from the same
+    seed and trace.
+
+    ``rate`` defaults to the scenario grid's 3/4 point -- load-aware
+    policies only differentiate themselves when queues actually form.
+    ``zipf_s`` overrides the catalog's popularity skew and ``cache_mb``
+    the per-server cache budget: together they are the *skewed
+    scenario* knobs (hot keys that do not fit in cache make per-device
+    load visible to the policies; fully cached hot keys hide it --
+    docs/DISPATCH.md).  ``read_strategy``/``read_fanout`` compose
+    policies with redundant dispatch.
+    """
+    if scenario is None:
+        if workload.lower() == "s1":
+            scenario = scenario_s1(scale)
+        elif workload.lower() == "s16":
+            scenario = scenario_s16(scale)
+        else:
+            raise ValueError(f"unknown workload {workload!r}; use 's1' or 's16'")
+    if zipf_s is not None:
+        scenario = dataclasses.replace(scenario, zipf_s=zipf_s)
+    if cache_mb is not None:
+        scenario = dataclasses.replace(
+            scenario,
+            cluster=dataclasses.replace(
+                scenario.cluster, cache_bytes_per_server=int(cache_mb * (1 << 20))
+            ),
+        )
+    if rate is None:
+        rate = float(scenario.rates[(len(scenario.rates) * 3) // 4])
+
+    catalog = scenario.catalog()
+    n_devices = scenario.cluster.n_devices
+    b_cluster, _, b_table, window = _run_episode(
+        scenario, catalog, rate, seed, read_strategy, read_fanout
+    )
+    baseline = _observe_policy("random", b_cluster, b_table, sla, n_devices)
+    observations = []
+    for policy in policies:
+        if policy == "random":
+            observations.append(baseline)
+            continue
+        p_cluster, _, p_table, _ = _run_episode(
+            scenario,
+            catalog,
+            rate,
+            seed,
+            read_strategy,
+            read_fanout,
+            dispatch_policy=policy,
+            dispatch_d=d,
+        )
+        observations.append(
+            _observe_policy(policy, p_cluster, p_table, sla, n_devices)
+        )
+    return DispatchRunResult(
+        workload=scenario.name,
+        rate=float(rate),
+        sla=float(sla),
+        seed=seed,
+        d=d,
+        read_strategy=read_strategy,
+        read_fanout=read_fanout,
+        window=window,
+        baseline=baseline,
+        policies=tuple(observations),
+    )
+
+
+def rank_dispatch_policies(
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    workload: str = "s16",
+    **kwargs,
+) -> list[tuple[str, float, float]]:
+    """Rank dispatch policies at a target load, best tail first.
+
+    Returns ``(policy, observed_p99_seconds, imbalance)`` triples
+    sorted by observed p99 (the ``random`` baseline is always
+    included; NaN episodes sort last).  Episode-based: accepts every
+    :func:`run_dispatch_scenario` keyword.
+    """
+    result = run_dispatch_scenario(policies, workload, **kwargs)
+    return [(o.policy, o.p99, o.imbalance) for o in result.ranking()]
+
+
+def write_artifact(result: DispatchRunResult, path: str) -> str:
+    """Write the JSON half of the comparison artifact; returns ``path``."""
+    with open(path, "w") as fh:
+        json.dump(result.to_doc(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

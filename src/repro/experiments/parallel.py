@@ -227,7 +227,9 @@ def measure_point(ctx: SweepContext, task: PointTask):
         catalog.sizes,
         seed=task.cluster_seed,
         record_disk_samples=ctx.rescale_service,
-        ring=HashRing.from_assignment(ctx.ring_assignment),
+        ring=HashRing.from_assignment(
+            ctx.ring_assignment, n_devices=scenario.cluster.n_devices
+        ),
     )
     cluster.restore_cache_state(ctx.cache_snapshot)
     gen = WikipediaTraceGenerator(catalog, rng=np.random.default_rng(task.trace_seed))

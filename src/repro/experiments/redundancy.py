@@ -188,16 +188,27 @@ class RedundancyRunResult:
 
 
 def _run_episode(
-    scenario: Scenario, catalog, rate: float, seed: int, strategy: str, fanout: int
+    scenario: Scenario,
+    catalog,
+    rate: float,
+    seed: int,
+    strategy: str,
+    fanout: int,
+    *,
+    dispatch_policy: str = "random",
+    dispatch_d: int = 2,
 ):
     """One warm-settle-window episode under one dispatch strategy.
 
     Seeds derive from one root sequence exactly as the sweep engine
     does; only the frontends' dispatch strategy differs between the
     paired episodes, so a ``fanout=1`` strategy episode is bit-identical
-    to the control.  Returns ``(cluster, device_metrics, window_table)``
-    with the device metrics read off the window counters before the
-    drain tail.
+    to the control.  The dispatch-policy experiments
+    (:mod:`repro.experiments.dispatch`) reuse this harness with
+    ``dispatch_policy`` varied instead, against the same ``random``
+    control.  Returns ``(cluster, device_metrics, window_table)`` with
+    the device metrics read off the window counters before the drain
+    tail.
     """
     root = np.random.SeedSequence(seed)
     cluster_seed, trace_seed = root.spawn(2)
@@ -205,6 +216,8 @@ def _run_episode(
         scenario.cluster,
         read_strategy=strategy,
         read_fanout=fanout if strategy in ("kofn", "forkjoin") else 1,
+        dispatch_policy=dispatch_policy,
+        dispatch_d=dispatch_d,
     )
     cluster = Cluster(config, catalog.sizes, seed=cluster_seed)
     gen = WikipediaTraceGenerator(catalog, rng=np.random.default_rng(trace_seed))

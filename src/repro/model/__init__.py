@@ -58,6 +58,7 @@ from repro.model.whatif import (
     fault_impact,
     min_devices_online,
     rank_devices,
+    rank_dispatch_policies,
     rank_faults,
     rank_read_strategies,
     redundant_sla_percentile,
@@ -113,6 +114,7 @@ __all__ = [
     "replica_sets_from_ring",
     "redundant_sla_percentile",
     "rank_read_strategies",
+    "rank_dispatch_policies",
     "distribution_from_spec",
     "distribution_to_spec",
     "system_from_doc",

@@ -52,6 +52,7 @@ __all__ = [
     "rank_faults",
     "redundant_sla_percentile",
     "rank_read_strategies",
+    "rank_dispatch_policies",
 ]
 
 
@@ -321,6 +322,24 @@ def rank_read_strategies(
     ]
     ranked.sort(key=lambda pair: (_math.isnan(pair[1]), -pair[1]))
     return ranked
+
+
+def rank_dispatch_policies(*args, **kwargs) -> list[tuple[str, float, float]]:
+    """Rank frontend dispatch policies at a target load, best tail
+    first (docs/DISPATCH.md).
+
+    Unlike the other what-ifs this one is **simulator-episode-based**:
+    the analytic model assumes uniform-random replica choice, so
+    policies are compared by paired episodes against the ``random``
+    control (the harness from :mod:`repro.experiments.dispatch`).
+    Returns ``(policy, observed_p99_seconds, imbalance)`` triples; see
+    :func:`repro.experiments.dispatch.rank_dispatch_policies` for the
+    keyword surface.  Imported lazily so the model layer stays free of
+    simulator dependencies until this is actually called.
+    """
+    from repro.experiments.dispatch import rank_dispatch_policies as _rank
+
+    return _rank(*args, **kwargs)
 
 
 def rank_faults(

@@ -16,6 +16,12 @@ from repro.simulator.cache import LruCache
 from repro.simulator.cluster import Cluster, ClusterConfig
 from repro.simulator.core import SimulationError, Simulator
 from repro.simulator.disk import OP_DATA, OP_INDEX, OP_META, Disk, HddProfile
+from repro.simulator.dispatch import (
+    DISPATCH_POLICIES,
+    DispatchPolicy,
+    LoadView,
+    make_policy,
+)
 from repro.simulator.faults import (
     BackendStall,
     CacheFlush,
@@ -29,6 +35,7 @@ from repro.simulator.metrics import (
     MetricsRecorder,
     PhaseStats,
     RequestTable,
+    dispatch_imbalance,
     merge_recorder_states,
     phase_attribution,
     sla_percentile,
@@ -55,6 +62,10 @@ __all__ = [
     "OP_META",
     "Disk",
     "HddProfile",
+    "DISPATCH_POLICIES",
+    "DispatchPolicy",
+    "LoadView",
+    "make_policy",
     "BackendStall",
     "CacheFlush",
     "DeviceFailStop",
@@ -65,6 +76,7 @@ __all__ = [
     "MetricsRecorder",
     "PhaseStats",
     "RequestTable",
+    "dispatch_imbalance",
     "merge_recorder_states",
     "phase_attribution",
     "sla_percentile",

@@ -425,9 +425,14 @@ class StorageDevice:
 
     def _choose_acceptor(self) -> StorageProcess:
         # An idle worker is woken immediately; otherwise the accept
-        # operation waits in a busy worker's queue (round-robin).
+        # operation waits in a busy worker's queue (round-robin).  The
+        # rotation pointer advances on idle hits too: if it stayed put,
+        # every busy-fallback streak would restart from the same pointer
+        # and repeatedly favor the processes just after it, starving
+        # high-index workers of accept work.
         for proc in self.processes:
             if not proc.busy:
+                self._rr = proc.pid
                 return proc
         self._rr = (self._rr + 1) % len(self.processes)
         return self.processes[self._rr]

@@ -88,6 +88,14 @@ class ClusterConfig:
     #: quorum always uses the full replica row.
     read_strategy: str = "single"
     read_fanout: int = 1
+    #: Frontend dispatch policy (see ``repro.simulator.dispatch`` and
+    #: docs/DISPATCH.md): ``random`` | ``round_robin`` | ``power_of_d``
+    #: | ``join_idle_queue`` | ``key_affinity``.  ``random`` is the
+    #: original uniform replica choice and stays bit-identical to it.
+    #: ``dispatch_d`` is the candidate count for ``power_of_d`` and the
+    #: per-device credit bound for ``join_idle_queue``.
+    dispatch_policy: str = "random"
+    dispatch_d: int = 2
 
     def __post_init__(self) -> None:
         if self.n_frontend_processes < 1 or self.n_devices < 1:
@@ -126,6 +134,29 @@ class ClusterConfig:
             raise ValueError(
                 "redundant read dispatch replaces timeout/retry hedging; "
                 "set request_timeout=None"
+            )
+        from repro.simulator.dispatch import DISPATCH_POLICIES, _WIDTH_POLICIES
+
+        if self.dispatch_policy not in DISPATCH_POLICIES:
+            raise ValueError(
+                f"dispatch_policy must be one of {DISPATCH_POLICIES}, "
+                f"got {self.dispatch_policy!r}"
+            )
+        if self.dispatch_policy in _WIDTH_POLICIES:
+            if self.dispatch_d < 1:
+                raise ValueError(
+                    f"dispatch_d must be >= 1, got {self.dispatch_d}"
+                )
+        elif self.dispatch_d != 2:
+            raise ValueError(
+                f"dispatch_d is meaningless for {self.dispatch_policy!r} "
+                f"(only {_WIDTH_POLICIES} use it)"
+            )
+        if self.dispatch_policy != "random" and self.request_timeout is not None:
+            raise ValueError(
+                "dispatch policies replace timeout/retry hedging (a retry "
+                "would double-count in-flight credits); set "
+                "request_timeout=None"
             )
 
     @property
@@ -263,6 +294,29 @@ class Cluster:
             dev.scanner = self.scanners[server]
             self.devices.append(dev)
 
+        # Dispatch policy (docs/DISPATCH.md).  ``random`` maps to None:
+        # the frontends then run their original RNG paths untouched,
+        # which is what keeps the default bit-identical to seed
+        # behaviour.  Non-random policies draw from their own named
+        # stream, so adding one never perturbs the fe/warmup/ring
+        # streams either.
+        from repro.simulator.dispatch import make_policy
+
+        if config.dispatch_policy == "random":
+            self.dispatcher = None
+        else:
+            self.dispatcher = make_policy(
+                config.dispatch_policy,
+                self.devices,
+                self.rng.stream("dispatch"),
+                d=config.dispatch_d,
+            )
+            # Single-path reads release their in-flight credit at the
+            # completion sink (probes release per-probe in the frontend).
+            for dev in self.devices:
+                dev.on_complete = self._dispatch_complete
+        self.metrics.note_dispatch_policy(config.dispatch_policy)
+
         self.frontends = [
             FrontendProcess(
                 self.sim,
@@ -277,6 +331,7 @@ class Cluster:
                 read_strategy=config.read_strategy,
                 read_fanout=config.read_fanout,
                 chunk_bytes=config.chunk_bytes,
+                dispatch=self.dispatcher,
             )
             for f in range(config.n_frontend_processes)
         ]
@@ -287,6 +342,7 @@ class Cluster:
                 self.metrics.record_request if tracer is None else self._traced_complete
             )
             fe.on_redundant_done = self.metrics.record_redundant
+            fe.on_dispatch = self.metrics.record_dispatch
         if tracer is not None:
             for fe in self.frontends:
                 fe.tracer = tracer
@@ -364,6 +420,14 @@ class Cluster:
         """``on_complete`` shim when tracing is on: emit the request span
         before the metrics row so the trace orders summaries last."""
         self.tracer.request_span(req)
+        self.metrics.record_request(req)
+
+    def _dispatch_complete(self, req: Request) -> None:
+        """``on_complete`` shim when a dispatch policy is active: return
+        the request's in-flight credit before recording."""
+        self.dispatcher.on_release(req.device_id)
+        if self.tracer is not None:
+            self.tracer.request_span(req)
         self.metrics.record_request(req)
 
     def _handle_write_ack(self, req: Request) -> None:

@@ -1,0 +1,308 @@
+"""Pluggable frontend dispatch policies (load balancing beyond the ring).
+
+The consistent-hash ring fixes *which* devices hold an object's
+replicas; a dispatch policy decides *which replica order* a read uses.
+The paper's testbed (and the default here) picks uniformly at random --
+the very randomness it cites for run-to-run variance -- and its largest
+residual error (scenario S16) is attributed to load imbalance the random
+choice cannot correct.  This module adds the classic alternatives from
+the load-balancing literature so their effect on tail latency and on
+per-device load imbalance is measurable (docs/DISPATCH.md):
+
+* ``random``          -- today's behaviour, the default.  Internally the
+  *absence* of a policy object: the frontend's original RNG paths run
+  byte-for-byte unchanged, so existing goldens pin it to seed behaviour.
+* ``round_robin``     -- a global rotation cursor over each replica row;
+  load-oblivious but deterministic and perfectly fair per row.
+* ``power_of_d``      -- sample ``d`` random distinct replicas, dispatch
+  to the shortest queue among them (power-of-d-choices).
+* ``join_idle_queue`` -- JBSQ(d): bounded per-device in-flight credits;
+  idle devices (no credits, empty queue) are preferred, then the least
+  busy device with a free credit.  When every replica's credits are
+  exhausted the dispatch overflows to the least-loaded replica instead
+  of blocking (the simulator is open-loop; see docs/DISPATCH.md).
+* ``key_affinity``    -- sticky primary (the row's rank-0 replica, so
+  one device serves an object's whole key range) with load-triggered
+  failover to the least-loaded replica when the primary's queue exceeds
+  ``failover_factor`` times the row mean.
+
+Policies compose with ``read_strategy``: they order/filter the replica
+row, and single/kofn/quorum/forkjoin fan out from that ordering.  Load
+is read through :class:`LoadView`, which exposes live backend queue
+state plus the policy-maintained in-flight credit counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "DISPATCH_POLICIES",
+    "DispatchPolicy",
+    "JoinIdleQueuePolicy",
+    "KeyAffinityPolicy",
+    "LoadView",
+    "PowerOfDPolicy",
+    "RoundRobinPolicy",
+    "make_policy",
+]
+
+#: Recognised ``ClusterConfig.dispatch_policy`` values.  ``random`` maps
+#: to *no* policy object (the frontend's original code path).
+DISPATCH_POLICIES = (
+    "random",
+    "round_robin",
+    "power_of_d",
+    "join_idle_queue",
+    "key_affinity",
+)
+
+#: Policies for which ``dispatch_d`` (the candidate/credit width) is
+#: meaningful; the others reject a non-default setting loudly.
+_WIDTH_POLICIES = ("power_of_d", "join_idle_queue")
+
+
+class LoadView:
+    """Live per-device load, as a dispatch policy sees it.
+
+    ``queue_depth`` counts everything queued or in service at the
+    device: the accept pool, the SYN backlog behind it, and each storage
+    process's operation queue plus its in-service operation.  This is
+    the same arithmetic as ``Cluster.state_summary``.
+
+    The view is *optimistic*: a real proxy would observe backend state
+    one network round-trip late, while this reads the simulator's ground
+    truth at dispatch time.  The ``inflight`` credit counters exist to
+    compensate for the complementary blind spot -- requests already
+    dispatched but not yet visible in any backend queue (in flight on
+    the network) -- and are maintained by the owning policy via
+    ``on_dispatch``/``on_release``.  See docs/DISPATCH.md for the
+    staleness discussion.
+    """
+
+    __slots__ = ("devices", "inflight")
+
+    def __init__(self, devices) -> None:
+        self.devices = devices
+        self.inflight = [0] * len(devices)
+
+    def queue_depth(self, device_id: int) -> int:
+        dev = self.devices[device_id]
+        depth = len(dev.pool) + len(dev.syn_queue)
+        for proc in dev.processes:
+            depth += len(proc.queue)
+            if proc.busy:
+                depth += 1
+        return depth
+
+    def total_load(self, device_id: int) -> int:
+        """Queue depth plus in-flight credits (the ranking key)."""
+        return self.queue_depth(device_id) + self.inflight[device_id]
+
+
+class DispatchPolicy:
+    """Base class: order a replica row, track in-flight work.
+
+    ``select(row, object_id, k)`` returns ``k`` distinct device indices
+    drawn from ``row`` in dispatch-preference order.  The frontend sends
+    single reads to the first entry, kofn/forkjoin probes to the first
+    ``k``, and quorum probes to all of them (ordering only).
+
+    ``on_dispatch``/``on_release`` bracket each dispatched request or
+    probe; the base implementations maintain the shared
+    :class:`LoadView` credit counters so every policy (not just JBSQ)
+    can see network-in-flight work.
+    """
+
+    __slots__ = ("load", "rng")
+
+    name = "base"
+
+    def __init__(self, devices, rng: np.random.Generator | None = None) -> None:
+        self.load = LoadView(devices)
+        self.rng = rng
+
+    def select(self, row, object_id: int, k: int):
+        raise NotImplementedError
+
+    def on_dispatch(self, device_id: int) -> None:
+        self.load.inflight[device_id] += 1
+
+    def on_release(self, device_id: int) -> None:
+        self.load.inflight[device_id] -= 1
+
+    def _check(self, row, k: int) -> int:
+        n = len(row)
+        if not 1 <= k <= n:
+            raise ValueError(
+                f"policy {self.name!r} asked for {k} targets from a "
+                f"row of {n}"
+            )
+        return n
+
+
+class RoundRobinPolicy(DispatchPolicy):
+    """Global rotation cursor over each replica row.
+
+    The cursor is shared across all objects (one dispatch advances it by
+    one), so consecutive reads of the same hot object walk its replicas
+    in turn -- per-row fairness without any load feedback.
+    """
+
+    __slots__ = ("_cursor",)
+
+    name = "round_robin"
+
+    def __init__(self, devices, rng=None) -> None:
+        super().__init__(devices, rng)
+        self._cursor = 0
+
+    def select(self, row, object_id: int, k: int):
+        n = self._check(row, k)
+        start = self._cursor % n
+        self._cursor += 1
+        return [row[(start + i) % n] for i in range(k)]
+
+
+class PowerOfDPolicy(DispatchPolicy):
+    """Power-of-d-choices: ``d`` random candidates, shortest queue wins.
+
+    Candidates are drawn without replacement by partial Fisher-Yates
+    from the policy's own ``dispatch`` RNG stream (never the frontend
+    streams), then stably sorted by :meth:`LoadView.total_load` -- ties
+    keep the random sample order, so equal-load candidates still spread
+    randomly.
+    """
+
+    __slots__ = ("d",)
+
+    name = "power_of_d"
+
+    def __init__(self, devices, rng, d: int = 2) -> None:
+        super().__init__(devices, rng)
+        self.d = d
+
+    def select(self, row, object_id: int, k: int):
+        n = self._check(row, k)
+        d = min(max(self.d, k), n)
+        if d >= n:
+            cands = list(row)
+        else:
+            pool = list(row)
+            rng = self.rng
+            cands = []
+            for i in range(d):
+                j = i + int(rng.integers(n - i))
+                pool[i], pool[j] = pool[j], pool[i]
+                cands.append(pool[i])
+        load = self.load
+        cands.sort(key=load.total_load)
+        return cands[:k]
+
+
+class JoinIdleQueuePolicy(DispatchPolicy):
+    """JBSQ(d): bounded per-device in-flight credits with an idle list.
+
+    Each device exposes ``d`` dispatch credits; a dispatch consumes one
+    and the request's (or probe's) terminal event returns it.  Idle
+    replicas -- zero credits out and an empty backend queue -- are
+    preferred front of the row; among the rest, devices holding a free
+    credit win over exhausted ones, least total load first.  When every
+    replica's credits are spent the dispatch *overflows* to the least
+    loaded replica rather than parking the request: the driver is
+    open-loop, so blocking would break request conservation.  Overflow
+    means the bound is soft at saturation -- docs/DISPATCH.md discusses
+    the deviation from queue-side JBSQ.
+    """
+
+    __slots__ = ("d", "_cursor")
+
+    name = "join_idle_queue"
+
+    def __init__(self, devices, rng=None, d: int = 2) -> None:
+        super().__init__(devices, rng)
+        self.d = d
+        self._cursor = 0
+
+    def select(self, row, object_id: int, k: int):
+        n = self._check(row, k)
+        load = self.load
+        inflight = load.inflight
+        d = self.d
+        # Ties (same credit state, same load -- the common case on a
+        # lightly loaded row) rotate through the row instead of always
+        # resolving to the row's first replica: JBSQ joins *an* idle
+        # queue, not the first one, and a fixed tie winner would
+        # concentrate dispatches on rank-0 replicas exactly like
+        # key-affinity.
+        start = self._cursor % n
+        self._cursor += 1
+        scored = sorted(
+            range(n),
+            key=lambda i: (
+                inflight[row[i]] >= d,  # credit-exhausted devices last
+                load.total_load(row[i]),
+                (i - start) % n,
+            ),
+        )
+        return [row[i] for i in scored[:k]]
+
+
+class KeyAffinityPolicy(DispatchPolicy):
+    """Sticky primary with load-triggered failover.
+
+    The row's rank-0 replica is the object's *primary*: dispatching
+    there keeps one device serving the object's whole key range (cache
+    locality in a real store).  When the primary's total load exceeds
+    ``failover_factor`` times the row's mean load (plus one, so an
+    almost-idle row never flaps), the least-loaded replica is promoted
+    to the front of the order for this dispatch; the primary stays
+    sticky for the next one.
+    """
+
+    __slots__ = ("failover_factor",)
+
+    name = "key_affinity"
+
+    def __init__(self, devices, rng=None, failover_factor: float = 2.0) -> None:
+        super().__init__(devices, rng)
+        self.failover_factor = failover_factor
+
+    def select(self, row, object_id: int, k: int):
+        n = self._check(row, k)
+        load = self.load
+        loads = [load.total_load(dev) for dev in row]
+        order = list(row)
+        if loads[0] > self.failover_factor * (sum(loads) / n) + 1.0:
+            j = min(range(n), key=loads.__getitem__)
+            if j != 0:
+                order[0], order[j] = order[j], order[0]
+        return order[:k]
+
+
+def make_policy(
+    name: str,
+    devices,
+    rng: np.random.Generator | None = None,
+    *,
+    d: int = 2,
+) -> DispatchPolicy | None:
+    """Build the policy object for ``ClusterConfig.dispatch_policy``.
+
+    Returns ``None`` for ``random``: the frontend treats the absence of
+    a policy as the original uniform-random code path, which is what
+    keeps the default bit-identical to seed behaviour.
+    """
+    if name == "random":
+        return None
+    if name == "round_robin":
+        return RoundRobinPolicy(devices, rng)
+    if name == "power_of_d":
+        return PowerOfDPolicy(devices, rng, d=d)
+    if name == "join_idle_queue":
+        return JoinIdleQueuePolicy(devices, rng, d=d)
+    if name == "key_affinity":
+        return KeyAffinityPolicy(devices, rng)
+    raise ValueError(
+        f"unknown dispatch policy {name!r}; expected one of {DISPATCH_POLICIES}"
+    )

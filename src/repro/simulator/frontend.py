@@ -70,6 +70,8 @@ class FrontendProcess:
         "chunk_bytes",
         "on_read_complete",
         "on_redundant_done",
+        "dispatch",
+        "on_dispatch",
         "_redundant",
         "_cancel_op",
         "_rng",
@@ -93,6 +95,7 @@ class FrontendProcess:
         read_strategy: str = "single",
         read_fanout: int = 1,
         chunk_bytes: int = 1,
+        dispatch=None,
     ) -> None:
         if timeout is not None and timeout <= 0.0:
             raise ValueError("timeout must be positive (or None)")
@@ -111,6 +114,11 @@ class FrontendProcess:
         if redundant and timeout is not None:
             raise ValueError(
                 "redundant read dispatch replaces timeout/retry hedging; "
+                "configure one or the other"
+            )
+        if dispatch is not None and timeout is not None:
+            raise ValueError(
+                "dispatch policies replace timeout/retry hedging; "
                 "configure one or the other"
             )
         self.sim = sim
@@ -140,6 +148,14 @@ class FrontendProcess:
         #: Per-strategy accounting sink, fired once all probes of a
         #: redundant read are terminal (wired to the metrics recorder).
         self.on_redundant_done = None
+        #: Dispatch policy shared across the cluster's frontends
+        #: (``None`` = uniform-random replica choice, the original code
+        #: path below, untouched for bit-identity).
+        self.dispatch = dispatch
+        #: Per-dispatch accounting sink (wired by the cluster to
+        #: ``MetricsRecorder.record_dispatch``); fires once per read
+        #: target -- one per single read, one per probe.
+        self.on_dispatch = None
         self._redundant = redundant
         self._rng = rng
         self._cancel_op = sim.register(self._deliver_cancel)
@@ -216,13 +232,20 @@ class FrontendProcess:
         return pick
 
     def _send_read(self, req: Request, exclude: int) -> None:
+        if self.dispatch is not None:
+            self._send_read_policy(req, exclude)
+            return
         row = self.ring.replica_row(req.object_id)
         pick = self._pick
         if pick is None:
             pick = self._decide_pick()
         if pick is not False:
             if not self.fault_filter:
-                device = self.devices[row[pick.next()]]
+                idx = row[pick.next()]
+                sink = self.on_dispatch
+                if sink is not None:
+                    sink(idx)
+                device = self.devices[idx]
                 self.sim.schedule_op(
                     self.network.latency, device.connect_op, Connection(req, self)
                 )
@@ -242,7 +265,11 @@ class FrontendProcess:
         candidates = row if exclude < 0 else [d for d in row if d != exclude]
         if not candidates:
             candidates = row  # the only alive replica just timed out
-        device = self.devices[candidates[self._rng.integers(len(candidates))]]
+        idx = candidates[self._rng.integers(len(candidates))]
+        sink = self.on_dispatch
+        if sink is not None:
+            sink(idx)
+        device = self.devices[idx]
         self.sim.schedule_op(
             self.network.latency, device.connect_op, Connection(req, self)
         )
@@ -250,6 +277,33 @@ class FrontendProcess:
             self.sim.schedule(
                 self.timeout, self._check_timeout, req, req.retries, device.device_id
             )
+
+    def _send_read_policy(self, req: Request, exclude: int) -> None:
+        """Single-replica dispatch routed through the policy.
+
+        Mirrors the scalar branch of :meth:`_send_read` -- same row
+        filtering for fail-stops and timed-out replicas -- but the
+        choice comes from ``self.dispatch`` instead of the frontend's
+        RNG stream.  Timeout scheduling is absent by construction:
+        policies reject ``timeout`` at configuration time (a retry would
+        acquire a second in-flight credit for the same request).
+        """
+        row = self.ring.replica_row(req.object_id)
+        if self.fault_filter:
+            devices = self.devices
+            row = [d for d in row if not devices[d].failed] or row
+        if exclude >= 0:
+            row = [d for d in row if d != exclude] or row
+        policy = self.dispatch
+        idx = policy.select(row, req.object_id, 1)[0]
+        policy.on_dispatch(idx)
+        sink = self.on_dispatch
+        if sink is not None:
+            sink(idx)
+        device = self.devices[idx]
+        self.sim.schedule_op(
+            self.network.latency, device.connect_op, Connection(req, self)
+        )
 
     def _check_timeout(self, req: Request, attempt: int, device_id: int) -> None:
         if req.first_byte_time >= 0.0:
@@ -281,21 +335,34 @@ class FrontendProcess:
             devices = self.devices
             row = [d for d in row if not devices[d].failed] or row
         strategy = self.read_strategy
+        policy = self.dispatch
         if strategy == "quorum":
             # All replicas, respond at the majority of the *dispatched*
             # set -- a dead replica shrinks the quorum like writes do.
-            targets = list(row)
+            # A policy only orders the row (every replica is probed
+            # anyway), but the ordering still matters for JBSQ credits
+            # and the dispatch-count ledger.
+            if policy is None:
+                targets = list(row)
+            else:
+                targets = policy.select(row, req.object_id, len(row))
             need = len(targets) // 2 + 1
             red = RedundantRead("quorum", self, len(targets), need, need)
             self._spawn_probes(req, red, targets)
         elif strategy == "kofn":
             k = min(self.read_fanout, len(row))
-            targets = self._pick_distinct(row, k)
+            if policy is None:
+                targets = self._pick_distinct(row, k)
+            else:
+                targets = policy.select(row, req.object_id, k)
             red = RedundantRead("kofn", self, k, 1, 1)
             self._spawn_probes(req, red, targets)
         else:  # forkjoin
             k = min(self.read_fanout, len(row), req.n_chunks)
-            targets = self._pick_distinct(row, k)
+            if policy is None:
+                targets = self._pick_distinct(row, k)
+            else:
+                targets = policy.select(row, req.object_id, k)
             red = RedundantRead("forkjoin", self, k, k, k)
             self._spawn_fragments(req, red, targets)
 
@@ -307,6 +374,11 @@ class FrontendProcess:
         """
         pool = list(row)
         n = len(pool)
+        if k > n:
+            raise SimulationError(
+                f"redundant read needs {k} distinct replicas but only "
+                f"{n} are live; fanout cannot exceed the surviving row"
+            )
         rng = self._rng
         out = []
         for i in range(k):
@@ -326,7 +398,13 @@ class FrontendProcess:
     def _spawn_probes(self, req: Request, red: RedundantRead, targets) -> None:
         req.red = red
         latency = self.network.latency
+        policy = self.dispatch
+        sink = self.on_dispatch
         for dev_idx in targets:
+            if policy is not None:
+                policy.on_dispatch(dev_idx)
+            if sink is not None:
+                sink(dev_idx)
             probe = self._make_probe(req, req.size_bytes)
             device = self.devices[dev_idx]
             self.sim.schedule_op(latency, device.connect_op, Connection(probe, self))
@@ -346,8 +424,14 @@ class FrontendProcess:
         tail = req.size_bytes - (n_chunks - 1) * chunk_bytes
         base, rem = divmod(n_chunks, red.fanout)
         latency = self.network.latency
+        policy = self.dispatch
+        sink = self.on_dispatch
         offset = 0
         for i, dev_idx in enumerate(targets):
+            if policy is not None:
+                policy.on_dispatch(dev_idx)
+            if sink is not None:
+                sink(dev_idx)
             count = base + 1 if i < rem else base
             if offset + count == n_chunks:
                 nbytes = (count - 1) * chunk_bytes + tail
@@ -406,6 +490,12 @@ class FrontendProcess:
         self._probe_terminal(red, probe)
 
     def _probe_terminal(self, red: RedundantRead, probe: Request) -> None:
+        if self.dispatch is not None:
+            # Probes release their in-flight credit individually; the
+            # single-replica path releases via the cluster's completion
+            # sink instead (the parent of a redundant read never holds
+            # a credit itself).
+            self.dispatch.on_release(probe.device_id)
         red.pending -= 1
         if red.cancel_time >= 0.0 and probe is not red.winner_probe:
             # Cancellation latency: how long this replica kept working

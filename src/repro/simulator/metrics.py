@@ -37,6 +37,7 @@ __all__ = [
     "RequestTable",
     "PhaseStats",
     "HISTOGRAM_FAMILIES",
+    "dispatch_imbalance",
     "merge_recorder_states",
     "sla_percentile",
     "sla_percentile_ci",
@@ -245,6 +246,36 @@ def _merge_strategy_name(a, b):
     return "mixed"
 
 
+def _new_dispatch_stats() -> dict:
+    """Fresh dispatch-accounting leaf (frontend replica routing).
+
+    One integer per device: how many read dispatches (single-replica
+    sends plus redundant probes) the frontends aimed at it.  ``policy``
+    names the cluster's dispatch policy; like the redundancy leaf's
+    strategy it is ``None`` until noted and joins to ``"mixed"`` when
+    recorders under different policies merge.  All counters are
+    integers, so the fleet-shard merge stays exactly associative.
+    """
+    return {"policy": None, "dispatches": 0, "per_device": {}}
+
+
+def dispatch_imbalance(per_device: dict, n_devices: int | None = None) -> float:
+    """Load-imbalance coefficient: max/mean per-device dispatch share.
+
+    ``1.0`` is perfect balance; ``n_devices`` (the coefficient's
+    denominator population) should be passed when devices may have
+    received zero dispatches -- the counts alone cannot name them, and
+    ignoring empty devices *understates* imbalance.  NaN with no
+    dispatches at all.
+    """
+    counts = list(per_device.values())
+    total = sum(counts)
+    if total == 0:
+        return float("nan")
+    n = len(per_device) if n_devices is None else n_devices
+    return max(counts) * n / total
+
+
 class MetricsRecorder:
     """Accumulates request completions and disk-op samples.
 
@@ -265,6 +296,7 @@ class MetricsRecorder:
         "_hists",
         "_hist_count",
         "_strategy",
+        "_dispatch",
     )
 
     def __init__(
@@ -284,6 +316,7 @@ class MetricsRecorder:
         self._hists = None
         self._hist_count = 0
         self._strategy = _new_strategy_stats()
+        self._dispatch = _new_dispatch_stats()
         if latency_store == "histogram":
             from repro.obs.hist import LatencyHistogram
 
@@ -343,6 +376,39 @@ class MetricsRecorder:
         winners = stats["winners"]
         dev = red.winner_device
         winners[dev] = winners.get(dev, 0) + 1
+
+    def note_dispatch_policy(self, policy: str) -> None:
+        """Name the dispatch policy feeding :meth:`record_dispatch`.
+
+        Called once by the cluster at construction; the name survives
+        window resets (it is configuration, not observation) and joins
+        to ``"mixed"`` across merges of differently-configured shards.
+        """
+        stats = self._dispatch
+        stats["policy"] = _merge_strategy_name(stats["policy"], policy)
+
+    def record_dispatch(self, device_id: int) -> None:
+        """Count one read dispatch (single send or redundant probe)
+        aimed at ``device_id``.  Wired as the frontends' ``on_dispatch``
+        sink for *every* policy including ``random``: the call touches
+        no random stream, so recording keeps the default bit-identical.
+        """
+        stats = self._dispatch
+        stats["dispatches"] += 1
+        per = stats["per_device"]
+        per[device_id] = per.get(device_id, 0) + 1
+
+    def dispatch_stats(self, n_devices: int | None = None) -> dict:
+        """Copy of the dispatch leaf plus the derived imbalance
+        coefficient (max/mean device share; see
+        :func:`dispatch_imbalance` for the ``n_devices`` caveat)."""
+        stats = self._dispatch
+        return {
+            "policy": stats["policy"],
+            "dispatches": stats["dispatches"],
+            "per_device": dict(stats["per_device"]),
+            "imbalance": dispatch_imbalance(stats["per_device"], n_devices),
+        }
 
     def redundant_stats(self) -> dict:
         """Copy of the per-strategy attribution leaf, with the mean
@@ -439,13 +505,20 @@ class MetricsRecorder:
         """Drop request rows (window boundaries) but keep disk samples."""
         self._rows.clear()
         self._strategy = _new_strategy_stats()
+        self._reset_dispatch()
         self._reset_histograms()
 
     def clear(self) -> None:
         self._rows.clear()
         self._disk_samples.clear()
         self._strategy = _new_strategy_stats()
+        self._reset_dispatch()
         self._reset_histograms()
+
+    def _reset_dispatch(self) -> None:
+        policy = self._dispatch["policy"]
+        self._dispatch = _new_dispatch_stats()
+        self._dispatch["policy"] = policy
 
     def _reset_histograms(self) -> None:
         if self._hists is not None:
@@ -493,6 +566,14 @@ class MetricsRecorder:
                 ),
                 "winners": {d: stats["winners"][d] for d in sorted(stats["winners"])},
             },
+            "dispatch": {
+                "policy": self._dispatch["policy"],
+                "dispatches": self._dispatch["dispatches"],
+                "per_device": {
+                    d: self._dispatch["per_device"][d]
+                    for d in sorted(self._dispatch["per_device"])
+                },
+            },
         }
         if self._hists is not None:
             hists = {}
@@ -522,6 +603,15 @@ class MetricsRecorder:
                 stats[key] = int(red[key])
             stats["cancel_sum"] = math.fsum(red["cancel_sums"])
             stats["winners"] = {int(d): int(c) for d, c in red["winners"].items()}
+        disp = state.get("dispatch")
+        if disp is not None:
+            rec._dispatch = {
+                "policy": disp["policy"],
+                "dispatches": int(disp["dispatches"]),
+                "per_device": {
+                    int(d): int(c) for d, c in disp["per_device"].items()
+                },
+            }
         if state["hists"] is not None:
             from repro.obs.hist import LatencyHistogram
 
@@ -634,6 +724,21 @@ def merge_recorder_states(states) -> dict:
         "winners": {d: winners[d] for d in sorted(winners)},
     }
 
+    # Dispatch leaf: policy semilattice join + pure integer adds with
+    # sorted device keys.  States predating the leaf merge as empty.
+    disp_docs = [s.get("dispatch", _new_dispatch_stats()) for s in states]
+    policy = None
+    per_device: dict[int, int] = {}
+    for doc in disp_docs:
+        policy = _merge_strategy_name(policy, doc["policy"])
+        for d, c in doc["per_device"].items():
+            per_device[d] = per_device.get(d, 0) + c
+    dispatch = {
+        "policy": policy,
+        "dispatches": sum(doc["dispatches"] for doc in disp_docs),
+        "per_device": {d: per_device[d] for d in sorted(per_device)},
+    }
+
     return {
         "latency_store": store,
         "record_disk_samples": record_disk,
@@ -642,4 +747,5 @@ def merge_recorder_states(states) -> dict:
         "hist_count": sum(s["hist_count"] for s in states),
         "hists": hists,
         "redundant": redundant,
+        "dispatch": dispatch,
     }

@@ -10,6 +10,8 @@ are not point-identical.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 __all__ = ["HashRing"]
@@ -43,20 +45,43 @@ class HashRing:
         self._rows = None
 
     @classmethod
-    def from_assignment(cls, assignment: np.ndarray) -> "HashRing":
+    def from_assignment(
+        cls, assignment: np.ndarray, n_devices: int | None = None
+    ) -> "HashRing":
         """Rebuild a ring from a previously built assignment table.
 
         The parallel sweep engine builds the ring once in the parent and
         ships the ``(n_partitions, replicas)`` table to workers, so every
         rate point sees the identical placement without re-running (or
         re-seeding) the balanced builder.
+
+        ``n_devices`` must be passed explicitly when the cluster may hold
+        trailing devices that own no partitions (possible whenever
+        ``n_partitions * replicas`` is not a multiple of ``n_devices``):
+        the table alone cannot name a device that never appears in it.
+        Without it the device count is inferred as ``max() + 1`` -- which
+        silently shrinks such clusters -- so the fallback warns.
         """
         assignment = np.asarray(assignment, dtype=np.int32)
         if assignment.ndim != 2 or assignment.size == 0:
             raise ValueError("assignment must be a non-empty 2-D table")
+        max_device = int(assignment.max())
+        if n_devices is None:
+            warnings.warn(
+                "HashRing.from_assignment called without n_devices; "
+                "inferring max(assignment)+1, which drops trailing "
+                "devices that own no partitions",
+                stacklevel=2,
+            )
+            n_devices = max_device + 1
+        elif n_devices <= max_device:
+            raise ValueError(
+                f"n_devices={n_devices} but assignment references device "
+                f"{max_device}"
+            )
         ring = cls.__new__(cls)
         ring.n_partitions = assignment.shape[0]
-        ring.n_devices = int(assignment.max()) + 1
+        ring.n_devices = n_devices
         ring.replicas = assignment.shape[1]
         ring.assignment = assignment
         ring._rows = None
