@@ -38,14 +38,19 @@ times three engine micro-kernels:
   the ``dispatch_policy="random"`` state asserted bit-identical to the
   default config on every run (the policy layer must not tax or
   perturb the default path);
+* ``batch_dispatch`` -- draining a dense 200k-event lane through the
+  scalar per-event handler vs through the registered batch handler
+  (contiguous numpy segment views), with the two event logs asserted
+  identical inline -- the in-run ratio is the tracked metric;
 * ``fleet``         -- a fleet-scale episode (full: 16 clusters x 4
   devices = 64 devices under ~1M requests; quick: 4 clusters under
   ~50k) run serially and sharded over a process pool
   (:func:`repro.experiments.fleet.run_fleet`), asserting the merged
-  metric state is bit-identical, plus a lane micro-measure: draining a
-  200k-event sorted arrival run as a kernel event lane
-  (``schedule_runs``) vs as individually heap-popped events
-  (``schedule_sorted_ops``) -- the lane path must hold >=1.5x.
+  metric state is bit-identical, plus two in-run micro-measures: the
+  lane drain (``schedule_runs`` vs ``schedule_sorted_ops``, must hold
+  >=1.5x) and the batched-vs-scalar admission ratio -- the same serial
+  episode re-run with ``batch_dispatch=False``, its metric state
+  asserted bit-identical to the batched run.
 
 On a single-core host the parallel sweep repetition is skipped (a
 process pool cannot beat serial there; the old <1.0 "speedup" row read
@@ -131,6 +136,9 @@ CHECKED_METRICS = (
     (("kernels", "dispatch", "random_s"), "lower"),
     (("kernels", "fleet", "events_per_sec_serial"), "higher"),
     (("kernels", "fleet", "lane_s"), "lower"),
+    (("kernels", "fleet", "batch_ratio"), "higher"),
+    (("kernels", "batch_dispatch", "batched_s"), "lower"),
+    (("kernels", "batch_dispatch", "batch_speedup"), "higher"),
 )
 
 
@@ -720,6 +728,74 @@ def bench_lane_drain(n_events: int = 200_000, reps: int = 3) -> dict:
     }
 
 
+def bench_batch_dispatch(n_events: int = 200_000, reps: int = 3) -> dict:
+    """Dense-lane drain: scalar per-event dispatch vs batch segments.
+
+    Drains the same 200k-event sorted arrival lane twice: once with only
+    a scalar handler registered (one Python call, ``now`` update and two
+    log appends per event) and once with a batch handler (the kernel
+    hands whole contiguous segments over as numpy views, which the
+    handler logs per segment; with an empty heap and an infinite
+    horizon the lane drains in a single call).  Both event logs --
+    every ``(time, id)`` in dispatch order -- are asserted identical
+    inline, so the reported speedup is for observationally equivalent
+    work: same values, same order, verified per event.
+    """
+    from repro.simulator.core import Simulator
+
+    times = np.arange(n_events) * 1e-6
+    ids = np.arange(n_events)
+
+    def run(batched: bool):
+        best = math.inf
+        log = None
+        for _ in range(reps):
+            sim = Simulator()
+            t_log, id_log = [], []
+            t_append, id_append = t_log.append, id_log.append
+
+            def scalar(a, b):
+                t_append(sim.now)
+                id_append(a)
+
+            def batch(ts, a, b):
+                t_append(ts)
+                id_append(a)
+
+            if batched:
+                op = sim.register(
+                    scalar, batch_handler=batch, batch_horizon=math.inf
+                )
+            else:
+                op = sim.register(scalar)
+            t0 = time.perf_counter()
+            sim.schedule_runs(times, op, ids)
+            sim.run_until_idle()
+            best = min(best, time.perf_counter() - t0)
+            if batched:
+                log = (np.concatenate(t_log), np.concatenate(id_log))
+            else:
+                log = (np.asarray(t_log), np.asarray(id_log))
+            assert log[0].size == n_events
+        return best, log
+
+    scalar_s, scalar_log = run(False)
+    batched_s, batched_log = run(True)
+    if not (
+        np.array_equal(batched_log[0], scalar_log[0])
+        and np.array_equal(batched_log[1], scalar_log[1])
+    ):
+        raise AssertionError("batched lane drain diverged from scalar drain")
+    return {
+        "n_events": n_events,
+        "reps": reps,
+        "scalar_s": round(scalar_s, 4),
+        "batched_s": round(batched_s, 4),
+        "batch_speedup": round(scalar_s / batched_s, 2) if batched_s > 0 else None,
+        "bit_identical": True,
+    }
+
+
 def bench_redundancy(reps: int = 3) -> dict:
     """Redundant dispatch episode cost + order-statistic micro-measure.
 
@@ -882,6 +958,14 @@ def bench_fleet(jobs: int = 4, quick: bool = False) -> dict:
     executes inline so the identity assertion always holds, and the lane
     micro-measure (see :func:`bench_lane_drain`) carries the tracked
     speedup.
+
+    The serial episode is also re-run with ``batch_dispatch=False``
+    (scalar arrival admission) and its metric state asserted
+    bit-identical to the batched run; ``batch_ratio`` is the in-run
+    scalar/batched wall-time ratio, drift-immune like ``lane_speedup``.
+    The fleet mix is dominated by feedback-coupled service events that
+    must stay scalar, so the end-to-end ratio is modest -- the dense-
+    segment upside is tracked by :func:`bench_batch_dispatch`.
     """
     from repro.experiments.fleet import FleetScenario, run_fleet
 
@@ -909,6 +993,10 @@ def bench_fleet(jobs: int = 4, quick: bool = False) -> dict:
     )
     sharded_s = time.perf_counter() - t0
 
+    t0 = time.perf_counter()
+    scalar = run_fleet(dataclasses.replace(scenario, batch_dispatch=False), seed=0)
+    scalar_serial_s = time.perf_counter() - t0
+
     row = {
         "quick": quick,
         "n_clusters": scenario.n_clusters,
@@ -919,6 +1007,11 @@ def bench_fleet(jobs: int = 4, quick: bool = False) -> dict:
         "serial_s": round(serial_s, 3),
         "events_per_sec_serial": round(serial.events / serial_s, 1),
         "bit_identical": serial.state == sharded.state,
+        "scalar_serial_s": round(scalar_serial_s, 3),
+        "batch_ratio": (
+            round(scalar_serial_s / serial_s, 3) if serial_s > 0 else None
+        ),
+        "batch_bit_identical": serial.state == scalar.state,
     }
     if multi_core:
         row["sharded_s"] = round(sharded_s, 3)
@@ -975,6 +1068,7 @@ KERNELS = {
     "diagnostics_overhead": bench_diagnostics_overhead,
     "redundancy": bench_redundancy,
     "dispatch": bench_dispatch,
+    "batch_dispatch": bench_batch_dispatch,
     "fleet": bench_fleet,
 }
 
@@ -1077,6 +1171,14 @@ def main(argv=None) -> int:
             f"imbalance {dp['power_of_d_imbalance']}, "
             f"random_bit_identical={dp['random_bit_identical']}"
         )
+    if "batch_dispatch" in kernels:
+        bd = kernels["batch_dispatch"]
+        print(
+            f"  batch_dispatch: scalar {bd['scalar_s']}s, "
+            f"batched {bd['batched_s']}s "
+            f"(speedup {bd['batch_speedup']}x, "
+            f"bit_identical={bd['bit_identical']})"
+        )
     if "fleet" in kernels:
         fl = kernels["fleet"]
         sharded = fl.get("sharded_s", fl.get("sharded"))
@@ -1084,7 +1186,9 @@ def main(argv=None) -> int:
             f"  fleet: {fl['n_devices']} devices, {fl['n_requests']} req, "
             f"serial {fl['serial_s']}s ({fl['events_per_sec_serial']:,} ev/s), "
             f"sharded {sharded}, bit_identical={fl['bit_identical']}, "
-            f"lane speedup {fl['lane_speedup']}x"
+            f"lane speedup {fl['lane_speedup']}x, "
+            f"batch ratio {fl['batch_ratio']}x "
+            f"(batch_bit_identical={fl['batch_bit_identical']})"
         )
 
     result = {

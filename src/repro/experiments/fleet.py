@@ -107,6 +107,11 @@ class FleetScenario:
     arrival_window: float = 60.0
     latency_store: str = "exact"
     record_disk_samples: bool = False
+    #: Hand contiguous arrival-lane segments to the vectorised batch
+    #: handler (bit-identical to scalar; see core.Simulator.register).
+    #: Off forces scalar admission -- the perf harness uses the pair to
+    #: measure the in-run batched-vs-scalar ratio.
+    batch_dispatch: bool = True
     #: Post-horizon drain budget per cluster (events), a runaway guard.
     max_drain_events: int | None = 200_000_000
 
@@ -302,6 +307,7 @@ def _run_cluster(scenario: FleetScenario, sizes: np.ndarray, task: ClusterTask) 
             seed=task.seed,
             record_disk_samples=scenario.record_disk_samples,
             latency_store=scenario.latency_store,
+            batch_dispatch=scenario.batch_dispatch,
         )
         cluster.warm_caches(task.warm_ids)
         times = task.times

@@ -44,6 +44,19 @@ Two further hot-loop mechanics, both exactly order-preserving:
   dispatch outside the ``heapreplace`` fusion (their handler's first
   schedule is a plain push, which preserves the total order).
 
+A third mechanic builds on the lanes: **batch dispatch**.  A handler
+registered with a ``batch_handler`` (see :meth:`Simulator.register`) can
+consume a whole contiguous lane segment in one call -- numpy views of
+``(times, a, b)`` -- instead of one scalar call per event.  The segment
+is chosen so that processing it scalar, event by event, could not have
+interleaved any other event, so the batched call is *bit-identical by
+construction* (see :meth:`Simulator.register` for the exact contract).
+Whenever that cannot be guaranteed -- no batch handler, a lane built
+from plain lists, a heap event (fault boundary, closed-loop feedback)
+or another lane's head inside the candidate segment, or a handler
+horizon exceeded -- the loop falls back to the scalar path for exactly
+the events concerned.
+
 The kernel is not re-entrant: handlers must not call ``run_until`` /
 ``run_until_idle`` recursively (nothing in the simulator does).
 """
@@ -51,6 +64,7 @@ The kernel is not re-entrant: handlers must not call ``run_until`` /
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_left, bisect_right
 from math import inf as _INF
 from typing import Callable
 
@@ -72,9 +86,39 @@ class _Lane:
     pushed individually.
     """
 
-    __slots__ = ("times", "a", "b", "b_seq", "op", "seq0", "cursor", "n")
+    __slots__ = (
+        "times",
+        "a",
+        "b",
+        "b_seq",
+        "op",
+        "seq0",
+        "cursor",
+        "n",
+        "t_np",
+        "a_np",
+        "b_np",
+        "batchable",
+        "bh",
+        "horizon",
+        "bmin",
+    )
 
-    def __init__(self, times, op, a, b, b_seq, seq0) -> None:
+    def __init__(
+        self,
+        times,
+        op,
+        a,
+        b,
+        b_seq,
+        seq0,
+        t_np=None,
+        a_np=None,
+        b_np=None,
+        bh=None,
+        horizon=0.0,
+        bmin=2,
+    ) -> None:
         self.times = times
         self.op = op
         self.a = a
@@ -83,12 +127,40 @@ class _Lane:
         self.seq0 = seq0
         self.cursor = 0
         self.n = len(times)
+        # Original numpy arrays when the lane was scheduled from numpy:
+        # the batch fast path hands out zero-copy views of these.  Lanes
+        # built from plain sequences have no arrays and always dispatch
+        # scalar.
+        self.t_np = t_np
+        self.a_np = a_np
+        self.b_np = b_np
+        self.batchable = (
+            t_np is not None
+            and a_np is not None
+            and (b_seq is None or b_np is not None)
+        )
+        # Batch handler and horizon bound at schedule time (a registered
+        # opcode's batch handler cannot change afterwards), so the run
+        # loops' can-this-batch pre-check is pure attribute loads.
+        self.bh = bh if self.batchable else None
+        self.horizon = horizon
+        self.bmin = bmin
 
 
 class Simulator:
     """Minimal event-driven simulation kernel."""
 
-    __slots__ = ("now", "_heap", "_seq", "_handlers", "_live", "_lanes")
+    __slots__ = (
+        "now",
+        "_heap",
+        "_seq",
+        "_handlers",
+        "_batch_handlers",
+        "_batch_horizons",
+        "_batch_mins",
+        "_live",
+        "_lanes",
+    )
 
     def __init__(self) -> None:
         self.now: float = 0.0
@@ -96,6 +168,11 @@ class Simulator:
         self._seq: int = 0
         # Opcode 0: legacy dynamic call -- a == fn, b == args tuple.
         self._handlers: list[Callable] = [self._invoke]
+        # Per-opcode batch handler (or None) and its time horizon; see
+        # ``register``.  Parallel to ``_handlers``.
+        self._batch_handlers: list[Callable | None] = [None]
+        self._batch_horizons: list[float] = [0.0]
+        self._batch_mins: list[int] = [2]
         # True while the run loop is executing the (unpopped) heap root.
         self._live = False
         # Active event lanes (schedule_runs).  The list object is stable
@@ -107,15 +184,65 @@ class Simulator:
     def _invoke(fn, args) -> None:
         fn(*args)
 
-    def register(self, handler: Callable) -> int:
+    def register(
+        self,
+        handler: Callable,
+        batch_handler: Callable | None = None,
+        batch_horizon: float = 0.0,
+        batch_min: int = 2,
+    ) -> int:
         """Register ``handler(a, b)`` in the dispatch table; returns its opcode.
 
         Components register their bound methods once at build time and
         schedule events by opcode thereafter, so the run loop performs a
         single list index instead of constructing and unpacking per-event
         argument tuples.
+
+        ``batch_handler(times, a, b)``, when given, is the vectorised
+        sibling: the run loop may hand it a contiguous lane segment as
+        numpy views -- ``times`` and ``a`` sliced from the arrays passed
+        to :meth:`schedule_runs`, ``b`` either the shared scalar payload
+        or the matching ``b_seq`` slice.  It must be observationally
+        identical to calling ``handler(a[i], b[i])`` in order with
+        ``self.now`` stepped to each ``times[i]``, including RNG-stream
+        consumption and the order of any events it schedules (use the
+        ``*_at`` scheduling forms with per-event absolute times; ``now``
+        rests at ``times[-1]`` during the call).
+
+        ``batch_horizon`` is the handler's promise that every event it
+        schedules while processing an event at time ``t`` carries time
+        ``>= t + batch_horizon``.  The run loop only batches a segment
+        whose last event lies within ``times[0] + batch_horizon``: any
+        event scheduled by a segment member then lands at or after the
+        segment's end, and -- having a strictly larger sequence number
+        than the lane's reserved block -- would have been processed
+        after the whole segment in scalar mode too.  Combined with the
+        strict heap-root / other-lane bounds applied by the segment
+        finder, batched execution is bit-identical to scalar execution
+        by construction.  A horizon of 0.0 restricts batches to
+        equal-time runs; ``math.inf`` is allowed for handlers that
+        schedule nothing.
+
+        ``batch_min`` is the smallest segment worth handing to the batch
+        handler; shorter segments dispatch scalar.  It is a pure
+        performance knob -- results are bit-identical either way -- for
+        handlers whose vectorised form has per-call overhead (array
+        slicing, fancy indexing) that only amortises past a few events.
         """
+        if batch_handler is not None and not batch_horizon >= 0.0:
+            raise SimulationError(
+                f"batch_horizon must be >= 0, got {batch_horizon}"
+            )
+        if batch_handler is not None and batch_min < 2:
+            raise SimulationError(
+                f"batch_min must be >= 2, got {batch_min}"
+            )
         self._handlers.append(handler)
+        self._batch_handlers.append(batch_handler)
+        self._batch_horizons.append(
+            float(batch_horizon) if batch_handler is not None else 0.0
+        )
+        self._batch_mins.append(int(batch_min))
         return len(self._handlers) - 1
 
     # ------------------------------------------------------------------
@@ -257,10 +384,21 @@ class Simulator:
         ``times``/``a_seq``/``b_seq`` may be numpy arrays (bulk-converted)
         or plain sequences.  Lanes survive across ``run_until`` calls
         until drained.
+
+        When all given inputs are numpy arrays the lane additionally
+        keeps them, and the run loop may hand contiguous segments to the
+        opcode's batch handler (if one was registered) as zero-copy
+        views; lanes built from plain sequences always dispatch scalar.
         """
+        t_np = None
+        if isinstance(times, np.ndarray):
+            t_np = times if times.dtype == np.float64 else times.astype(np.float64)
+            times = t_np
         times = self._sorted_times_list(times)
         n = len(times)
+        a_np = None
         if isinstance(a_seq, np.ndarray):
+            a_np = a_seq
             a_seq = a_seq.tolist()
         else:
             a_seq = list(a_seq)
@@ -268,8 +406,10 @@ class Simulator:
             raise SimulationError(
                 f"a_seq length {len(a_seq)} != times length {n}"
             )
+        b_np = None
         if b_seq is not None:
             if isinstance(b_seq, np.ndarray):
+                b_np = b_seq
                 b_seq = b_seq.tolist()
             else:
                 b_seq = list(b_seq)
@@ -279,7 +419,20 @@ class Simulator:
                 )
         if n == 0:
             return
-        lane = _Lane(times, op, a_seq, b, b_seq, self._seq + 1)
+        lane = _Lane(
+            times,
+            op,
+            a_seq,
+            b,
+            b_seq,
+            self._seq + 1,
+            t_np,
+            a_np,
+            b_np,
+            self._batch_handlers[op],
+            self._batch_horizons[op],
+            self._batch_mins[op],
+        )
         self._seq += n
         self._lanes.append(lane)
 
@@ -304,6 +457,50 @@ class Simulator:
                 if t < bt or (t == bt and ln.seq0 + c < bs):
                     lane, bt, bs = ln, t, ln.seq0 + c
         return lane
+
+    def _segment_end(self, lane: "_Lane", cur: int, lt: float, t_end: float) -> int:
+        """End index (exclusive) of the batchable segment headed at ``cur``.
+
+        The segment is maximal subject to three bounds, each of which
+        guarantees scalar execution could not have interleaved a foreign
+        event (see :meth:`register` for the soundness argument):
+
+        * inclusive time cap ``min(lt + horizon, t_end)`` -- the handler
+          horizon keeps self-scheduled events at or beyond the segment
+          end, and ``t_end`` is the run window;
+        * strictly earlier than the heap root -- equal-time events fall
+          back to the scalar path's exact ``(time, seq)`` tie-break;
+        * strictly earlier than every other lane's head, likewise.
+
+        Returns ``cur + 1`` (a scalar-sized segment) whenever batching
+        buys nothing.
+        """
+        cap = lt + lane.horizon
+        if t_end < cap:
+            cap = t_end
+        times = lane.times
+        nxt = cur + 1
+        if nxt >= lane.n or times[nxt] > cap:
+            return nxt
+        heap = self._heap
+        if heap:
+            rt = heap[0][0]
+            if rt <= cap:
+                if times[nxt] >= rt:
+                    return nxt
+                end = bisect_left(times, rt, nxt, lane.n)
+            else:
+                end = bisect_right(times, cap, nxt, lane.n)
+        else:
+            end = bisect_right(times, cap, nxt, lane.n)
+        lanes = self._lanes
+        if len(lanes) > 1:
+            for ln in lanes:
+                if ln is not lane:
+                    e = bisect_left(times, ln.times[ln.cursor], nxt, end)
+                    if e < end:
+                        end = e
+        return end
 
     def run_until(self, t_end: float) -> None:
         """Process events up to and including ``t_end``.
@@ -340,6 +537,43 @@ class Simulator:
                     else:
                         if lt > t_end:
                             break
+                        # Cheap pre-check (attribute loads only) before
+                        # the full segment scan: a batch of bmin events
+                        # needs the (bmin-1)-th successor inside the
+                        # horizon and strictly before the heap root, and
+                        # in steady state the root usually lands before
+                        # the next lane event.
+                        bh = lane.bh
+                        j = cur + lane.bmin - 1
+                        if (
+                            bh is not None
+                            and j < lane.n
+                            and lane.times[j] <= lt + lane.horizon
+                            and (not heap or lane.times[j] < heap[0][0])
+                        ):
+                            end = self._segment_end(lane, cur, lt, t_end)
+                            if end - cur >= lane.bmin:
+                                # Consume the whole segment before
+                                # dispatch (exception semantics match
+                                # the scalar path: a faulting batch is
+                                # not replayable).
+                                lane.cursor = end
+                                if end == lane.n:
+                                    lanes.remove(lane)
+                                self.now = lane.times[end - 1]
+                                if lane.b_seq is None:
+                                    bh(
+                                        lane.t_np[cur:end],
+                                        lane.a_np[cur:end],
+                                        lane.b,
+                                    )
+                                else:
+                                    bh(
+                                        lane.t_np[cur:end],
+                                        lane.a_np[cur:end],
+                                        lane.b_np[cur:end],
+                                    )
+                                continue
                         # Consume the lane event *before* dispatch: an
                         # exception inside the handler must not leave it
                         # replayable, matching the heap path's semantics.
@@ -405,13 +639,52 @@ class Simulator:
                             self._live = False
                             pop(heap)
                     else:
-                        b_seq = lane.b_seq
-                        b = lane.b if b_seq is None else b_seq[cur]
-                        lane.cursor = cur + 1
-                        if cur + 1 == lane.n:
-                            lanes.remove(lane)
-                        self.now = lt
-                        handlers[lane.op](lane.a[cur], b)
+                        bh = lane.bh
+                        end = cur + 1
+                        j = cur + lane.bmin - 1
+                        if (
+                            bh is not None
+                            and j < lane.n
+                            and lane.times[j] <= lt + lane.horizon
+                            and (not heap or lane.times[j] < heap[0][0])
+                        ):
+                            end = self._segment_end(lane, cur, lt, _INF)
+                            if max_events is not None:
+                                # Batches never overshoot the budget:
+                                # the remainder stays pending so the
+                                # runaway guard fires at exactly the
+                                # same count as the scalar path.
+                                rem = max_events - count
+                                if end - cur > rem:
+                                    end = cur + rem
+                        if end - cur >= lane.bmin and end - cur > 1:
+                            lane.cursor = end
+                            if end == lane.n:
+                                lanes.remove(lane)
+                            self.now = lane.times[end - 1]
+                            if lane.b_seq is None:
+                                bh(
+                                    lane.t_np[cur:end],
+                                    lane.a_np[cur:end],
+                                    lane.b,
+                                )
+                            else:
+                                bh(
+                                    lane.t_np[cur:end],
+                                    lane.a_np[cur:end],
+                                    lane.b_np[cur:end],
+                                )
+                            # The shared post-dispatch accounting below
+                            # adds the final 1.
+                            count += end - cur - 1
+                        else:
+                            b_seq = lane.b_seq
+                            b = lane.b if b_seq is None else b_seq[cur]
+                            lane.cursor = cur + 1
+                            if cur + 1 == lane.n:
+                                lanes.remove(lane)
+                            self.now = lt
+                            handlers[lane.op](lane.a[cur], b)
                 elif heap:
                     event = heap[0]
                     self.now = event[0]

@@ -291,13 +291,29 @@ class MetricsRecorder:
     __slots__ = (
         "_rows",
         "_disk_samples",
+        "_disk_append",
         "record_disk_samples",
         "latency_store",
         "_hists",
+        "_hist_buf",
         "_hist_count",
         "_strategy",
         "_dispatch",
     )
+
+    #: Disk-op kinds preallocated at construction so the per-op hot path
+    #: resolves a bound ``list.append`` with one dict lookup instead of
+    #: a ``setdefault`` (allocating a throwaway empty list) per sample.
+    #: Unknown kinds still work -- they get a slot on first use -- and
+    #: every export point filters untouched (empty) kinds, so snapshots
+    #: are canonically identical to the lazily-populated form.
+    DISK_KINDS = ("data", "index", "meta")
+
+    #: Histogram-mode request latencies are buffered per family and
+    #: flushed through the vectorised ``LatencyHistogram.record_many``
+    #: once this many requests accumulate (bounded memory, ~10x cheaper
+    #: than five scalar ``record`` calls per request).
+    HIST_FLUSH = 1024
 
     def __init__(
         self,
@@ -310,10 +326,11 @@ class MetricsRecorder:
                 f"latency_store must be 'exact' or 'histogram', got {latency_store!r}"
             )
         self._rows: list[tuple] = []
-        self._disk_samples: dict[str, list[float]] = {}
+        self._init_disk_slots()
         self.record_disk_samples = record_disk_samples
         self.latency_store = latency_store
         self._hists = None
+        self._hist_buf = None
         self._hist_count = 0
         self._strategy = _new_strategy_stats()
         self._dispatch = _new_dispatch_stats()
@@ -321,6 +338,11 @@ class MetricsRecorder:
             from repro.obs.hist import LatencyHistogram
 
             self._hists = {name: LatencyHistogram() for name in HISTOGRAM_FAMILIES}
+            self._hist_buf = [[] for _ in HISTOGRAM_FAMILIES]
+
+    def _init_disk_slots(self) -> None:
+        self._disk_samples = {k: [] for k in self.DISK_KINDS}
+        self._disk_append = {k: v.append for k, v in self._disk_samples.items()}
 
     # ------------------------------------------------------------------
     def record_request(self, req: Request) -> None:
@@ -343,15 +365,32 @@ class MetricsRecorder:
         )
 
     def _record_histogram(self, req: Request) -> None:
-        hists = self._hists
+        buf = self._hist_buf
         # Clamp at zero: write-path rows can carry per-replica stage
         # timestamps that make individual breakdowns non-positive.
-        hists["response"].record(max(req.response_latency, 0.0))
-        hists["full"].record(max(req.full_latency, 0.0))
-        hists["accept_wait"].record(max(req.accept_wait, 0.0))
-        hists["frontend_sojourn"].record(max(req.frontend_sojourn, 0.0))
-        hists["backend_response"].record(max(req.backend_response, 0.0))
+        buf[0].append(max(req.response_latency, 0.0))
+        buf[1].append(max(req.full_latency, 0.0))
+        buf[2].append(max(req.accept_wait, 0.0))
+        buf[3].append(max(req.frontend_sojourn, 0.0))
+        buf[4].append(max(req.backend_response, 0.0))
         self._hist_count += 1
+        if len(buf[0]) >= self.HIST_FLUSH:
+            self._flush_histograms()
+
+    def _flush_histograms(self) -> None:
+        """Drain the per-family buffers into the histograms.
+
+        Called at the block boundary and before any read of the
+        histograms, so queries always see every recorded request.  The
+        flush cadence is a pure function of the record sequence, which
+        keeps shard-vs-serial snapshot comparisons exact (every partial
+        ``sum`` is accumulated over the same blocks on both sides).
+        """
+        hists = self._hists
+        for name, vals in zip(HISTOGRAM_FAMILIES, self._hist_buf):
+            if vals:
+                hists[name].record_many(vals)
+                vals.clear()
 
     def record_redundant(self, req: Request) -> None:
         """Per-strategy attribution for one finished redundant read.
@@ -425,7 +464,12 @@ class MetricsRecorder:
     def record_disk_op(self, kind: str, service_time: float) -> None:
         if not self.record_disk_samples:
             return
-        self._disk_samples.setdefault(kind, []).append(service_time)
+        append = self._disk_append.get(kind)
+        if append is None:
+            append = self._disk_append[kind] = self._disk_samples.setdefault(
+                kind, []
+            ).append
+        append(service_time)
 
     # ------------------------------------------------------------------
     @property
@@ -441,6 +485,7 @@ class MetricsRecorder:
                 "recorder is in exact mode; construct with "
                 "latency_store='histogram' for streaming histograms"
             )
+        self._flush_histograms()
         try:
             return self._hists[family]
         except KeyError:
@@ -452,6 +497,7 @@ class MetricsRecorder:
         """Every latency family's histogram (histogram mode only)."""
         if self._hists is None:
             raise RuntimeError("recorder is in exact mode; no histograms kept")
+        self._flush_histograms()
         return dict(self._hists)
 
     def requests(self) -> RequestTable:
@@ -487,19 +533,27 @@ class MetricsRecorder:
 
     def disk_mark(self) -> dict[str, int]:
         """Snapshot sample counts; pair with :meth:`disk_samples_since`
-        to window disk observations (Section IV-B online aggregates)."""
-        return {kind: len(samples) for kind, samples in self._disk_samples.items()}
+        to window disk observations (Section IV-B online aggregates).
+        Preallocated-but-untouched kinds are omitted, matching the
+        lazily-populated historical form."""
+        return {
+            kind: len(samples)
+            for kind, samples in self._disk_samples.items()
+            if samples
+        }
 
     def disk_samples_since(self, mark: dict[str, int]) -> dict[str, np.ndarray]:
         """Per-kind samples recorded after ``mark`` was taken."""
         out = {}
         for kind, samples in self._disk_samples.items():
+            if not samples:
+                continue
             start = mark.get(kind, 0)
             out[kind] = np.asarray(samples[start:], dtype=float)
         return out
 
     def disk_sample_kinds(self) -> list[str]:
-        return sorted(self._disk_samples)
+        return sorted(k for k, v in self._disk_samples.items() if v)
 
     def clear_requests(self) -> None:
         """Drop request rows (window boundaries) but keep disk samples."""
@@ -510,7 +564,7 @@ class MetricsRecorder:
 
     def clear(self) -> None:
         self._rows.clear()
-        self._disk_samples.clear()
+        self._init_disk_slots()
         self._strategy = _new_strategy_stats()
         self._reset_dispatch()
         self._reset_histograms()
@@ -525,6 +579,7 @@ class MetricsRecorder:
             from repro.obs.hist import LatencyHistogram
 
             self._hists = {name: LatencyHistogram() for name in HISTOGRAM_FAMILIES}
+            self._hist_buf = [[] for _ in HISTOGRAM_FAMILIES]
             self._hist_count = 0
 
     # ------------------------------------------------------------------
@@ -543,12 +598,14 @@ class MetricsRecorder:
         :meth:`from_state` reduces it with :func:`math.fsum`, which is
         correctly rounded regardless of grouping or order.
         """
+        if self._hists is not None:
+            self._flush_histograms()
         stats = self._strategy
         state = {
             "latency_store": self.latency_store,
             "record_disk_samples": self.record_disk_samples,
             "rows": list(self._rows),
-            "disk": {k: list(v) for k, v in self._disk_samples.items()},
+            "disk": {k: list(v) for k, v in self._disk_samples.items() if v},
             "hist_count": self._hist_count,
             "hists": None,
             "redundant": {
@@ -592,7 +649,12 @@ class MetricsRecorder:
             latency_store=state["latency_store"],
         )
         rec._rows = [tuple(r) for r in state["rows"]]
-        rec._disk_samples = {k: list(v) for k, v in state["disk"].items()}
+        for kind, vals in state["disk"].items():
+            if kind in rec._disk_samples:
+                rec._disk_samples[kind].extend(vals)
+            else:
+                rec._disk_samples[kind] = list(vals)
+                rec._disk_append[kind] = rec._disk_samples[kind].append
         rec._hist_count = int(state["hist_count"])
         red = state.get("redundant")
         if red is not None:

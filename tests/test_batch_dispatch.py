@@ -1,0 +1,464 @@
+"""Batch-dispatch fast path: segment selection, fallbacks, equivalence.
+
+Three layers of coverage:
+
+* kernel-level segment mechanics -- where batches stop (heap root,
+  other lanes, handler horizon, ``t_end``, the ``max_events`` budget)
+  and that every fallback dispatches scalar in exactly the order the
+  pure-scalar kernel produces;
+* lane/heap interleaving edge cases under reserved sequence blocks
+  (equal-time tie-breaks, lane exhaustion mid-drain, fault boundaries);
+* end-to-end batched-vs-scalar equivalence on full clusters -- the
+  metric snapshots must be byte-identical with batching on and off.
+"""
+
+import types
+
+import numpy as np
+import pytest
+
+from repro.distributions import Degenerate, Exponential
+from repro.obs.hist import LatencyHistogram
+from repro.obs.trace import Tracer
+from repro.simulator import MetricsRecorder, SimulationError, Simulator
+from repro.simulator.cluster import Cluster, ClusterConfig
+from repro.simulator.faults import DiskSlowdown, FaultSchedule
+from repro.simulator.metrics import HISTOGRAM_FAMILIES
+from repro.simulator.rng import BufferedIntegers, RngStreams
+from repro.workload.arrivals import poisson_arrivals
+
+
+def _logger_sim(horizon=10.0, batch_min=2):
+    """Kernel with a scalar/batch handler pair feeding one event log.
+
+    ``calls`` records the size of each dispatch (1 = scalar), so tests
+    can assert not just the event order but *which path* produced it.
+    """
+    sim = Simulator()
+    log = []
+    calls = []
+
+    def scalar(a, b):
+        log.append((sim.now, a, b))
+        calls.append(1)
+
+    def batch(times, a, b):
+        tl = times.tolist()
+        al = a.tolist()
+        bl = b.tolist() if isinstance(b, np.ndarray) else [b] * len(tl)
+        log.extend(zip(tl, al, bl))
+        calls.append(len(tl))
+
+    op = sim.register(
+        scalar, batch_handler=batch, batch_horizon=horizon,
+        batch_min=batch_min,
+    )
+    return sim, op, log, calls
+
+
+class TestSegmentSelection:
+    def test_unobstructed_lane_batches_whole_run(self):
+        sim, op, log, calls = _logger_sim()
+        times = np.array([0.5, 1.0, 1.5, 2.0])
+        ids = np.array([10, 11, 12, 13])
+        sim.schedule_runs(times, op, ids)
+        assert sim.run_until_idle() == 4
+        assert log == [(0.5, 10, None), (1.0, 11, None), (1.5, 12, None), (2.0, 13, None)]
+        assert calls == [4]
+        assert sim.now == 2.0
+        assert sim.pending_events == 0
+
+    def test_b_seq_lane_passes_payload_slice(self):
+        sim, op, log, calls = _logger_sim()
+        sim.schedule_runs(
+            np.array([1.0, 2.0]), op, np.array([1, 2]),
+            b_seq=np.array([True, False]),
+        )
+        sim.run_until_idle()
+        assert log == [(1.0, 1, True), (2.0, 2, False)]
+        assert calls == [2]
+
+    def test_plain_sequence_lane_always_scalar(self):
+        sim, op, log, calls = _logger_sim()
+        sim.schedule_runs([1.0, 2.0, 3.0], op, [1, 2, 3])
+        sim.run_until_idle()
+        assert [t for t, _, _ in log] == [1.0, 2.0, 3.0]
+        assert calls == [1, 1, 1]
+
+    def test_no_batch_handler_stays_scalar(self):
+        sim = Simulator()
+        log = []
+        op = sim.register(lambda a, b: log.append((sim.now, a)))
+        sim.schedule_runs(np.array([1.0, 2.0]), op, np.array([7, 8]))
+        sim.run_until_idle()
+        assert log == [(1.0, 7), (2.0, 8)]
+
+    def test_heap_root_splits_segment(self):
+        sim, op, log, calls = _logger_sim()
+        heap_log = []
+        sim.schedule_runs(np.arange(1.0, 7.0), op, np.arange(6))
+        sim.schedule_at(3.5, lambda: heap_log.append(sim.now))
+        sim.run_until_idle()
+        assert [t for t, _, _ in log] == [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        assert heap_log == [3.5]
+        # one batch strictly before the root, one strictly after
+        assert calls == [3, 3]
+
+    def test_horizon_caps_segment_inclusively(self):
+        h = 2.0
+        sim, op, log, calls = _logger_sim(horizon=h)
+        # 0.0 anchors the segment; 1.0 and 2.0 lie within the (closed)
+        # horizon, 3.5 starts the next segment.
+        sim.schedule_runs(
+            np.array([0.0, 1.0, 2.0, 3.5]), op, np.arange(4)
+        )
+        sim.run_until_idle()
+        assert calls == [3, 1]
+        assert [t for t, _, _ in log] == [0.0, 1.0, 2.0, 3.5]
+
+    def test_equal_time_heap_event_scheduled_first_wins_tiebreak(self):
+        # Heap event scheduled *before* the lane reserves its block has
+        # the smaller seq: at equal time it must dispatch first, and the
+        # lane events at that time must not be swallowed into a batch
+        # that jumps the queue.
+        sim, op, log, calls = _logger_sim()
+        marks = []
+        sim.schedule_at(2.0, lambda: marks.append(len(log)))
+        sim.schedule_runs(np.array([1.0, 2.0, 2.0, 3.0]), op, np.arange(4))
+        sim.run_until_idle()
+        # The heap callback (smaller seq) saw exactly one logged lane
+        # event: it ran between t=1.0 and the equal-time t=2.0 events.
+        assert marks == [1]
+        assert [t for t, _, _ in log] == [1.0, 2.0, 2.0, 3.0]
+        # the t=1.0 event cannot batch across the equal-time root
+        assert calls[0] == 1
+
+    def test_equal_time_heap_event_scheduled_after_lane_runs_after(self):
+        sim, op, log, calls = _logger_sim()
+        marks = []
+        sim.schedule_runs(np.array([1.0, 1.0, 2.0]), op, np.arange(3))
+        sim.schedule_at(1.0, lambda: marks.append(len(log)))
+        sim.run_until_idle()
+        # Both lane events at t=1.0 (smaller reserved seqs) precede the
+        # heap callback, which saw exactly two logged events.
+        assert marks == [2]
+        assert [t for t, _, _ in log] == [1.0, 1.0, 2.0]
+
+    def test_two_lanes_bound_each_other(self):
+        sim, op, log, calls = _logger_sim()
+        sim.schedule_runs(np.array([1.0, 3.0, 5.0]), op, np.array([0, 1, 2]))
+        sim.schedule_runs(np.array([2.0, 4.0, 6.0]), op, np.array([10, 11, 12]))
+        sim.run_until_idle()
+        assert [t for t, _, _ in log] == [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        assert [a for _, a, _ in log] == [0, 10, 1, 11, 2, 12]
+
+    def test_lane_exhaustion_mid_drain(self):
+        # A short lane drains (batched) while a longer lane and heap
+        # events continue; the kernel must drop the exhausted lane and
+        # keep merging the rest in order.
+        sim, op, log, calls = _logger_sim()
+        tail = []
+        sim.schedule_runs(np.array([1.0, 1.5]), op, np.array([0, 1]))
+        sim.schedule_runs(np.array([4.0, 5.0]), op, np.array([10, 11]))
+        sim.schedule_at(4.5, lambda: tail.append(sim.now))
+        sim.run_until_idle()
+        assert [t for t, _, _ in log] == [1.0, 1.5, 4.0, 5.0]
+        assert tail == [4.5]
+        assert sim.pending_events == 0
+
+    def test_run_until_bounds_batch_at_t_end(self):
+        sim, op, log, calls = _logger_sim()
+        sim.schedule_runs(np.arange(1.0, 6.0), op, np.arange(5))
+        sim.run_until(3.0)
+        assert [t for t, _, _ in log] == [1.0, 2.0, 3.0]
+        assert sim.now == 3.0
+        assert sim.pending_events == 2
+        sim.run_until_idle()
+        assert [t for t, _, _ in log] == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_max_events_budget_not_overshot_by_batches(self):
+        sim, op, log, calls = _logger_sim()
+        sim.schedule_runs(np.arange(1.0, 11.0), op, np.arange(10))
+        with pytest.raises(SimulationError):
+            sim.run_until_idle(max_events=4)
+        # exactly the budget was consumed; the rest is replayable
+        assert len(log) == 4
+        assert sim.pending_events == 6
+        assert sim.run_until_idle() == 6
+        assert len(log) == 10
+
+    def test_max_events_equal_to_lane_drains_cleanly(self):
+        sim, op, log, calls = _logger_sim()
+        sim.schedule_runs(np.arange(1.0, 6.0), op, np.arange(5))
+        assert sim.run_until_idle(max_events=5) == 5
+
+    def test_batch_handler_scheduling_respects_order(self):
+        # A batch handler that schedules follow-up events at t + horizon
+        # (the contract's boundary case): follow-ups must run after the
+        # whole segment, in scheduling order.
+        sim = Simulator()
+        log = []
+
+        def scalar(a, b):
+            log.append(("ev", sim.now, a))
+            sim.schedule_op_at(sim.now + 1.0, follow_op, a)
+
+        def batch(times, a, b):
+            tl = times.tolist()
+            for t, x in zip(tl, a.tolist()):
+                log.append(("ev", t, x))
+                sim.schedule_op_at(t + 1.0, follow_op, x)
+
+        def follow(a, b):
+            log.append(("follow", sim.now, a))
+
+        op = sim.register(scalar, batch_handler=batch, batch_horizon=1.0)
+        follow_op = sim.register(follow)
+        sim.schedule_runs(np.array([0.0, 0.25, 0.5]), op, np.arange(3))
+        sim.run_until_idle()
+
+        ref_sim = Simulator()
+        ref_log = []
+
+        def ref_scalar(a, b):
+            ref_log.append(("ev", ref_sim.now, a))
+            ref_sim.schedule_op_at(ref_sim.now + 1.0, ref_follow_op, a)
+
+        ref_op = ref_sim.register(ref_scalar)
+        ref_follow_op = ref_sim.register(
+            lambda a, b: ref_log.append(("follow", ref_sim.now, a))
+        )
+        ref_sim.schedule_runs(np.array([0.0, 0.25, 0.5]), ref_op, np.arange(3))
+        ref_sim.run_until_idle()
+        assert log == ref_log
+
+    def test_negative_horizon_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.register(lambda a, b: None, batch_handler=lambda t, a, b: None,
+                         batch_horizon=-1.0)
+
+    def test_batch_min_below_two_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.register(lambda a, b: None, batch_handler=lambda t, a, b: None,
+                         batch_min=1)
+
+    def test_batch_min_keeps_short_segments_scalar(self):
+        sim, op, log, calls = _logger_sim(batch_min=3)
+        heap_log = []
+        sim.schedule_runs(np.arange(1.0, 6.0), op, np.arange(5))
+        sim.schedule_at(2.5, lambda: heap_log.append(sim.now))
+        sim.run_until_idle()
+        # The heap root at 2.5 bounds the head segment to two events --
+        # below batch_min, so both dispatch scalar in order; the
+        # unobstructed tail of three batches.
+        assert [t for t, _, _ in log] == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert heap_log == [2.5]
+        assert calls == [1, 1, 3]
+
+    def test_exception_consumes_whole_segment(self):
+        sim, op, log, calls = _logger_sim()
+
+        def boom(times, a, b):
+            raise RuntimeError("batch failed")
+
+        bad_op = sim.register(lambda a, b: None, batch_handler=boom,
+                              batch_horizon=10.0)
+        sim.schedule_runs(np.array([1.0, 2.0]), bad_op, np.arange(2))
+        with pytest.raises(RuntimeError):
+            sim.run_until_idle()
+        # not replayable, matching the scalar consume-before-dispatch rule
+        assert sim.pending_events == 0
+
+
+def _mini_cluster(batch, *, tracer=None, parse_fe=None, store="exact",
+                  record_disk=False, seed=5):
+    cfg = ClusterConfig()
+    if parse_fe is not None:
+        cfg = ClusterConfig(parse_fe=parse_fe)
+    rng = np.random.default_rng(17)
+    sizes = rng.integers(4_096, 2_000_000, size=400)
+    return Cluster(
+        cfg, sizes, seed=seed, batch_dispatch=batch, tracer=tracer,
+        latency_store=store, record_disk_samples=record_disk,
+    )
+
+
+def _drive(cluster, rate=4_000.0, duration=4.0, write_fraction=0.1, seed=23):
+    arng = np.random.default_rng(seed)
+    times = poisson_arrivals(rate, 0.0, duration, arng)
+    ids = arng.integers(0, cluster.object_sizes.size, size=times.size)
+    writes = (
+        arng.random(times.size) < write_fraction if write_fraction else None
+    )
+    cluster.schedule_arrivals(times, ids, writes)
+    cluster.run_until(duration)
+    cluster.drain()
+    return cluster.metrics.state()
+
+
+class TestClusterEquivalence:
+    def test_batched_matches_scalar_reads_and_writes(self):
+        assert _drive(_mini_cluster(True)) == _drive(_mini_cluster(False))
+
+    def test_batched_matches_scalar_histogram_store(self):
+        a = _drive(_mini_cluster(True, store="histogram", record_disk=True))
+        b = _drive(_mini_cluster(False, store="histogram", record_disk=True))
+        assert a == b
+
+    def test_fault_boundary_splits_segment_bit_identical(self):
+        # A mid-run fault hook is a heap event: every arrival segment
+        # spanning it must fall back to the boundary, and the batched
+        # run must still be byte-identical to scalar.
+        def faulted(batch):
+            cl = _mini_cluster(batch)
+            sched = FaultSchedule(
+                (DiskSlowdown(device=0, start=1.0, end=2.5, factor=6.0),)
+            )
+            cl.inject_faults(sched)
+            return _drive(cl)
+
+        a, b = faulted(True), faulted(False)
+        assert a == b
+
+    def test_batching_enabled_by_default(self):
+        assert _mini_cluster(True).batch_dispatch is True
+
+    def test_tracer_forces_scalar_admission(self):
+        cl = _mini_cluster(True, tracer=Tracer())
+        assert cl.batch_dispatch is False
+
+    def test_sampling_parse_dist_forces_scalar_admission(self):
+        cl = _mini_cluster(True, parse_fe=Exponential(1000.0))
+        assert cl.batch_dispatch is False
+        # and the run still works end to end
+        _drive(cl, rate=500.0, duration=1.0)
+
+    def test_degenerate_parse_keeps_batching(self):
+        cl = _mini_cluster(True, parse_fe=Degenerate(0.0008))
+        assert cl.batch_dispatch is True
+
+
+class TestBufferedIntegersTake:
+    def test_take_matches_scalar_next(self):
+        a = BufferedIntegers(RngStreams(3).stream("x"), 7, block=16)
+        b = BufferedIntegers(RngStreams(3).stream("x"), 7, block=16)
+        ref = [b.next() for _ in range(100)]
+        got = a.take(40)
+        got += [a.next() for _ in range(5)]
+        got += a.take(55)
+        assert got == ref
+
+    def test_take_spanning_refills(self):
+        a = BufferedIntegers(RngStreams(9).stream("y"), 5, block=8)
+        b = BufferedIntegers(RngStreams(9).stream("y"), 5, block=8)
+        assert a.take(30) == [b.next() for _ in range(30)]
+
+    def test_resync_after_take(self):
+        streams = RngStreams(4)
+        buf = BufferedIntegers(streams.stream("z"), 9, block=32)
+        buf.take(10)
+        buf.resync()
+        follow = [int(streams.stream("z").integers(9)) for _ in range(5)]
+        ref_rng = RngStreams(4).stream("z")
+        ref = [int(ref_rng.integers(9)) for _ in range(15)]
+        assert follow == ref[10:]
+
+    def test_take_rejects_negative(self):
+        buf = BufferedIntegers(RngStreams(1).stream("w"), 3)
+        with pytest.raises(ValueError):
+            buf.take(-1)
+        assert buf.take(0) == []
+
+
+def _fake_request(i):
+    return types.SimpleNamespace(
+        response_latency=0.001 * (i + 1),
+        full_latency=0.002 * (i + 1),
+        accept_wait=0.0001 * i,
+        frontend_sojourn=0.0005 * (i + 1),
+        backend_response=0.0004 * (i + 1),
+    )
+
+
+class TestHistogramBuffering:
+    def test_buffered_counts_match_scalar_reference(self):
+        rec = MetricsRecorder(latency_store="histogram")
+        n = MetricsRecorder.HIST_FLUSH + 137  # cross one flush boundary
+        ref = LatencyHistogram()
+        for i in range(n):
+            req = _fake_request(i)
+            rec.record_request(req)
+            ref.record(max(req.response_latency, 0.0))
+        assert rec.n_requests == n  # no flush needed for the count
+        hist = rec.histogram("response")
+        assert hist.count == n
+        assert hist.to_dict()["counts"] == ref.to_dict()["counts"]
+        assert hist.quantile(0.99) == ref.quantile(0.99)
+
+    def test_state_flushes_pending_buffer(self):
+        rec = MetricsRecorder(latency_store="histogram")
+        for i in range(10):  # well below the flush threshold
+            rec.record_request(_fake_request(i))
+        state = rec.state()
+        for name in HISTOGRAM_FAMILIES:
+            assert state["hists"][name]["count"] == 10
+
+    def test_clear_drops_buffered_values(self):
+        rec = MetricsRecorder(latency_store="histogram")
+        for i in range(10):
+            rec.record_request(_fake_request(i))
+        rec.clear_requests()
+        assert rec.n_requests == 0
+        assert rec.histogram("response").count == 0
+        rec.record_request(_fake_request(0))
+        assert rec.histogram("response").count == 1
+
+    def test_roundtrip_through_state(self):
+        rec = MetricsRecorder(latency_store="histogram")
+        for i in range(50):
+            rec.record_request(_fake_request(i))
+        clone = MetricsRecorder.from_state(rec.state())
+        assert clone.state() == rec.state()
+        clone.record_request(_fake_request(99))
+        assert clone.histogram("response").count == 51
+
+
+class TestDiskOpSlots:
+    def test_preallocated_slots_invisible_in_exports(self):
+        rec = MetricsRecorder(record_disk_samples=True)
+        rec.record_disk_op("data", 0.01)
+        assert rec.disk_sample_kinds() == ["data"]
+        assert rec.disk_mark() == {"data": 1}
+        assert set(rec.state()["disk"]) == {"data"}
+
+    def test_unknown_kind_gets_slot_on_first_use(self):
+        rec = MetricsRecorder(record_disk_samples=True)
+        rec.record_disk_op("scan", 0.5)
+        rec.record_disk_op("scan", 0.7)
+        assert rec.disk_samples("scan").tolist() == [0.5, 0.7]
+        assert rec.disk_sample_kinds() == ["scan"]
+
+    def test_clear_rebinds_slots(self):
+        rec = MetricsRecorder(record_disk_samples=True)
+        rec.record_disk_op("index", 0.1)
+        rec.clear()
+        assert rec.disk_sample_kinds() == []
+        rec.record_disk_op("index", 0.2)
+        assert rec.disk_samples("index").tolist() == [0.2]
+
+    def test_samples_since_skips_untouched_kinds(self):
+        rec = MetricsRecorder(record_disk_samples=True)
+        mark = rec.disk_mark()
+        assert mark == {}
+        rec.record_disk_op("meta", 0.3)
+        since = rec.disk_samples_since(mark)
+        assert list(since) == ["meta"]
+        assert since["meta"].tolist() == [0.3]
+
+    def test_disabled_recorder_records_nothing(self):
+        rec = MetricsRecorder(record_disk_samples=False)
+        rec.record_disk_op("data", 0.1)
+        assert rec.disk_sample_kinds() == []
+        assert rec.state()["disk"] == {}
