@@ -139,6 +139,8 @@ CHECKED_METRICS = (
     (("kernels", "fleet", "batch_ratio"), "higher"),
     (("kernels", "batch_dispatch", "batched_s"), "lower"),
     (("kernels", "batch_dispatch", "batch_speedup"), "higher"),
+    (("kernels", "trace_sampling", "off_s"), "lower"),
+    (("kernels", "telemetry_overhead", "off_s"), "lower"),
 )
 
 
@@ -1023,6 +1025,169 @@ def bench_fleet(jobs: int = 4, quick: bool = False) -> dict:
     return row
 
 
+def _telemetry_fleet_scenario():
+    from repro.experiments.fleet import FleetScenario
+
+    return FleetScenario(
+        n_clusters=2, objects_per_cluster=800, rate=1_500.0,
+        duration=6.0, warm_accesses=5_000, write_fraction=0.05,
+    )
+
+
+def bench_trace_sampling(reps: int = 2) -> dict:
+    """Deterministic 1% head-sampled tracing on the quick fleet episode.
+
+    Three guarantees are asserted inline, not just timed:
+
+    * **state bit-identity** -- the merged recorder state with the
+      sampled tracer installed equals the silent run's, byte for byte;
+    * **fast path stays on** -- a ``batch_safe`` sampled tracer keeps
+      ``Cluster.batch_dispatch`` true where a full tracer downgrades it
+      to scalar admission (the downgrade record is checked too);
+    * **shard-plan invariance** -- the sampled ``(cluster, rid)`` set
+      written by a 1-shard run equals a 2-shard pooled run's.
+
+    ``off_s`` is the guarded metric (sampling must not tax the silent
+    path -- the tracer is only consulted inside span hooks, which are
+    gated on ``tracer is not None``); ``on_overhead`` bounds the ≤5%
+    acceptance criterion for a 1% sampled run.
+    """
+    import shutil
+    import tempfile
+
+    from repro.experiments.fleet import run_fleet
+    from repro.obs import Tracer
+    from repro.obs.telemetry import (
+        SampledTracer,
+        TelemetryConfig,
+        merge_shard_traces,
+    )
+    from repro.simulator import Cluster, ClusterConfig
+
+    scenario = _telemetry_fleet_scenario()
+    telem = TelemetryConfig(trace_sample_rate=0.01, trace_seed=5)
+
+    def timed(scn, **kw):
+        best, result = math.inf, None
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            result = run_fleet(scn, seed=0, **kw)
+            best = min(best, time.perf_counter() - t0)
+        return best, result
+
+    off_s, off = timed(scenario)
+    on_s, on = timed(dataclasses.replace(scenario, telemetry=telem))
+    if off.state != on.state:
+        raise AssertionError("sampled tracing changed the merged state")
+
+    # Fast-path capability: sampled tracer keeps batching, a full tracer
+    # records a downgrade.
+    sizes = np.full(64, 4096.0)
+    sampled_cluster = Cluster(
+        ClusterConfig(), sizes, seed=3, tracer=SampledTracer(0.01, seed=5)
+    )
+    full_cluster = Cluster(ClusterConfig(), sizes, seed=3, tracer=Tracer())
+    if not sampled_cluster.batch_dispatch:
+        raise AssertionError("SampledTracer must keep batch dispatch active")
+    if full_cluster.batch_dispatch or not full_cluster.downgrades:
+        raise AssertionError("full tracer must downgrade to scalar admission")
+
+    # Shard-plan invariance of the sampled set.
+    def sampled_set(shards, jobs):
+        tdir = tempfile.mkdtemp(prefix="cosmodel-sample-")
+        try:
+            run_fleet(
+                dataclasses.replace(
+                    scenario,
+                    telemetry=dataclasses.replace(telem, trace_dir=tdir),
+                ),
+                seed=0, shards=shards, jobs=jobs,
+            )
+            return sorted(
+                {
+                    (r.get("cluster"), r["rid"])
+                    for r in merge_shard_traces(tdir)
+                    if "rid" in r
+                }
+            )
+        finally:
+            shutil.rmtree(tdir, ignore_errors=True)
+
+    set_serial = sampled_set(None, None)
+    set_sharded = sampled_set(2, 2)
+    if set_serial != set_sharded:
+        raise AssertionError("sampled set is not shard-plan-invariant")
+
+    return {
+        "reps": reps,
+        "sample_rate": telem.trace_sample_rate,
+        "n_requests": off.n_requests,
+        "n_sampled": len(set_serial),
+        "off_s": round(off_s, 4),
+        "on_s": round(on_s, 4),
+        "on_overhead": round(on_s / off_s - 1.0, 4) if off_s > 0 else None,
+        "bit_identical": True,
+        "batch_kept": True,
+        "shard_invariant": True,
+    }
+
+
+def bench_telemetry_overhead(reps: int = 2) -> dict:
+    """Everything on at once: 1% sampling + live bus streaming + the
+    kernel time profiler, against the silent quick fleet episode.
+
+    The guarded metric is ``off_s`` (telemetry must cost nothing when
+    off -- every hook is ``None``-gated and the profiler only wraps the
+    dispatch table once enabled); ``on_overhead`` is the full-telemetry
+    price and the merged state is asserted bit-identical inline, which
+    pins that streaming snapshots never flush recorder internals
+    mid-run.
+    """
+    import os as _os
+    import shutil
+    import tempfile
+
+    from repro.experiments.fleet import run_fleet
+    from repro.obs.telemetry import TelemetryConfig
+
+    scenario = _telemetry_fleet_scenario()
+
+    def timed(scn, **kw):
+        best, result = math.inf, None
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            result = run_fleet(scn, seed=0, **kw)
+            best = min(best, time.perf_counter() - t0)
+        return best, result
+
+    off_s, off = timed(scenario)
+    tdir = tempfile.mkdtemp(prefix="cosmodel-telemetry-")
+    try:
+        telem = TelemetryConfig(
+            trace_sample_rate=0.01,
+            trace_seed=5,
+            bus_path=_os.path.join(tdir, "events.jsonl"),
+            stream_interval=0.1,
+            profile=True,
+        )
+        on_s, on = timed(dataclasses.replace(scenario, telemetry=telem))
+    finally:
+        shutil.rmtree(tdir, ignore_errors=True)
+    if off.state != on.state:
+        raise AssertionError("full telemetry changed the merged state")
+    profiled_events = sum(r["events"] for r in on.profile)
+    return {
+        "reps": reps,
+        "n_requests": off.n_requests,
+        "off_s": round(off_s, 4),
+        "on_s": round(on_s, 4),
+        "on_overhead": round(on_s / off_s - 1.0, 4) if off_s > 0 else None,
+        "bit_identical": True,
+        "profiled_events": profiled_events,
+        "profiled_handlers": len(on.profile),
+    }
+
+
 def dig(tree: dict, path: tuple[str, ...]):
     node = tree
     for key in path:
@@ -1070,6 +1235,8 @@ KERNELS = {
     "dispatch": bench_dispatch,
     "batch_dispatch": bench_batch_dispatch,
     "fleet": bench_fleet,
+    "trace_sampling": bench_trace_sampling,
+    "telemetry_overhead": bench_telemetry_overhead,
 }
 
 
@@ -1178,6 +1345,22 @@ def main(argv=None) -> int:
             f"batched {bd['batched_s']}s "
             f"(speedup {bd['batch_speedup']}x, "
             f"bit_identical={bd['bit_identical']})"
+        )
+    if "trace_sampling" in kernels:
+        ts = kernels["trace_sampling"]
+        print(
+            f"  trace_sampling: off {ts['off_s']}s, on@1% {ts['on_s']}s "
+            f"(+{ts['on_overhead'] * 100:.1f}%, {ts['n_sampled']} sampled, "
+            f"bit_identical={ts['bit_identical']}, "
+            f"shard_invariant={ts['shard_invariant']})"
+        )
+    if "telemetry_overhead" in kernels:
+        to = kernels["telemetry_overhead"]
+        print(
+            f"  telemetry_overhead: off {to['off_s']}s, all-on {to['on_s']}s "
+            f"(+{to['on_overhead'] * 100:.1f}%, "
+            f"{to['profiled_events']} profiled events, "
+            f"bit_identical={to['bit_identical']})"
         )
     if "fleet" in kernels:
         fl = kernels["fleet"]

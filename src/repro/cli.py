@@ -33,8 +33,19 @@ Subcommands:
 ``report <artifact>``
     Render an observability artifact: a trace JSONL (per-phase latency
     attribution), a ``*.manifest.json`` provenance sidecar, a saved
-    histogram, or any artifact with a manifest sidecar next to it (see
-    docs/OBSERVABILITY.md).
+    histogram, a kernel-profile JSON, or any artifact with a manifest
+    sidecar next to it (see docs/OBSERVABILITY.md).
+
+``fleet --clusters 8 --shards 4 --jobs 4 [--sample 0.01 --bus bus.jsonl]``
+    Run one sharded fleet episode with optional telemetry: deterministic
+    sampled tracing (``--sample``/``--trace-dir``), live shard streaming
+    onto an event bus (``--bus``, watch with ``cosmodel top``) and the
+    kernel time profiler (``--profile`` / ``--profile-out``).
+
+``top <bus.jsonl> [--once]``
+    Live ``top``-style view of a streaming fleet bus: per-shard
+    progress, merged p50/p90/p99-so-far, straggler flags (see
+    docs/OBSERVABILITY.md, "Fleet telemetry").
 
 ``bench [--quick] [--kernels sim_dispatch,...] [--check BENCH_perf.json]``
     Run the performance regression harness (sweep timing plus engine
@@ -372,20 +383,166 @@ def _cmd_inspect(args) -> int:
     return 0
 
 
-def _cmd_watch(args) -> int:
-    from repro.obs.events import _fmt, follow
+_FLEET_EVENT_KINDS = (
+    "fleet_started",
+    "shard_heartbeat",
+    "shard_snapshot",
+    "shard_finished",
+    "fleet_finished",
+)
 
-    path = args.path
+
+def _resolve_events_path(path: str) -> str:
     import os
 
     if os.path.isdir(path):
-        path = os.path.join(path, "events.jsonl")
+        return os.path.join(path, "events.jsonl")
+    return path
+
+
+def _cmd_watch(args) -> int:
+    from repro.obs.events import _fmt, follow
+
+    path = _resolve_events_path(args.path)
     n = 0
     for event in follow(path, once=args.once, timeout=args.timeout):
+        if args.fleet and event.get("event") not in _FLEET_EVENT_KINDS:
+            continue
         print(_fmt(event), flush=True)
         n += 1
     if n == 0:
         print(f"(no events in {path})")
+    return 0
+
+
+def _cmd_top(args) -> int:
+    from repro.obs.events import follow, read_events
+    from repro.obs.telemetry import TopView, render_top
+
+    path = _resolve_events_path(args.path)
+    if args.once:
+        try:
+            events = read_events(path, strict=False)
+        except OSError:
+            print(f"(no events in {path})")
+            return 0
+        print(render_top(events))
+        return 0
+    view = TopView()
+    shown = False
+    for event in follow(path, timeout=args.timeout):
+        view.feed(event)
+        # Re-render on every state-bearing event; heartbeats only prime
+        # the table, snapshots and completions move it.
+        if event.get("event") in (
+            "shard_snapshot",
+            "shard_finished",
+            "fleet_finished",
+        ):
+            print(("\n" if shown else "") + view.render(), flush=True)
+            shown = True
+    if not shown:
+        if view.clusters or view.meta:
+            print(view.render())
+        else:
+            print(f"(no fleet events in {path})")
+    return 0
+
+
+def _cmd_fleet(args) -> int:
+    import os
+
+    from repro.experiments.fleet import FleetScenario, run_fleet
+    from repro.obs import TelemetryConfig, build_manifest, write_manifest
+    from repro.obs.manifest import RunTimer
+    from repro.obs.telemetry import render_kernel_profile, write_profile
+
+    telem = TelemetryConfig(
+        trace_sample_rate=args.sample,
+        trace_seed=args.trace_seed,
+        trace_dir=args.trace_dir,
+        bus_path=args.bus,
+        stream_interval=args.interval,
+        profile=bool(args.profile or args.profile_out),
+    )
+    scenario = FleetScenario(
+        n_clusters=args.clusters,
+        objects_per_cluster=args.objects,
+        rate=args.rate,
+        duration=args.duration,
+        warm_accesses=args.warm,
+        write_fraction=args.write_fraction,
+        latency_store=args.store,
+        batch_dispatch=not args.no_batch,
+        telemetry=telem if telem.active else None,
+    )
+    if args.trace_dir:
+        os.makedirs(args.trace_dir, exist_ok=True)
+    with RunTimer() as timer:
+        result = run_fleet(
+            scenario, seed=args.seed, shards=args.shards, jobs=args.jobs
+        )
+    rec = result.recorder
+    print(
+        f"fleet: {scenario.n_clusters} clusters / {result.n_shards} shards"
+        f" / {result.jobs} workers   {result.n_requests} requests,"
+        f" {result.events} events, {result.disk_ops} disk ops,"
+        f" {timer.wall_s:.2f}s"
+    )
+    table = rec.requests()
+    if len(table):
+        import numpy as np
+
+        lats = table.response_latency
+        print(
+            "response latency: "
+            + "  ".join(
+                f"p{int(q * 100)}={float(np.quantile(lats, q)) * 1e3:.2f}ms"
+                for q in (0.5, 0.9, 0.99)
+            )
+        )
+    for d in result.downgrades:
+        print(f"DOWNGRADE {d['capability']}: {d['reason']}")
+    if result.profile:
+        print()
+        print(render_kernel_profile(list(result.profile)))
+    if args.profile_out:
+        write_profile(
+            list(result.profile),
+            args.profile_out,
+            n_clusters=scenario.n_clusters,
+            n_shards=result.n_shards,
+            seed=args.seed,
+        )
+        print(f"\nwrote {args.profile_out}")
+    if args.out:
+        doc = {
+            "kind": "cosmodel-fleet",
+            "n_clusters": scenario.n_clusters,
+            "n_shards": result.n_shards,
+            "jobs": result.jobs,
+            "n_requests": result.n_requests,
+            "events": result.events,
+            "disk_ops": result.disk_ops,
+            "per_cluster": list(result.per_cluster),
+        }
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        manifest = build_manifest(
+            command=f"cosmodel fleet --clusters {args.clusters}",
+            seed=args.seed,
+            config={k: v for k, v in vars(args).items() if k != "func"},
+            wall_s=timer.wall_s,
+            cpu_s=timer.cpu_s,
+            extra={
+                "n_shards": result.n_shards,
+                "telemetry": telem.active,
+                "downgrades": list(result.downgrades),
+            },
+        )
+        sidecar = write_manifest(manifest, args.out)
+        print(f"wrote {args.out} (+ {sidecar.name})")
     return 0
 
 
@@ -709,7 +866,120 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="stop following after this long without new events",
     )
+    p.add_argument(
+        "--fleet",
+        action="store_true",
+        help="show only fleet telemetry events (shard heartbeats, "
+        "snapshots, completions) when the bus also carries sweep events",
+    )
     p.set_defaults(func=_cmd_watch)
+
+    p = sub.add_parser(
+        "top",
+        help="live top-style view of a streaming fleet bus "
+        "(see 'cosmodel fleet --bus')",
+    )
+    p.add_argument(
+        "path", help="event JSONL path, or a directory containing events.jsonl"
+    )
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="render the current fleet state once and exit",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop following after this long without new events",
+    )
+    p.set_defaults(func=_cmd_top)
+
+    p = sub.add_parser(
+        "fleet",
+        help="run a sharded fleet episode with optional telemetry "
+        "(sampled tracing, live bus streaming, kernel profiler)",
+    )
+    p.add_argument("--clusters", type=int, default=4)
+    p.add_argument(
+        "--objects", type=int, default=2_000, help="objects per cluster"
+    )
+    p.add_argument(
+        "--rate", type=float, default=300.0, help="fleet arrival rate (req/s)"
+    )
+    p.add_argument("--duration", type=float, default=20.0)
+    p.add_argument(
+        "--warm", type=int, default=20_000, help="fleet-wide warmup accesses"
+    )
+    p.add_argument("--write-fraction", type=float, default=0.0)
+    p.add_argument(
+        "--store",
+        default="exact",
+        choices=["exact", "histogram"],
+        help="latency store mode (default exact)",
+    )
+    p.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="force scalar admission (disables the batch-dispatch fast path)",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count (default: one shard, serial)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    _add_jobs_arg(p)
+    p.add_argument(
+        "--sample",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="deterministic trace-sampling rate in [0, 1] "
+        "(head-based, shard-plan-invariant; keeps batch dispatch on)",
+    )
+    p.add_argument(
+        "--trace-seed",
+        type=int,
+        default=0,
+        help="salt for the sampling hash (default 0)",
+    )
+    p.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="write per-cluster sampled-trace JSONL files here",
+    )
+    p.add_argument(
+        "--bus",
+        default=None,
+        metavar="PATH",
+        help="stream live shard snapshots to this event JSONL "
+        "(watch with 'cosmodel top')",
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="minimum wall seconds between shard snapshots (default 0.5)",
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable the kernel time profiler and print its table",
+    )
+    p.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="PATH",
+        help="write the merged kernel profile JSON here "
+        "(render with 'cosmodel report')",
+    )
+    p.add_argument("--out", default=None, help="fleet summary JSON path")
+    p.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser(
         "sweep",

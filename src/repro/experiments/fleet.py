@@ -44,9 +44,16 @@ from __future__ import annotations
 
 import dataclasses
 import gc
+import time
 
 import numpy as np
 
+from repro.obs.telemetry import (
+    SampledTracer,
+    TelemetryConfig,
+    merge_profile_rows,
+    shard_trace_path,
+)
 from repro.simulator.cluster import Cluster, ClusterConfig
 from repro.simulator.metrics import MetricsRecorder, merge_recorder_states
 from repro.simulator.ring import _HASH_MULT
@@ -114,6 +121,11 @@ class FleetScenario:
     batch_dispatch: bool = True
     #: Post-horizon drain budget per cluster (events), a runaway guard.
     max_drain_events: int | None = 200_000_000
+    #: Fleet telemetry (sampled tracing / live shard streaming / kernel
+    #: profiler); ``None`` means fully silent.  All three facilities are
+    #: bit-identity-preserving: the merged recorder state is the same
+    #: with telemetry on or off (pinned by tests and the perf kernels).
+    telemetry: TelemetryConfig | None = None
 
     def __post_init__(self) -> None:
         if self.n_clusters < 1:
@@ -230,6 +242,14 @@ class FleetResult:
     per_cluster: tuple[tuple[int, int, int, int], ...]
     n_shards: int
     jobs: int
+    #: Merged kernel-profile attribution rows (empty unless
+    #: ``telemetry.profile`` was on; wall seconds are *not* part of the
+    #: bit-identity contract, only the event counts are).
+    profile: tuple[dict, ...] = ()
+    #: Capability-downgrade records collected from every cluster.
+    downgrades: tuple[dict, ...] = ()
+    #: Per-cluster sampled-trace files (``telemetry.trace_dir`` runs).
+    trace_paths: tuple[str, ...] = ()
 
     @property
     def recorder(self) -> MetricsRecorder:
@@ -297,10 +317,26 @@ def _run_cluster(scenario: FleetScenario, sizes: np.ndarray, task: ClusterTask) 
     as event lanes one ``arrival_window`` at a time (bounded memory);
     the cyclic GC is paused for the episode for the same reason as
     :func:`repro.experiments.parallel.run_point`.
+
+    Telemetry hooks (``scenario.telemetry``) bolt on here without
+    touching the episode's randomness: the sampled tracer is seeded from
+    ``(trace_seed, task.index)`` (shard-plan-invariant by construction),
+    the profiler is enabled *before* any event lane is scheduled (lanes
+    bind batch handlers at schedule time), and shard streaming only ever
+    reads the recorder.
     """
+    telem = scenario.telemetry or TelemetryConfig()
     was_enabled = gc.isenabled()
     gc.disable()
+    t_wall = time.perf_counter()
     try:
+        tracer = None
+        if telem.tracing:
+            tracer = SampledTracer(
+                telem.trace_sample_rate,
+                seed=telem.trace_seed,
+                cluster_index=task.index,
+            )
         cluster = Cluster(
             scenario.cluster,
             sizes,
@@ -308,7 +344,23 @@ def _run_cluster(scenario: FleetScenario, sizes: np.ndarray, task: ClusterTask) 
             record_disk_samples=scenario.record_disk_samples,
             latency_store=scenario.latency_store,
             batch_dispatch=scenario.batch_dispatch,
+            tracer=tracer,
         )
+        if telem.profile:
+            cluster.sim.enable_profile()
+        streamer = None
+        if telem.streaming:
+            from repro.obs.events import EventLog
+            from repro.obs.telemetry import ShardStreamer
+
+            streamer = ShardStreamer(
+                EventLog(telem.bus_path),
+                cluster,
+                cluster_index=task.index,
+                duration=scenario.duration,
+                interval=telem.stream_interval,
+            )
+            streamer.heartbeat()
         cluster.warm_caches(task.warm_ids)
         times = task.times
         lo = 0
@@ -324,13 +376,26 @@ def _run_cluster(scenario: FleetScenario, sizes: np.ndarray, task: ClusterTask) 
                 )
                 lo = hi
             cluster.run_until(t)
+            if streamer is not None:
+                streamer.maybe_snapshot()
         cluster.drain(max_events=scenario.max_drain_events)
+        if streamer is not None:
+            streamer.finish(wall_s=time.perf_counter() - t_wall)
+        trace_path = None
+        if tracer is not None and telem.trace_dir is not None:
+            from repro.obs.trace import write_trace
+
+            trace_path = shard_trace_path(telem.trace_dir, task.index)
+            write_trace(tracer.events, trace_path)
         return {
             "index": task.index,
             "state": cluster.metrics.state(),
             "n_requests": cluster.metrics.n_requests,
             "events": cluster.sim.events_scheduled,
             "disk_ops": cluster.total_disk_ops,
+            "profile": cluster.sim.profile_snapshot() if telem.profile else [],
+            "downgrades": list(cluster.downgrades),
+            "trace_path": trace_path,
         }
     finally:
         if was_enabled:
@@ -359,6 +424,11 @@ def _run_shard_tasks(
         "per_cluster": [
             (r["index"], r["n_requests"], r["events"], r["disk_ops"])
             for r in results
+        ],
+        "profile": merge_profile_rows([r["profile"] for r in results]),
+        "downgrades": [d for r in results for d in r["downgrades"]],
+        "trace_paths": [
+            r["trace_path"] for r in results if r["trace_path"] is not None
         ],
     }
 
@@ -406,6 +476,21 @@ def run_fleet(
         tuple(tasks[c] for c in shard_members) for shard_members in plan.shards
     ]
 
+    telem = scenario.telemetry or TelemetryConfig()
+    bus = None
+    if telem.streaming:
+        from repro.obs.events import EventLog
+
+        bus = EventLog(telem.bus_path)
+        bus.emit(
+            "fleet_started",
+            n_clusters=scenario.n_clusters,
+            n_shards=plan.n_shards,
+            rate=scenario.rate,
+            duration=scenario.duration,
+        )
+    t_wall = time.perf_counter()
+
     n_workers = min(int(jobs or 1), len(shard_tasks))
     shard_results = None
     if n_workers > 1:
@@ -433,12 +518,30 @@ def run_fleet(
     per_cluster = sorted(
         row for r in shard_results for row in r["per_cluster"]
     )
+    n_requests = sum(row[1] for row in per_cluster)
+    if bus is not None:
+        bus.emit(
+            "fleet_finished",
+            n_clusters=scenario.n_clusters,
+            n_requests=n_requests,
+            wall_s=round(time.perf_counter() - t_wall, 3),
+        )
+        bus.close()
     return FleetResult(
         state=merged,
-        n_requests=sum(row[1] for row in per_cluster),
+        n_requests=n_requests,
         events=sum(row[2] for row in per_cluster),
         disk_ops=sum(row[3] for row in per_cluster),
         per_cluster=tuple(tuple(row) for row in per_cluster),
         n_shards=plan.n_shards,
         jobs=n_workers,
+        profile=tuple(
+            merge_profile_rows([r["profile"] for r in shard_results])
+        ),
+        downgrades=tuple(
+            d for r in shard_results for d in r["downgrades"]
+        ),
+        trace_paths=tuple(
+            p for r in shard_results for p in r["trace_paths"]
+        ),
     )

@@ -29,6 +29,11 @@ diagnosable after the fact:
   events (queued / started / finished) appended atomically to a JSONL
   file by serial and parallel runners alike, tailed live by
   ``cosmodel watch``.
+* :mod:`repro.obs.telemetry` -- fleet-scale telemetry: deterministic
+  head-sampled tracing (:class:`~repro.obs.telemetry.SampledTracer`,
+  shard-plan-invariant by construction), live shard streaming onto the
+  event bus (:class:`~repro.obs.telemetry.ShardStreamer`, consumed by
+  ``cosmodel top``), and the kernel time profiler's merge/render layer.
 
 ``cosmodel report <artifact>`` (see :mod:`repro.obs.report`) renders
 any of the produced artifacts -- a trace, a histogram dump, a manifest,
@@ -48,10 +53,30 @@ from repro.obs.events import EventLog, follow, read_events, render_events
 from repro.obs.hist import LatencyHistogram
 from repro.obs.manifest import build_manifest, manifest_path_for, write_manifest
 from repro.obs.profiling import StageProfiler
+from repro.obs.telemetry import (
+    SampledTracer,
+    ShardStreamer,
+    TelemetryConfig,
+    TopView,
+    merge_profile_rows,
+    merge_shard_traces,
+    record_downgrade,
+    render_kernel_profile,
+    render_top,
+)
 from repro.obs.trace import Tracer, read_trace
 
 __all__ = [
     "Tracer",
+    "SampledTracer",
+    "TelemetryConfig",
+    "ShardStreamer",
+    "TopView",
+    "merge_shard_traces",
+    "merge_profile_rows",
+    "render_kernel_profile",
+    "render_top",
+    "record_downgrade",
     "read_trace",
     "LatencyHistogram",
     "build_manifest",

@@ -52,6 +52,13 @@ EVENT_KINDS = (
     "point_started",
     "point_finished",
     "sweep_finished",
+    # Fleet telemetry (docs/OBSERVABILITY.md "Fleet telemetry"): shard
+    # workers stream compact metric snapshots onto the same bus.
+    "fleet_started",
+    "shard_heartbeat",
+    "shard_snapshot",
+    "shard_finished",
+    "fleet_finished",
 )
 
 
@@ -106,8 +113,14 @@ class EventLog:
         self.close()
 
 
-def read_events(path: str | os.PathLike) -> list[dict]:
-    """Parse an event log; silently drops a truncated trailing line."""
+def read_events(path: str | os.PathLike, *, strict: bool = True) -> list[dict]:
+    """Parse an event log; silently drops a truncated trailing line.
+
+    ``strict=False`` additionally skips undecodable *interior* lines --
+    the right mode when the writer may have truncated or rotated the
+    file mid-write (a torn line can then survive in the middle); the
+    default surfaces interior corruption loudly.
+    """
     events: list[dict] = []
     lines = Path(path).read_text().splitlines()
     for i, line in enumerate(lines):
@@ -118,8 +131,8 @@ def read_events(path: str | os.PathLike) -> list[dict]:
             events.append(json.loads(line))
         except json.JSONDecodeError:
             # A reader can race the final append; anything earlier is a
-            # real corruption worth surfacing.
-            if i != len(lines) - 1:
+            # real corruption worth surfacing (unless tolerant mode).
+            if strict and i != len(lines) - 1:
                 raise
     return events
 
@@ -128,6 +141,27 @@ def _fmt(event: dict) -> str:
     kind = event.get("event", "?")
     clock = time.strftime("%H:%M:%S", time.localtime(event.get("t", 0.0)))
     scenario = event.get("scenario", "?")
+    if kind in ("fleet_started", "fleet_finished"):
+        bits = [f"{event.get('n_clusters', '?')} clusters"]
+        if "n_requests" in event:
+            bits.append(f"{event['n_requests']} req")
+        if "wall_s" in event:
+            bits.append(f"{event['wall_s']:.2f}s")
+        return f"{clock}  fleet  {kind:<15} {', '.join(bits)}"
+    if kind.startswith("shard_"):
+        bits = []
+        if "sim_now" in event and "duration" in event and event["duration"]:
+            bits.append(
+                f"{100.0 * event['sim_now'] / event['duration']:.0f}%"
+            )
+        if "n_requests" in event:
+            bits.append(f"{event['n_requests']} req")
+        if "events_per_sec" in event:
+            bits.append(f"{event['events_per_sec']:.0f} ev/s")
+        return (
+            f"{clock}  fleet  {kind:<15} "
+            f"c{event.get('cluster', '?')} {' '.join(bits)}"
+        )
     if kind in ("sweep_started", "sweep_finished"):
         n = event.get("n_points", event.get("n_finished", "?"))
         extra = f"{n} points"
@@ -168,18 +202,44 @@ def follow(
 
     ``once=True`` yields what is currently in the file and returns --
     the CI-friendly mode.  Otherwise the generator polls until it has
-    seen a ``sweep_finished`` for every ``sweep_started`` (and at least
-    one sweep), or ``timeout`` seconds pass without the file existing
-    or growing.
+    seen a ``sweep_finished``/``fleet_finished`` for every matching
+    ``*_started`` (and at least one), or ``timeout`` seconds pass
+    without the file existing or growing.
+
+    The follower survives a writer that truncates, rotates
+    (``os.replace`` with a fresh file) or reopens the log mid-tail: a
+    shrunken size or a changed inode resets the read position to the
+    top of the current file (re-yielding its events rather than
+    wedging), and a torn line left by such a transition is skipped
+    instead of raising.
     """
     path = Path(path)
     offset = 0
     buffer = ""
+    ino: int | None = None
     open_sweeps = 0
     seen_sweep = False
     idle = 0.0
     while True:
-        if path.exists():
+        try:
+            st = os.stat(path)
+        except OSError:
+            # The file is gone (deleted, or mid-rotation): whatever the
+            # path names next is a fresh log, even if the filesystem
+            # recycles the old inode for it.
+            st = None
+            offset = 0
+            buffer = ""
+            ino = None
+        if st is not None:
+            if (ino is not None and st.st_ino != ino) or st.st_size < offset:
+                # Rotated (new inode) or truncated (file shrank below
+                # our read position): restart from the top of whatever
+                # the path names now.  A partially-buffered line from
+                # the old incarnation is stale, drop it.
+                offset = 0
+                buffer = ""
+            ino = st.st_ino
             with open(path, "r") as fh:
                 fh.seek(offset)
                 chunk = fh.read()
@@ -192,12 +252,17 @@ def follow(
                 for line in lines:
                     if not line.strip():
                         continue
-                    event = json.loads(line)
+                    try:
+                        event = json.loads(line)
+                    except json.JSONDecodeError:
+                        # Torn interior line after a truncate/rotate
+                        # race; skip it rather than kill the tail.
+                        continue
                     kind = event.get("event")
-                    if kind == "sweep_started":
+                    if kind in ("sweep_started", "fleet_started"):
                         seen_sweep = True
                         open_sweeps += 1
-                    elif kind == "sweep_finished":
+                    elif kind in ("sweep_finished", "fleet_finished"):
                         open_sweeps -= 1
                     yield event
         if once:

@@ -13,7 +13,10 @@ content:
   headline percentiles and the accuracy bound;
 * a **sweep artifact** (``cosmodel sweep --out``) renders the per-point
   summary, the per-stage error-attribution table and the aggregated
-  inversion diagnostics.
+  inversion diagnostics;
+* a **kernel profile** (``cosmodel fleet --profile-out``) renders the
+  per-handler wall-time attribution table, scalar vs batched dispatch
+  separately.
 
 For any other file the reporter looks for a ``<file>.manifest.json``
 sidecar and renders that, so ``cosmodel report results/fig6.txt`` does
@@ -28,6 +31,7 @@ from pathlib import Path
 
 from repro.obs.hist import LatencyHistogram
 from repro.obs.manifest import MANIFEST_KIND, manifest_path_for
+from repro.obs.telemetry import KERNEL_PROFILE_KIND, render_kernel_profile
 from repro.obs.trace import read_trace
 
 __all__ = [
@@ -138,6 +142,16 @@ def render_manifest(doc: dict) -> str:
     if doc.get("extra"):
         lines.append("  extra:")
         for key, value in sorted(doc["extra"].items()):
+            if key == "downgrades" and isinstance(value, (list, tuple)):
+                # Capability downgrades deserve one loud line apiece, not
+                # a repr blob: "what fast path did this run lose, why".
+                lines.append(f"    {'downgrades':22s} {len(value)}")
+                for d in value:
+                    lines.append(
+                        f"      DOWNGRADE {d.get('capability', '?')}: "
+                        f"{d.get('reason', '?')}"
+                    )
+                continue
             lines.append(f"    {key:22s} {value}")
     return "\n".join(lines)
 
@@ -229,6 +243,8 @@ def render_report(path: str) -> str:
                 return render_histogram(doc)
             if doc.get("kind") == "cosmodel-sweep":
                 return render_sweep_report(doc, p)
+            if doc.get("kind") == KERNEL_PROFILE_KIND:
+                return render_kernel_profile(doc)
             # JSONL traces also start with "{" but fail whole-file JSON
             # parsing (multiple documents); fall through below.
             sections.append(f"artifact: {p.name} (JSON)")

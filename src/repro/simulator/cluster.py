@@ -361,21 +361,53 @@ class Cluster:
         # scheduled event is the parse completion at t + parse_const, so
         # parse_const is a valid batch horizon and contiguous arrival
         # segments may be admitted vectorised (_arrival_batch).  Any
-        # sampling parse distribution (or tracing) falls back to scalar
-        # admission; fault boundaries need no gate here because fault
-        # hooks are heap events, which bound every segment.  batch_min
-        # keeps near-empty segments scalar: _arrival_batch's fancy
-        # indexing and array round-trips only amortise past a handful
-        # of arrivals, and in feedback-heavy steady state segments
-        # rarely grow that large anyway.
+        # sampling parse distribution falls back to scalar admission, as
+        # does a full tracer -- but a tracer that declares
+        # ``batch_safe = True`` (repro.obs.telemetry.SampledTracer)
+        # keeps the fast path: its hooks gate per request id, so the
+        # batched admission loop emits exactly the spans the scalar loop
+        # would.  Fault boundaries need no gate here because fault hooks
+        # are heap events, which bound every segment.  batch_min keeps
+        # near-empty segments scalar: _arrival_batch's fancy indexing
+        # and array round-trips only amortise past a handful of
+        # arrivals, and in feedback-heavy steady state segments rarely
+        # grow that large anyway.
+        #
+        # Every fast path a hook disables is recorded in ``downgrades``
+        # (and noted on the ambient DiagnosticsSession), so "tracing
+        # quietly turned batching off" is visible in run manifests
+        # instead of only as a timing regression.
         parse_const = (
             float(config.parse_fe.value)
             if isinstance(config.parse_fe, Degenerate)
             else None
         )
+        batch_safe = tracer is None or getattr(tracer, "batch_safe", False)
         self.batch_dispatch = bool(
-            batch_dispatch and tracer is None and parse_const is not None
+            batch_dispatch and batch_safe and parse_const is not None
         )
+        self.downgrades: list[dict] = []
+        if batch_dispatch and not self.batch_dispatch:
+            from repro.obs.telemetry import record_downgrade
+
+            if not batch_safe:
+                self.downgrades.append(
+                    record_downgrade(
+                        "batch_dispatch",
+                        "full tracer forces scalar admission (a "
+                        "batch_safe sampling tracer keeps the fast path)",
+                        context={"tracer": type(tracer).__name__},
+                    )
+                )
+            if parse_const is None:
+                self.downgrades.append(
+                    record_downgrade(
+                        "batch_dispatch",
+                        "non-degenerate frontend parse distribution has "
+                        "no constant batch horizon",
+                        context={"parse_fe": type(config.parse_fe).__name__},
+                    )
+                )
         if self.batch_dispatch:
             self._arrival_op = self.sim.register(
                 self._arrival,

@@ -173,6 +173,8 @@ class FrontendProcess:
         """A request arrives from the load balancer."""
         req.arrival_time = self.sim.now
         req.frontend_id = self.fid
+        if self.tracer is not None:
+            self.tracer.admit_span(req.rid, self.fid, self.sim.now)
         self.queue.append(req)
         if not self.busy:
             self._next()
@@ -192,6 +194,11 @@ class FrontendProcess:
         """
         req.arrival_time = t
         req.frontend_id = self.fid
+        if self.tracer is not None:
+            # Same marker the scalar path emits: a batch-safe sampling
+            # tracer keeps this fast path active and discards the call
+            # for unsampled requests.
+            self.tracer.admit_span(req.rid, self.fid, t)
         if self.busy:
             self.queue.append(req)
             return

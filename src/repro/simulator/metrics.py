@@ -583,6 +583,70 @@ class MetricsRecorder:
             self._hist_count = 0
 
     # ------------------------------------------------------------------
+    # live telemetry snapshots (read-only; repro.obs.telemetry)
+    # ------------------------------------------------------------------
+    def live_hist_counts(self) -> dict:
+        """Per-family cumulative bucket counts *including* unflushed
+        values, without flushing (histogram mode only).
+
+        Mid-run telemetry must not call :meth:`_flush_histograms`: an
+        early flush regroups the float partial sums (``sum`` is
+        accumulated per ``record_many`` block), which would break the
+        bit-identity of the final state against an unobserved run.  This
+        method instead bins the pending buffer into a throwaway
+        histogram and adds the counts -- integer arithmetic only, the
+        recorder is untouched.
+        """
+        if self._hists is None:
+            raise RuntimeError("recorder is in exact mode; no histograms kept")
+        from repro.obs.hist import LatencyHistogram
+
+        out = {}
+        for i, name in enumerate(HISTOGRAM_FAMILIES):
+            hist = self._hists[name]
+            pending = self._hist_buf[i]
+            counts = hist._counts
+            if pending:
+                tmp = LatencyHistogram(
+                    hist.min_value, hist.max_value, hist.buckets_per_decade
+                )
+                tmp.record_many(pending)
+                counts = counts + tmp._counts
+            nz = np.flatnonzero(counts)
+            out[name] = {
+                "count": hist.count + len(pending),
+                "counts": {int(j): int(counts[j]) for j in nz},
+            }
+        return out
+
+    def rows_mark(self) -> int:
+        """Current row count; pair with :meth:`rows_values_since`."""
+        return len(self._rows)
+
+    def rows_values_since(self, mark: int) -> tuple[int, dict]:
+        """Per-family latency values of rows recorded after ``mark``
+        (exact mode only; read-only).  Returns ``(new_mark, values)``.
+        Values are clamped at zero, matching the histogram store's
+        convention, so live views agree across store modes."""
+        if self._hists is not None:
+            raise RuntimeError(
+                "request rows are not kept in histogram mode; use "
+                "live_hist_counts() instead"
+            )
+        rows = self._rows[mark:]
+        out: dict[str, np.ndarray] = {}
+        if rows:
+            cols = list(zip(*rows))
+            for i, name in enumerate(HISTOGRAM_FAMILIES):
+                out[name] = np.maximum(
+                    np.asarray(cols[1 + i], dtype=float), 0.0
+                )
+        else:
+            for name in HISTOGRAM_FAMILIES:
+                out[name] = np.empty(0)
+        return len(self._rows), out
+
+    # ------------------------------------------------------------------
     # shard state export / merge (fleet execution)
     # ------------------------------------------------------------------
     def state(self) -> dict:
